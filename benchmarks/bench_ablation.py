@@ -1,0 +1,121 @@
+"""A1-A3 — ablations of the design choices DESIGN.md calls out.
+
+* A1 (Section 2.2, "More Efficient Search"): probe-gated lazy change
+  collections vs a flat eager enumeration — oracle-call counts.
+* A2 (Section 2.4): the greedy cumulative sibling-removal strategy vs the
+  two extremes the paper rejects (remove-all, exhaustive subsets).
+* A3 (Section 2.3): the ranker's prefer-larger inversion for adaptations —
+  without it, the ``if e1 e2 then ...`` example degrades exactly as the
+  paper predicts ("adapting e1 also succeeds, which is only a bit more
+  useful").
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.core import KIND_ADAPT, explain
+from repro.core.ranker import rank
+from repro.core.searcher import SearchConfig, Searcher
+from repro.miniml import parse_program
+from repro.miniml.pretty import pretty
+
+# An over-applied call: no permutation of the inner arguments can help, so
+# the all-wildcards probe fails once and laziness skips all 3! - 1 = 5
+# permutations that eager enumeration pays for.
+A1_SRC = """
+let combine3 a b c = a + b * c
+let r = (combine3 1 2 3) 4
+"""
+
+# Several large siblings, two of them broken: triage context search.
+A2_SRC = """
+let f a =
+  let big1 = (a + 1) * (a + 2) + (a + 3) * (a + 4) + true in
+  let big2 = (a * 5) + (a * 6) + (a * 7) + (a * 8) in
+  let big3 = (a - 1) + (a - 2) + (a - 3) + "oops" in
+  big2 + a
+"""
+
+A3_SRC = """
+let upper s = String.uppercase s
+let f e2 e3 e4 = if upper e2 then e3 else e4
+"""
+
+
+def test_a1_lazy_vs_eager_enumeration(benchmark, artifact_dir):
+    lazy = benchmark.pedantic(
+        lambda: explain(A1_SRC), rounds=3, iterations=1, warmup_rounds=1
+    )
+    eager = explain(A1_SRC, eager_enumeration=True)
+    report = (
+        "A1: lazy (probe-gated) vs eager (flat) change enumeration\n"
+        f"lazy oracle calls:  {lazy.oracle_calls}\n"
+        f"eager oracle calls: {eager.oracle_calls}\n"
+        f"best (lazy):  {pretty(lazy.best.change.replacement) if lazy.best else None}\n"
+        f"best (eager): {pretty(eager.best.change.replacement) if eager.best else None}"
+    )
+    write_artifact(artifact_dir, "ablation_a1.txt", report)
+    print("\n" + report)
+    # Same quality, never more oracle calls.
+    assert lazy.best is not None and eager.best is not None
+    assert lazy.best.change.rule == eager.best.change.rule
+    assert lazy.oracle_calls <= eager.oracle_calls
+
+
+def test_a2_triage_strategies(benchmark, artifact_dir):
+    program = parse_program(A2_SRC)
+
+    def run(strategy):
+        searcher = Searcher(config=SearchConfig(triage_strategy=strategy))
+        outcome = searcher.search_program(program)
+        return outcome, searcher.oracle.calls
+
+    (greedy_outcome, greedy_calls) = benchmark.pedantic(
+        lambda: run("greedy"), rounds=3, iterations=1, warmup_rounds=1
+    )
+    remove_all_outcome, remove_all_calls = run("remove-all")
+    exhaustive_outcome, exhaustive_calls = run("exhaustive")
+
+    def summary(name, outcome, calls):
+        triaged = sum(1 for s in outcome.suggestions if s.triaged)
+        return f"{name:<12} oracle calls: {calls:5d}  triaged suggestions: {triaged}"
+
+    report = "A2: triage sibling-removal strategies\n" + "\n".join(
+        [
+            summary("greedy", greedy_outcome, greedy_calls),
+            summary("remove-all", remove_all_outcome, remove_all_calls),
+            summary("exhaustive", exhaustive_outcome, exhaustive_calls),
+        ]
+    )
+    write_artifact(artifact_dir, "ablation_a2.txt", report)
+    print("\n" + report)
+
+    # All strategies find triaged suggestions; greedy never costs more
+    # oracle calls than exhaustive subset search.
+    assert any(s.triaged for s in greedy_outcome.suggestions)
+    assert any(s.triaged for s in remove_all_outcome.suggestions)
+    assert greedy_calls <= exhaustive_calls
+
+
+def test_a3_adaptation_ranking_inversion(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        lambda: explain(A3_SRC), rounds=3, iterations=1, warmup_rounds=1
+    )
+    adaptations = [s for s in result.suggestions if s.kind == KIND_ADAPT]
+    assert adaptations
+    with_inversion = rank(adaptations, adapt_prefers_larger=True)
+    without_inversion = rank(adaptations, adapt_prefers_larger=False)
+
+    report = (
+        "A3: adaptation ranking with/without the prefer-larger inversion\n"
+        f"with inversion (paper):    adapt `{pretty(with_inversion[0].change.original)}'\n"
+        f"without inversion:         adapt `{pretty(without_inversion[0].change.original)}'"
+    )
+    write_artifact(artifact_dir, "ablation_a3.txt", report)
+    print("\n" + report)
+
+    # Paper: with the inversion, the whole call ``upper e2`` is adapted;
+    # without it, the smaller (less useful) ``upper`` wins.
+    assert pretty(with_inversion[0].change.original) == "upper e2"
+    assert pretty(without_inversion[0].change.original) != "upper e2"

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Figures 5-7, the Section 3.2 headline numbers, the worked examples, the
+Section 4 case study, or a design-choice ablation).  Rendered artifacts are
+written to ``benchmarks/results/`` so ``pytest benchmarks/ --benchmark-only``
+leaves the regenerated "tables and figures" on disk next to the timing
+numbers it prints.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.corpus import generate_corpus
+from repro.evaluation import run_study
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: One corpus + study shared across benchmark modules (module isolation is
+#: not worth regenerating a few hundred search runs per file).
+_STUDY_SCALE = 0.6
+_STUDY_SEED = 2007
+_STUDY_MAX_FILES = 80
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return generate_corpus(scale=_STUDY_SCALE, seed=_STUDY_SEED)
+
+
+@pytest.fixture(scope="session")
+def study(corpus):
+    return run_study(corpus, max_files=_STUDY_MAX_FILES)
+
+
+def write_artifact(directory: pathlib.Path, name: str, text: str) -> None:
+    path = directory / name
+    path.write_text(text + "\n")

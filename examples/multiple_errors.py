@@ -1,0 +1,63 @@
+"""Triage: good messages when a function has several independent errors.
+
+Run:  python examples/multiple_errors.py
+
+Section 2.4's problem: with more than one type error, the only *whole*
+change that makes the program type-check is deleting everything — useless.
+Triage focuses on one error at a time while wildcarding the others away.
+
+This demo shows three scenarios:
+1. two bad operands buried in one let-chain,
+2. the paper's Figure 4 pattern-match with clashing arms, and
+3. the print/print_string scenario, where triage plus the removal-vs-
+   adaptation trick pins down an unbound variable.
+Each is run with and without triage so you can see what the flag buys.
+"""
+
+from repro.core import explain
+
+SCENARIOS = {
+    "Two independent errors in one function": """
+let f a b =
+  let x = 3 + true in
+  let y = a + b in
+  let z = 4 + "hi" in
+  y + 1
+""",
+    "Figure 4: a pattern match with several errors": """
+let g x y =
+  match (x, y) with
+    (0, []) -> []
+  | (n, []) -> n
+  | (_, 5) -> 5 + "hi"
+let h = g 3 [1]
+""",
+    "print where print_string was meant (three times)": """
+let f x =
+  match x with
+    0 -> print "zero"
+  | 1 -> print "one"
+  | _ -> print "other"
+""",
+}
+
+
+def main() -> None:
+    for title, source in SCENARIOS.items():
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+
+        without = explain(source, enable_triage=False)
+        print("Without triage:")
+        print("    " + without.render_best().replace("\n", "\n    "))
+        print()
+
+        with_triage = explain(source, enable_triage=True)
+        print("With triage:")
+        print("    " + with_triage.render_best().replace("\n", "\n    "))
+        print()
+
+
+if __name__ == "__main__":
+    main()

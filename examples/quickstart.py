@@ -1,0 +1,36 @@
+"""Quickstart: search-based type-error messages in five lines.
+
+Run:  python examples/quickstart.py
+
+Write an ill-typed MiniML program, call :func:`repro.core.explain`, and
+compare the conventional type-checker's message with the ranked suggestions
+SEMINAL finds by searching for nearby programs that *do* type-check.
+"""
+
+from repro.core import explain
+
+PROGRAM = """
+(* A tiny utility: keep the strings shorter than a limit... almost. *)
+let shorter_than limit words =
+  List.filter (fun w -> String.length w < limit) words
+
+let report = shorter_than ["hello"; "hi"; "greetings"] 3
+"""
+
+
+def main() -> None:
+    result = explain(PROGRAM)
+
+    print("=" * 72)
+    print("The conventional type-checker says:")
+    print("-" * 72)
+    print(result.checker_message)
+    print()
+    print("=" * 72)
+    print(f"SEMINAL searched {result.oracle_calls} candidate programs and suggests:")
+    print("-" * 72)
+    print(result.render(limit=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro [options] file``.
+
+Plays the role of the compiler wrapper in the paper's Figure 1: files that
+type-check pass straight through; ill-typed files get the conventional
+message *and* the ranked search suggestions.  ``--fix`` additionally applies
+the top suggestion(s) and prints the patched source (the quick-fix flow).
+
+MiniML is assumed for ``.ml`` files; ``--cpp`` (or a ``.cpp``/``.cc``
+extension) selects the MiniCpp front end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Search-based type-error messages (SEMINAL, PLDI 2007).",
+    )
+    parser.add_argument("file", help="source file (.ml for MiniML, .cpp for MiniCpp)")
+    parser.add_argument("--cpp", action="store_true", help="treat the input as MiniCpp")
+    parser.add_argument("--top", type=int, default=3, metavar="N",
+                        help="number of suggestions to print (default 3)")
+    parser.add_argument("--no-triage", action="store_true",
+                        help="disable triage (the paper's Section 3 baseline)")
+    parser.add_argument("--checker-only", action="store_true",
+                        help="print only the conventional type-checker message")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply suggestions until the program type-checks "
+                             "and print the patched source (MiniML only)")
+    parser.add_argument("--max-calls", type=int, default=20000, metavar="N",
+                        help="oracle-call budget (default 20000)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print oracle-call statistics")
+    return parser
+
+
+def _run_miniml(source: str, args: argparse.Namespace) -> int:
+    from repro.core import explain, fix_all
+
+    if args.fix:
+        result = fix_all(
+            source,
+            enable_triage=not args.no_triage,
+            max_oracle_calls=args.max_calls,
+        )
+        for step in result.applied:
+            print(f"applied: {step}")
+        print()
+        print(result.source, end="" if result.source.endswith("\n") else "\n")
+        if result.ok:
+            print("-- the program now type-checks", file=sys.stderr)
+            return 0
+        print("-- could not fully repair the program", file=sys.stderr)
+        return 1
+
+    result = explain(
+        source,
+        enable_triage=not args.no_triage,
+        max_oracle_calls=args.max_calls,
+    )
+    if result.ok:
+        print("The program type-checks.")
+        from repro.miniml import match_warnings_source
+
+        for warning in match_warnings_source(source):
+            print(warning.render())
+        return 0
+    print("Type-checker:")
+    print("    " + (result.checker_message or "").replace("\n", "\n    "))
+    if not args.checker_only:
+        print()
+        print("Search suggestions:")
+        print("    " + result.render(limit=args.top).replace("\n", "\n    "))
+    if args.stats:
+        print(f"\n[{result.oracle_calls} oracle calls"
+              + (", budget exhausted" if result.budget_exhausted else "") + "]",
+              file=sys.stderr)
+        if result.stats is not None:
+            print(result.stats.summary(), file=sys.stderr)
+    return 1
+
+
+def _run_cpp(source: str, args: argparse.Namespace) -> int:
+    from repro.cpptemplates import explain_cpp
+
+    result = explain_cpp(source, max_checker_calls=args.max_calls)
+    if result.ok:
+        print("The program compiles.")
+        return 0
+    print("Compiler errors:")
+    print("    " + result.check.render(args.file).replace("\n", "\n    "))
+    if not args.checker_only:
+        print()
+        print("Search suggestions:")
+        for i, suggestion in enumerate(result.suggestions[: args.top], start=1):
+            print(f"    {i}. " + suggestion.render().replace("\n", "\n       "))
+        if not result.suggestions:
+            print("    (none found)")
+    if args.stats:
+        print(f"\n[{result.checker_calls} compiler calls]", file=sys.stderr)
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    path = pathlib.Path(args.file)
+    try:
+        source = path.read_text()
+    except OSError as err:
+        print(f"error: cannot read {args.file}: {err}", file=sys.stderr)
+        return 2
+    is_cpp = args.cpp or path.suffix in (".cpp", ".cc", ".cxx", ".C")
+    try:
+        if is_cpp:
+            return _run_cpp(source, args)
+        return _run_miniml(source, args)
+    except Exception as err:  # parse errors etc.
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Change objects: what the enumerator proposes and the searcher tries.
+
+A :class:`Change` is "replace the subtree at ``path`` with ``replacement``".
+Changes form *structured, lazy collections* (Section 2.2, "More Efficient
+Search"): a :class:`ChangeNode` can carry follow-up thunks that are expanded
+only when the probe succeeds or fails — e.g. try ``(raise Foo, raise Foo,
+raise Foo)`` first, and enumerate argument permutations only if *some*
+3-tuple fits.  The laziness both avoids building syntax and avoids oracle
+calls, which is the paper's stated motivation.
+
+A :class:`Suggestion` is a change that the oracle accepted, plus everything
+message rendering needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, List, Optional, Sequence
+
+from repro.tree import Node, Path
+
+#: Change categories, used by the ranker's lexicographic preference
+#: (Section 2.3: constructive > adaptation > removal; Section 2.4: triaged
+#: solutions least of all).
+KIND_CONSTRUCTIVE = "constructive"
+KIND_ADAPT = "adapt"
+KIND_REMOVE = "remove"
+
+
+@dataclass(eq=False)
+class Change:
+    """One candidate rewrite of the program."""
+
+    path: Path
+    original: Node
+    replacement: Node
+    kind: str
+    description: str
+    #: Probe changes gate follow-ups but are never reported as suggestions
+    #: (e.g. the all-wildcards tuple that guards permutation attempts).
+    is_probe: bool = False
+    #: Stable tag naming the constructive-change rule that produced this
+    #: (e.g. ``"curry-params"``); used by tests, grading, and ablations.
+    rule: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Change({self.rule or self.kind}: {self.description})"
+
+
+#: Lazily produced follow-up changes.
+Followups = Callable[[], List["ChangeNode"]]
+
+
+@dataclass(eq=False)
+class ChangeNode:
+    """A change plus what to try depending on its outcome."""
+
+    change: Change
+    on_success: Optional[Followups] = None
+    on_failure: Optional[Followups] = None
+
+
+def flat(changes: Sequence[Change]) -> List[ChangeNode]:
+    """Wrap plain changes with no follow-ups."""
+    return [ChangeNode(c) for c in changes]
+
+
+@dataclass(eq=False)
+class Suggestion:
+    """A change the oracle accepted: the basis of one error message."""
+
+    change: Change
+    #: The complete rewritten program that type-checks.
+    program: Node
+    #: Rendered type of the replacement in the fixed program ("of type ...").
+    new_type: Optional[str] = None
+    #: True when this suggestion was found in triage mode (other parts of
+    #: the program were wildcarded away to isolate this error).
+    triaged: bool = False
+    #: Paths (in the original program) of sibling subtrees triage removed.
+    removed_paths: List[Path] = dataclass_field(default_factory=list)
+    #: Presentation flag: removal succeeded but adaptation failed on a
+    #: variable, so the variable is unbound (Section 3.3's print scenario).
+    unbound_variable: Optional[str] = None
+
+    @property
+    def kind(self) -> str:
+        return self.change.kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = " [triaged]" if self.triaged else ""
+        return f"Suggestion({self.change!r}{extra})"

@@ -1,0 +1,136 @@
+"""Rendering ranked suggestions as the paper's error messages.
+
+A message has the shape of the paper's Figure 2 right-hand side::
+
+    Try replacing
+        fun (x, y) -> x + y
+    with
+        fun x y -> x + y
+    of type int -> int -> int
+    within context
+        let lst = map2 (fun x y -> x + y) [1; 2; 3] [4; 5; 6]
+
+Variants:
+
+* removals print the wildcard ``[[...]]`` and the type the hole is used at;
+* adaptations explain that the expression is fine in isolation;
+* triaged suggestions carry the "Your code has several type errors" preamble
+  and show the triaged-away program parts as ``[[...]]``;
+* unbound variables (removal works, adaptation does not — Section 3.3) are
+  reported directly as "x appears to be unbound".
+
+Types come from re-running the checker once on the *fixed* program with
+``record_types`` on — the moral equivalent of reading OCaml's ``.annot``
+file; the oracle used during search never pays this cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.miniml.ast_nodes import Decl, Expr, Program
+from repro.miniml.infer import typecheck_program
+from repro.miniml.pretty import WILDCARD_TEXT, pretty, pretty_decl
+from repro.tree import Node, Path, get_at
+
+from .changes import KIND_ADAPT, KIND_REMOVE, Suggestion
+
+#: Contexts longer than this fall back to the nearest small enclosing
+#: expression rather than the whole declaration.
+MAX_CONTEXT_CHARS = 120
+
+
+def replacement_type(suggestion: Suggestion) -> Optional[str]:
+    """Type of the replacement inside the fixed program (memoized)."""
+    if suggestion.new_type is not None:
+        return suggestion.new_type
+    result = typecheck_program(suggestion.program, record_types=True)
+    if not result.ok:  # pragma: no cover - the suggestion was verified
+        return None
+    node = get_at(suggestion.program, suggestion.change.path)
+    target: Node = node
+    if suggestion.kind == KIND_ADAPT:
+        # The adapt wrapper prints as its argument; report the argument type.
+        inner = node.children()
+        if len(inner) == 2:  # [adapt-var, argument]
+            target = inner[1]
+    text = result.type_str_of(target)
+    suggestion.new_type = text
+    return text
+
+
+def context_text(suggestion: Suggestion) -> str:
+    """The enclosing program fragment, with the replacement spliced in."""
+    path = suggestion.change.path
+    program = suggestion.program
+    # Prefer the whole top-level declaration if it stays readable.
+    if path and isinstance(path[0], tuple) and path[0][0] == "decls":
+        decl = get_at(program, path[:1])
+        rendered = pretty_decl(decl)
+        if len(rendered) <= MAX_CONTEXT_CHARS:
+            return rendered
+    # Otherwise the nearest enclosing expression that stays readable.
+    for cut in range(1, len(path)):
+        ancestor = get_at(program, path[:-cut])
+        if isinstance(ancestor, (Expr, Decl)):
+            rendered = pretty(ancestor)
+            if len(rendered) <= MAX_CONTEXT_CHARS:
+                return rendered
+    node = get_at(program, path)
+    return pretty(node)
+
+
+def render_suggestion(suggestion: Suggestion) -> str:
+    """One full error message for one suggestion."""
+    change = suggestion.change
+    original_text = pretty(change.original)
+    lines: List[str] = []
+    if suggestion.triaged:
+        lines.append(
+            "Your code has several type errors. If you ignore the "
+            "surrounding code (shown as " + WILDCARD_TEXT + "):"
+        )
+    if suggestion.unbound_variable is not None:
+        lines.append(f"The variable {suggestion.unbound_variable} appears to be unbound.")
+        lines.append(f"No change at its uses can make the program type-check; try removing or renaming it")
+        lines.append(f"within context {context_text(suggestion)}")
+        return "\n".join(lines)
+    if suggestion.kind == KIND_ADAPT:
+        type_text = replacement_type(suggestion)
+        of_type = f" (of type {type_text})" if type_text else ""
+        lines.append(
+            f"The expression {original_text}{of_type} type-checks by itself "
+            "but not in its context; try changing how its result is used"
+        )
+        lines.append(f"within context {context_text(suggestion)}")
+        return "\n".join(lines)
+    replacement_text = WILDCARD_TEXT if suggestion.kind == KIND_REMOVE else pretty(change.replacement)
+    type_text = replacement_type(suggestion)
+    message = f"Try replacing {original_text} with {replacement_text}"
+    if type_text:
+        message += f" of type {type_text}"
+    lines.append(message)
+    lines.append(f"within context {context_text(suggestion)}")
+    if suggestion.triaged:
+        lines.append("(other type errors remain; this change alone will not make the program type-check)")
+    return "\n".join(lines)
+
+
+def render_report(
+    suggestions: List[Suggestion],
+    checker_message: Optional[str] = None,
+    limit: int = 3,
+) -> str:
+    """The ranked multi-suggestion report shown to the programmer."""
+    if not suggestions:
+        if checker_message:
+            return (
+                "No search suggestion found; the type-checker reports:\n"
+                + checker_message
+            )
+        return "No suggestion found."
+    parts = []
+    for i, s in enumerate(suggestions[:limit], start=1):
+        header = f"Suggestion {i}:" if len(suggestions) > 1 else "Suggestion:"
+        parts.append(header + "\n" + render_suggestion(s))
+    return "\n\n".join(parts)

@@ -1,0 +1,92 @@
+"""The type-checker oracle (paper Figure 1, right-hand box).
+
+SEMINAL's defining architectural property is that the search procedure has
+*no knowledge of type-system specifics*: it only asks "does this program
+type-check?".  :class:`Oracle` wraps any ``Program -> CheckResult`` function
+behind exactly that interface, adding:
+
+* call counting (the paper's efficiency metric — Section 2.2's lazy change
+  collections exist precisely to "reduce calls to the type-checker"),
+* an optional budget so pathological searches terminate, and
+* an optional memo cache keyed on printed source (off by default to match
+  the paper; benchmarks can enable it for the ablation study).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol
+
+from repro.miniml.infer import CheckResult, typecheck_program
+from repro.miniml.pretty import pretty_program
+
+
+class BudgetExceeded(Exception):
+    """The searcher used up its oracle-call budget."""
+
+    def __init__(self, budget: int):
+        super().__init__(f"oracle budget of {budget} calls exceeded")
+        self.budget = budget
+
+
+class TypecheckFn(Protocol):
+    def __call__(self, program) -> CheckResult: ...  # pragma: no cover
+
+
+class Oracle:
+    """Boolean yes/no oracle with accounting.
+
+    Parameters
+    ----------
+    typecheck:
+        The underlying checker.  Defaults to MiniML's
+        :func:`~repro.miniml.infer.typecheck_program`.
+    max_calls:
+        Hard budget; exceeding it raises :class:`BudgetExceeded`, which the
+        searcher catches to return the suggestions found so far.
+    cache:
+        Memoize results by pretty-printed source.  Sound because the checker
+        is deterministic and ignores spans/synthetic flags.
+    render:
+        Program-to-text function used as the cache key (language specific).
+    """
+
+    def __init__(
+        self,
+        typecheck: Optional[TypecheckFn] = None,
+        max_calls: Optional[int] = None,
+        cache: bool = False,
+        render: Callable = pretty_program,
+    ):
+        self._typecheck = typecheck if typecheck is not None else typecheck_program
+        self.max_calls = max_calls
+        self.calls = 0
+        self.cache_hits = 0
+        self._cache: Optional[Dict[str, CheckResult]] = {} if cache else None
+        self._render = render
+
+    def check(self, program) -> CheckResult:
+        """Run the type-checker, honouring budget and cache."""
+        if self._cache is not None:
+            key = self._render(program)
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                return hit
+        if self.max_calls is not None and self.calls >= self.max_calls:
+            raise BudgetExceeded(self.max_calls)
+        self.calls += 1
+        result = self._typecheck(program)
+        if self._cache is not None:
+            self._cache[key] = result
+        return result
+
+    def passes(self, program) -> bool:
+        """The boolean question the searcher actually asks."""
+        return self.check(program).ok
+
+    def reset(self) -> None:
+        """Clear accounting (and cache) between searches."""
+        self.calls = 0
+        self.cache_hits = 0
+        if self._cache is not None:
+            self._cache = {}

@@ -1,0 +1,151 @@
+"""The ranker: ordering successful changes into an error-message list.
+
+The paper found that "simple heuristics suffice" over principled metrics
+like tree-edit distance.  The ordering implemented here is exactly the
+lexicographic preference the paper describes:
+
+1. non-triaged before triaged (Section 2.4: "the ranker prefers triaged
+   solutions least of all");
+2. by kind: constructive > adaptation > removal (Sections 2.2-2.3);
+3. among triaged solutions, fewer removed siblings first;
+4. smaller changed expressions first — EXCEPT adaptation, which prefers
+   *larger* expressions (Section 2.3: the inversion is "necessary for our
+   example");
+5. deeper in the tree first ("prefers changes closer to the leaves");
+6. the right-hand expression of an application first ("a heuristic for
+   preferring the expression on the right in a function application").
+
+Duplicates (same location, same printed replacement) are merged first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.miniml.pretty import pretty
+from repro.tree import node_size, walk
+
+from .changes import KIND_ADAPT, KIND_CONSTRUCTIVE, KIND_REMOVE, Suggestion
+
+_KIND_ORDER = {KIND_CONSTRUCTIVE: 0, KIND_ADAPT: 1, KIND_REMOVE: 2}
+
+#: Tiebreak among constructive rules: prefer syntax-confusion fixes and
+#: rearrangements (which preserve all code) over changes that add holes or
+#: drop code.  This encodes the same intuition as the paper's preference
+#: for "a constructive change that concisely summarizes the reason the
+#: program does not type-check".
+_RULE_PRIORITY = {
+    "curry-params": 0,
+    "untuple-args": 0,
+    "list-of-tuple-to-list": 0,
+    "refupdate-to-fieldset": 0,
+    "fieldset-to-refupdate": 0,
+    "make-rec": 0,
+    "try-to-match": 0,
+    "match-to-try": 0,
+    "drop-annot": 1,
+    "permute-args": 1,
+    "permute-tuple": 1,
+    "permute-pattern": 1,
+    "swap-operands": 1,
+    "swap-operator": 1,
+    "swap-cons": 1,
+    "qualify-name": 1,
+    "wrap-conversion": 1,
+    "swap-print-fn": 1,
+    "insert-arg": 2,
+    "add-param": 2,
+    "add-tuple-item": 2,
+    "add-pattern-item": 2,
+    "add-else": 2,
+    "tuple-args": 3,
+    "tuple-params": 3,
+    "nest-call": 3,
+    "list-to-tuple": 3,
+    "tuple-to-list": 3,
+    "cons-to-append": 3,
+    "reparen-match": 3,
+    "drop-arg": 4,
+    "drop-param": 4,
+    "drop-tuple-item": 4,
+    "drop-case": 4,
+    "drop-pattern-item": 4,
+    "drop-else": 4,
+    "drop-rec": 4,
+    "drop-handler": 4,
+}
+_DEFAULT_RULE_PRIORITY = 2
+
+
+def _loss_and_wildcards(s: Suggestion) -> Tuple[int, int]:
+    """How much original code the change throws away, and how many holes
+    it introduces.  Swapping two arguments loses nothing; dropping an
+    argument loses its subtree; inserting ``[[...]]`` adds a hole.  This is
+    the cheap stand-in for the tree-edit-distance metrics the paper
+    experimented with before settling on heuristics.
+    """
+    original_ids = {id(n) for _, n in walk(s.change.original)}
+    reused = 0
+    wildcards = 0
+    for _, n in walk(s.change.replacement):
+        if id(n) in original_ids:
+            reused += 1
+        if n.synthetic:
+            wildcards += 1
+    return max(0, len(original_ids) - reused), wildcards
+
+
+def _last_index(path) -> int:
+    """Sibling position of the change (for the right-argument heuristic)."""
+    for step in reversed(path):
+        if isinstance(step, tuple):
+            return step[1]
+    return 0
+
+
+def rank_key(s: Suggestion, adapt_prefers_larger: bool = True) -> Tuple:
+    kind = _KIND_ORDER.get(s.kind, 3)
+    size = node_size(s.change.original)
+    if s.kind == KIND_ADAPT and adapt_prefers_larger:
+        size = -size  # prefer adapting *larger* expressions (Section 2.3)
+    loss, wildcards = _loss_and_wildcards(s)
+    # Loss ranks before size: a change that preserves all the original code
+    # (adding ``rec``, swapping arguments) beats a smaller change that
+    # deletes code (dropping a match arm), regardless of the subtree sizes.
+    return (
+        1 if s.triaged else 0,
+        kind,
+        len(s.removed_paths),
+        loss,
+        wildcards,
+        size,
+        _RULE_PRIORITY.get(s.change.rule, _DEFAULT_RULE_PRIORITY),
+        -len(s.change.path),
+        -_last_index(s.change.path),
+    )
+
+
+def dedupe(suggestions: List[Suggestion]) -> List[Suggestion]:
+    """Merge suggestions proposing the identical rewrite at one location."""
+    seen = {}
+    for s in suggestions:
+        key = (s.change.path, s.kind, pretty(s.change.replacement), s.triaged)
+        prior = seen.get(key)
+        if prior is None or rank_key(s) < rank_key(prior):
+            seen[key] = s
+    return list(seen.values())
+
+
+def rank(
+    suggestions: List[Suggestion], adapt_prefers_larger: bool = True
+) -> List[Suggestion]:
+    """Deduplicate and order suggestions, best first.
+
+    ``adapt_prefers_larger=False`` disables the Section 2.3 size inversion
+    for adaptations — the A3 ablation, which demonstrably ruins the
+    ``if e1 e2 then ...`` example.
+    """
+    return sorted(
+        dedupe(suggestions),
+        key=lambda s: rank_key(s, adapt_prefers_larger=adapt_prefers_larger),
+    )

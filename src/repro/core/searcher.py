@@ -1,0 +1,355 @@
+"""The searcher: SEMINAL's top-down search procedure (Sections 2.1-2.3).
+
+Given an ill-typed program, the searcher:
+
+1. tests increasingly long prefixes of the top-level definitions to localize
+   the first failing definition (Section 2.1),
+2. descends recursively from that definition, using *removal* (replacement
+   by the ``raise Foo`` wildcard) to find the smallest subtrees whose removal
+   makes the program type-check,
+3. at every removal-successful node, additionally tries the enumerator's
+   *constructive changes* (Section 2.2) and *adaptation to context*
+   (Section 2.3),
+4. when the only result for a sizable subtree is removing it wholesale,
+   switches to *triage* mode (Section 2.4, :mod:`repro.core.triage`) to
+   isolate one of several independent errors.
+
+The searcher knows nothing about MiniML's type system: every decision is a
+boolean oracle answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.miniml.ast_nodes import (
+    Binding,
+    DExpr,
+    DLet,
+    Decl,
+    EVar,
+    Expr,
+    Pattern,
+    Program,
+)
+from repro.miniml.errors import MiniMLTypeError
+from repro.tree import Node, Path, get_at, node_size, replace_at
+
+from .changes import (
+    KIND_ADAPT,
+    KIND_REMOVE,
+    Change,
+    ChangeNode,
+    Suggestion,
+)
+from .enumerator import (
+    MiniMLEnumerator,
+    adapt_expr,
+    is_searchable,
+    wildcard_expr,
+    wildcard_for,
+)
+from .oracle import BudgetExceeded, Oracle
+
+
+@dataclass
+class SearchConfig:
+    """Tunables for the search procedure.
+
+    ``triage_threshold`` is the paper's "nontrivial number of descendants":
+    a subtree smaller than this is simply reported as removable rather than
+    triaged.  ``max_triage_depth`` bounds nested triage.
+    ``disabled_rules`` feeds the enumerator (ablation studies).
+    """
+
+    max_oracle_calls: Optional[int] = 20000
+    enable_triage: bool = True
+    enable_adaptation: bool = True
+    triage_threshold: int = 5
+    max_triage_depth: int = 3
+    disabled_rules: Sequence[str] = ()
+    #: Sibling-removal strategy for triage contexts (Section 2.4 discusses
+    #: the design space): "greedy" is the paper's cumulative one-at-a-time
+    #: middle road, "remove-all" wildcards every other sibling at once,
+    #: "exhaustive" searches minimal subsets (exponential; bounded).
+    triage_strategy: str = "greedy"
+    #: Eager (non-lazy) change enumeration — the A1 ablation strawman.
+    eager_enumeration: bool = False
+    #: User-supplied change generators (the Section 6 open framework).
+    custom_rules: Sequence = ()
+
+
+@dataclass
+class SearchStats:
+    """Where the oracle calls went (the paper's efficiency story, itemized).
+
+    Section 2.2 motivates lazy change collections by oracle-call cost; this
+    breakdown shows which search phase spends them on a given file.
+    """
+
+    prefix_tests: int = 0
+    removal_tests: int = 0
+    constructive_tests: int = 0
+    adaptation_tests: int = 0
+    triage_tests: int = 0
+    rule_successes: Dict[str, int] = field(default_factory=dict)
+
+    def record_success(self, rule: str) -> None:
+        key = rule or "(removal/adapt)"
+        self.rule_successes[key] = self.rule_successes.get(key, 0) + 1
+
+    def summary(self) -> str:
+        parts = [
+            f"prefix={self.prefix_tests}",
+            f"removal={self.removal_tests}",
+            f"constructive={self.constructive_tests}",
+            f"adaptation={self.adaptation_tests}",
+            f"triage={self.triage_tests}",
+        ]
+        line = "oracle calls by phase: " + " ".join(parts)
+        if self.rule_successes:
+            winners = ", ".join(
+                f"{name}x{count}"
+                for name, count in sorted(self.rule_successes.items(), key=lambda kv: -kv[1])
+            )
+            line += f"\nsuccessful changes: {winners}"
+        return line
+
+
+@dataclass
+class SearchOutcome:
+    """Everything the search learned about one ill-typed program."""
+
+    ok: bool
+    program: Program
+    checker_error: Optional[MiniMLTypeError] = None
+    suggestions: List[Suggestion] = field(default_factory=list)
+    bad_decl_index: Optional[int] = None
+    oracle_calls: int = 0
+    budget_exhausted: bool = False
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+class Searcher:
+    """Drives the change worklist against the oracle (paper Figure 1)."""
+
+    def __init__(
+        self,
+        oracle: Optional[Oracle] = None,
+        enumerator: Optional[MiniMLEnumerator] = None,
+        config: Optional[SearchConfig] = None,
+    ):
+        self.config = config or SearchConfig()
+        self.oracle = oracle or Oracle(max_calls=self.config.max_oracle_calls)
+        self.enumerator = enumerator or MiniMLEnumerator(
+            self.config.disabled_rules,
+            eager=self.config.eager_enumeration,
+            custom_rules=self.config.custom_rules,
+        )
+        self.stats = SearchStats()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def search_program(self, program: Program) -> SearchOutcome:
+        """Search for changes that make ``program`` type-check."""
+        self.oracle.reset()
+        self.stats = SearchStats()
+        first = self.oracle.check(program)
+        if first.ok:
+            return SearchOutcome(ok=True, program=program, oracle_calls=self.oracle.calls)
+        outcome = SearchOutcome(ok=False, program=program, checker_error=first.error)
+        try:
+            bad = self._localize_bad_decl(program)
+            outcome.bad_decl_index = bad
+            # Search within the failing prefix: later declarations are
+            # ignored entirely, as in the paper ("It does not examine the
+            # third top-level binding").
+            prefix = Program(program.decls[: bad + 1])
+            outcome.suggestions = self._search_decl(prefix, (("decls", bad),))
+        except BudgetExceeded:
+            outcome.budget_exhausted = True
+        outcome.oracle_calls = self.oracle.calls
+        outcome.stats = self.stats
+        return outcome
+
+    def _localize_bad_decl(self, program: Program) -> int:
+        """Index of the first top-level declaration whose prefix fails."""
+        for i in range(len(program.decls)):
+            self.stats.prefix_tests += 1
+            if not self.oracle.passes(Program(program.decls[: i + 1])):
+                return i
+        # The whole program failed but every prefix passed: impossible for a
+        # deterministic checker, but be defensive.
+        return len(program.decls) - 1
+
+    # ------------------------------------------------------------------
+    # Declaration-level search
+    # ------------------------------------------------------------------
+
+    def _search_decl(self, root: Program, decl_path: Path) -> List[Suggestion]:
+        decl = get_at(root, decl_path)
+        results: List[Suggestion] = []
+        # Declaration-level constructive changes (e.g. ``make-rec``).
+        results.extend(self._try_changes(root, decl_path, decl))
+        # Recurse into the searchable roots of the declaration.
+        for sub_path in self._searchable_children(root, decl_path):
+            target = get_at(root, sub_path)
+            wildcard = wildcard_for(target)
+            if wildcard is None:
+                continue
+            self.stats.removal_tests += 1
+            if self._passes(replace_at(root, sub_path, wildcard)):
+                results.extend(self._search(root, sub_path, triage_depth=0))
+        return results
+
+    # ------------------------------------------------------------------
+    # Regular-mode recursive search
+    # ------------------------------------------------------------------
+
+    def _search(self, root: Program, path: Path, triage_depth: int) -> List[Suggestion]:
+        """Search below ``path``.
+
+        Precondition: replacing the node at ``path`` with a wildcard makes
+        ``root`` type-check.
+        """
+        node = get_at(root, path)
+        results: List[Suggestion] = []
+
+        # 1. Find children whose lone removal also fixes the program.
+        child_fixes: List[Path] = []
+        for child_path in self._searchable_children(root, path):
+            child = get_at(root, child_path)
+            wildcard = wildcard_for(child)
+            if wildcard is None:
+                continue
+            self.stats.removal_tests += 1
+            if self._passes(replace_at(root, child_path, wildcard)):
+                child_fixes.append(child_path)
+
+        # 2. Recurse into each fixing child: the error is localizable deeper.
+        for child_path in child_fixes:
+            results.extend(self._search(root, child_path, triage_depth))
+
+        # 3. Constructive changes at this node.
+        constructive = self._try_changes(root, path, node)
+        results.extend(constructive)
+
+        # 4. Adaptation to context (expressions only).
+        if self.config.enable_adaptation and isinstance(node, Expr):
+            adapted = replace_at(root, path, adapt_expr(node))
+            self.stats.adaptation_tests += 1
+            if self._passes(adapted):
+                change = Change(
+                    path=path,
+                    original=node,
+                    replacement=adapt_expr(node),
+                    kind=KIND_ADAPT,
+                    description="the expression is well-typed on its own; "
+                    "its context expects a different type",
+                )
+                results.append(self._suggest(change, replace_at(root, path, change.replacement)))
+
+        # 5. If no child removal fixed things, this node is a minimal
+        #    removable unit: report its removal.
+        if not child_fixes:
+            wildcard = wildcard_for(node)
+            if wildcard is not None:
+                fixed = replace_at(root, path, wildcard)
+                change = Change(
+                    path=path,
+                    original=node,
+                    replacement=wildcard,
+                    kind=KIND_REMOVE,
+                    description="removing this expression fixes the type error",
+                )
+                suggestion = self._suggest(change, fixed)
+                self._flag_unbound(root, path, node, suggestion)
+                results.append(suggestion)
+
+        # 6. Triage: the only outcome for a big subtree is removing it all.
+        only_removal = all(s.kind == KIND_REMOVE and s.change.path == path for s in results)
+        if (
+            only_removal
+            and self.config.enable_triage
+            and triage_depth < self.config.max_triage_depth
+            and node_size(node) > self.config.triage_threshold
+        ):
+            from .triage import triage_node
+
+            triaged = triage_node(self, root, path, triage_depth + 1)
+            if triaged:
+                # The wholesale removal that triggered triage "is almost
+                # never useful" (Section 2.4); report the isolated errors.
+                results = [
+                    s
+                    for s in results
+                    if not (s.kind == KIND_REMOVE and s.change.path == path)
+                ]
+                results.extend(triaged)
+        return results
+
+    # ------------------------------------------------------------------
+    # Change application
+    # ------------------------------------------------------------------
+
+    def _try_changes(self, root: Program, path: Path, node: Node) -> List[Suggestion]:
+        """Run the enumerator's (lazy, structured) changes for one node."""
+        results: List[Suggestion] = []
+        worklist: List[ChangeNode] = list(self.enumerator.changes(node, path))
+        while worklist:
+            change_node = worklist.pop(0)
+            change = change_node.change
+            candidate = replace_at(root, change.path, change.replacement)
+            self.stats.constructive_tests += 1
+            if self._passes(candidate):
+                if not change.is_probe:
+                    self.stats.record_success(change.rule)
+                    results.append(self._suggest(change, candidate))
+                if change_node.on_success is not None:
+                    worklist.extend(change_node.on_success())
+            else:
+                if change_node.on_failure is not None:
+                    worklist.extend(change_node.on_failure())
+        return results
+
+    def _suggest(self, change: Change, fixed_program: Program) -> Suggestion:
+        return Suggestion(change=change, program=fixed_program)
+
+    def _flag_unbound(self, root: Program, path: Path, node: Node, suggestion: Suggestion) -> None:
+        """Removal worked; if adaptation fails on a variable it is unbound.
+
+        Section 3.3: "because removing print works but replacing it with
+        adapt print does not, we can conclude that print is an unbound
+        variable."
+        """
+        if not isinstance(node, EVar):
+            return
+        if not self.config.enable_adaptation:
+            return
+        self.stats.adaptation_tests += 1
+        if not self._passes(replace_at(root, path, adapt_expr(node))):
+            suggestion.unbound_variable = node.name
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _passes(self, program: Program) -> bool:
+        return self.oracle.passes(program)
+
+    def _searchable_children(self, root: Program, path: Path) -> Iterator[Path]:
+        """Paths of the nearest searchable descendants (exprs/patterns),
+        looking through transparent nodes like match cases and bindings."""
+        node = get_at(root, path)
+        yield from self._searchable_under(node, path)
+
+    def _searchable_under(self, node: Node, path: Path) -> Iterator[Path]:
+        for step, child in node.child_items():
+            child_path = path + (step,)
+            if is_searchable(child):
+                yield child_path
+            else:
+                yield from self._searchable_under(child, child_path)

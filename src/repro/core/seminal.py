@@ -1,0 +1,117 @@
+"""The top-level SEMINAL driver: one call from ill-typed source to messages.
+
+This is the public API a compiler front end would call between parsing and
+type-checking (paper Figure 1): files that type-check bypass it entirely;
+for the rest it returns the conventional checker message *and* the ranked
+search-based suggestions, so callers (like the empirical study in
+:mod:`repro.evaluation`) can compare the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.miniml.ast_nodes import Program
+from repro.miniml.errors import MiniMLTypeError
+from repro.miniml.parser import parse_program
+
+from .changes import Suggestion
+from .enumerator import MiniMLEnumerator
+from .messages import render_report, render_suggestion
+from .oracle import Oracle
+from .ranker import rank
+from .searcher import SearchConfig, Searcher, SearchStats
+
+
+@dataclass
+class ExplainResult:
+    """Outcome of :func:`explain` on one program."""
+
+    ok: bool
+    program: Program
+    #: The conventional type-checker's error (None when ``ok``).
+    checker_error: Optional[MiniMLTypeError] = None
+    #: Ranked suggestions, best first (empty when ``ok`` or nothing found).
+    suggestions: List[Suggestion] = field(default_factory=list)
+    #: Index of the first failing top-level declaration.
+    bad_decl_index: Optional[int] = None
+    #: Total type-checker invocations the search performed.
+    oracle_calls: int = 0
+    #: True if the search stopped early on its oracle budget.
+    budget_exhausted: bool = False
+    #: Per-phase oracle-call breakdown and per-rule success counts.
+    stats: Optional[SearchStats] = None
+
+    @property
+    def best(self) -> Optional[Suggestion]:
+        """The top-ranked suggestion (the message we lead with)."""
+        return self.suggestions[0] if self.suggestions else None
+
+    @property
+    def checker_message(self) -> Optional[str]:
+        return self.checker_error.render() if self.checker_error else None
+
+    def render(self, limit: int = 3) -> str:
+        """Human-readable report (ranked suggestions or the checker error)."""
+        if self.ok:
+            return "The program type-checks."
+        return render_report(self.suggestions, self.checker_message, limit=limit)
+
+    def render_best(self) -> str:
+        """Just the single best message."""
+        if self.ok:
+            return "The program type-checks."
+        if self.best is None:
+            return self.checker_message or "Ill-typed, and no suggestion found."
+        return render_suggestion(self.best)
+
+
+def explain(
+    source: Union[str, Program],
+    *,
+    enable_triage: bool = True,
+    enable_adaptation: bool = True,
+    max_oracle_calls: Optional[int] = 20000,
+    triage_threshold: int = 5,
+    disabled_rules: Sequence[str] = (),
+    oracle: Optional[Oracle] = None,
+    triage_strategy: str = "greedy",
+    eager_enumeration: bool = False,
+    custom_rules: Sequence = (),
+) -> ExplainResult:
+    """Search for type-error messages for ``source``.
+
+    Parameters mirror the knobs the paper evaluates: ``enable_triage=False``
+    reproduces the "without triage" configuration of Section 3, and
+    ``disabled_rules`` supports the Figure 7 constructive-change ablation.
+
+    >>> result = explain('let x = 1 + true')
+    >>> result.ok
+    False
+    >>> result.best is not None
+    True
+    """
+    program = parse_program(source) if isinstance(source, str) else source
+    config = SearchConfig(
+        max_oracle_calls=max_oracle_calls,
+        enable_triage=enable_triage,
+        enable_adaptation=enable_adaptation,
+        triage_threshold=triage_threshold,
+        disabled_rules=disabled_rules,
+        triage_strategy=triage_strategy,
+        eager_enumeration=eager_enumeration,
+        custom_rules=custom_rules,
+    )
+    searcher = Searcher(oracle=oracle, config=config)
+    outcome = searcher.search_program(program)
+    return ExplainResult(
+        ok=outcome.ok,
+        program=program,
+        checker_error=outcome.checker_error,
+        suggestions=rank(outcome.suggestions),
+        bad_decl_index=outcome.bad_decl_index,
+        oracle_calls=outcome.oracle_calls,
+        budget_exhausted=outcome.budget_exhausted,
+        stats=outcome.stats,
+    )

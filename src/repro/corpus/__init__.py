@@ -1,0 +1,25 @@
+"""Synthetic study corpus: seeds, student-error mutators, and grading.
+
+Replaces the paper's collected student files (see DESIGN.md, substitution 3).
+"""
+
+from .generator import Corpus, CorpusFile, generate_corpus  # noqa: F401
+from .grading import (  # noqa: F401
+    FileGrades,
+    Grade,
+    grade_checker,
+    grade_file,
+    grade_seminal,
+    grade_suggestion,
+)
+from .mutations import (  # noqa: F401
+    FIXING_RULES,
+    MUTATORS,
+    MutatedProgram,
+    Mutation,
+    apply_mutation,
+    apply_mutations,
+    family_names,
+)
+from .profiles import Profile, default_profiles  # noqa: F401
+from .seeds import ASSIGNMENTS, assignment_names, assignment_source  # noqa: F401

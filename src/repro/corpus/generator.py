@@ -1,0 +1,125 @@
+"""Corpus generation: time-sequenced ill-typed files with ground truth.
+
+Reproduces the *shape* of the paper's data collection (Section 3.1):
+
+* 10 programmers x 5 assignments;
+* each programmer hits several distinct problems per assignment;
+* each problem yields an *equivalence class* of 1..n time-consecutive files
+  with the same error (recompile habit), of which the study analyzes one
+  representative — the paper collected 2122 files and analyzed 1075;
+* every file knows its injected fault(s), replacing the paper's manual
+  ground-truth analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.miniml.parser import parse_program
+
+from .mutations import MutatedProgram, apply_mutations
+from .profiles import Profile, default_profiles
+from .seeds import ASSIGNMENTS
+
+
+@dataclass(eq=False)
+class CorpusFile:
+    """One collected ill-typed file."""
+
+    programmer: str
+    assignment: str
+    #: Identifies the same-problem equivalence class this file belongs to.
+    class_id: int
+    #: Position of this file inside its class's time sequence.
+    sequence_index: int
+    #: Seconds-since-course-start pseudo timestamp (for realism/sorting).
+    timestamp: int
+    mutated: MutatedProgram
+
+    @property
+    def program(self):
+        return self.mutated.program
+
+    @property
+    def is_representative(self) -> bool:
+        """The study analyzes the first file of each equivalence class."""
+        return self.sequence_index == 0
+
+
+@dataclass
+class Corpus:
+    """The full collection plus its quotient."""
+
+    files: List[CorpusFile] = field(default_factory=list)
+
+    @property
+    def representatives(self) -> List[CorpusFile]:
+        return [f for f in self.files if f.is_representative]
+
+    @property
+    def class_sizes(self) -> List[int]:
+        """Sizes of the same-problem equivalence classes (paper Figure 6)."""
+        sizes: Dict[int, int] = {}
+        for f in self.files:
+            sizes[f.class_id] = sizes.get(f.class_id, 0) + 1
+        return sorted(sizes.values(), reverse=True)
+
+    def by_programmer(self) -> Dict[str, List[CorpusFile]]:
+        out: Dict[str, List[CorpusFile]] = {}
+        for f in self.representatives:
+            out.setdefault(f.programmer, []).append(f)
+        return out
+
+    def by_assignment(self) -> Dict[str, List[CorpusFile]]:
+        out: Dict[str, List[CorpusFile]] = {}
+        for f in self.representatives:
+            out.setdefault(f.assignment, []).append(f)
+        return out
+
+
+def generate_corpus(
+    profiles: Optional[Sequence[Profile]] = None,
+    assignments: Optional[Dict[str, str]] = None,
+    seed: int = 42,
+    scale: float = 1.0,
+) -> Corpus:
+    """Generate the synthetic study corpus.
+
+    ``scale`` multiplies the per-assignment problem counts: 1.0 gives a
+    corpus on the order of the paper's (hundreds of representatives,
+    ~2000 raw files); tests use much smaller scales.
+    """
+    rng = random.Random(seed)
+    profiles = list(profiles) if profiles is not None else default_profiles()
+    assignments = assignments if assignments is not None else ASSIGNMENTS
+    parsed = {name: parse_program(src) for name, src in assignments.items()}
+
+    corpus = Corpus()
+    class_id = 0
+    timestamp = 0
+    for assignment_index, (assignment, seed_program) in enumerate(parsed.items()):
+        for profile in profiles:
+            n_problems = profile.problems_for_assignment(assignment_index, rng)
+            n_problems = max(1, round(n_problems * scale))
+            for _ in range(n_problems):
+                families = profile.pick_families(rng)
+                mutated = apply_mutations(seed_program, assignment, families, rng)
+                if mutated is None:
+                    continue
+                class_id += 1
+                size = profile.class_size(rng)
+                for k in range(size):
+                    timestamp += rng.randint(30, 1800)
+                    corpus.files.append(
+                        CorpusFile(
+                            programmer=profile.name,
+                            assignment=assignment,
+                            class_id=class_id,
+                            sequence_index=k,
+                            timestamp=timestamp,
+                            mutated=mutated,
+                        )
+                    )
+    return corpus

@@ -1,0 +1,236 @@
+"""Automatic message-quality grading against mutation ground truth.
+
+The paper graded messages by hand, separately scoring (Section 3.1) whether
+a message "identified a good location" and whether it "described the problem
+at that location correctly".  With a synthetic corpus we know the injected
+fault exactly, so both judgments become mechanical:
+
+**Location** — the blamed region must coincide with the fault: either the
+blame lies inside the mutated subtree, or the mutated subtree lies inside a
+blamed region that is not grossly larger (a message that says "replace the
+entire function" does not count as locating a one-token fault — that is
+precisely the failure mode triage exists to fix).
+
+**Accuracy** — the message must describe the *cause*, not just a symptom:
+
+* a SEMINAL suggestion is accurate when it proposes the exact inverse of
+  the mutation, or applies a constructive rule from the fault family's
+  known-fix set (:data:`repro.corpus.mutations.FIXING_RULES`), or pinpoints
+  the exact mutated node with a removal/adaptation/unbound report;
+* the conventional checker is accurate when the fault family is one whose
+  symptom *is* its cause (a wrong literal, an unbound name): the mismatch
+  message at the right spot fully explains those.  For structural faults
+  (swapped arguments, currying confusion, a missing argument) the checker's
+  "has type X but is used with type Y" names only the downstream symptom —
+  the paper's Figure 8 discussion is exactly this distinction.
+
+A grade is 2 (location + accurate), 1 (location only), or 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.changes import KIND_REMOVE, Suggestion
+from repro.core.seminal import ExplainResult
+from repro.miniml.errors import (
+    MiniMLTypeError,
+    RecursionError_,
+    UnboundConstructorError,
+    UnboundVariableError,
+)
+from repro.tree import Node, Path, find_path, node_size, structurally_equal
+
+from .mutations import FIXING_RULES, MutatedProgram, Mutation
+
+#: Fault families whose conventional-checker symptom fully describes the
+#: cause (see module docstring).
+CHECKER_TRANSPARENT_FAMILIES = frozenset(
+    {
+        "wrong-literal",
+        "branch-mismatch",
+        "wrong-pattern-literal",
+        "operator-confusion",
+        "unbound-name",
+        "forgot-rec",
+    }
+)
+
+#: How much larger than the fault a blamed region may be and still count as
+#: "a good location" (in AST nodes).
+LOCATION_SLACK_FACTOR = 3
+LOCATION_SLACK_BASE = 4
+
+
+@dataclass
+class Grade:
+    """Quality of one message for one file."""
+
+    location: bool
+    accurate: bool
+
+    @property
+    def score(self) -> int:
+        if self.location and self.accurate:
+            return 2
+        if self.location:
+            return 1
+        return 0
+
+
+def _is_prefix(a: Path, b: Path) -> bool:
+    return len(a) <= len(b) and tuple(b[: len(a)]) == tuple(a)
+
+
+def _location_good(blame_path: Optional[Path], blame_node: Optional[Node],
+                   mutation: Mutation, fault_node: Node) -> bool:
+    if blame_path is None:
+        return False
+    fault_path = tuple(mutation.path)
+    blame_path = tuple(blame_path)
+    if _is_prefix(fault_path, blame_path):
+        return True  # blame inside the mutated region
+    if _is_prefix(blame_path, fault_path):
+        # Mutated region inside the blame: only good if the blame is not
+        # grossly larger than the fault.
+        if blame_node is None:
+            return False
+        limit = node_size(fault_node) * LOCATION_SLACK_FACTOR + LOCATION_SLACK_BASE
+        return node_size(blame_node) <= limit
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Conventional checker
+# ---------------------------------------------------------------------------
+
+
+def grade_checker(mutated: MutatedProgram, error: MiniMLTypeError) -> Grade:
+    """Grade the conventional type-checker's message for a mutated file."""
+    blame_node = error.node
+    blame_path = find_path(mutated.program, blame_node) if blame_node is not None else None
+    for mutation in mutated.mutations:
+        fault_node = _fault_node(mutated, mutation)
+        if not _location_good(blame_path, blame_node, mutation, fault_node):
+            continue
+        accurate = mutation.family in CHECKER_TRANSPARENT_FAMILIES
+        if mutation.family == "unbound-name" and not isinstance(
+            error, (UnboundVariableError, UnboundConstructorError)
+        ):
+            accurate = False
+        if mutation.family == "forgot-rec" and not isinstance(
+            error, (UnboundVariableError, RecursionError_)
+        ):
+            accurate = False
+        return Grade(location=True, accurate=accurate)
+    return Grade(location=False, accurate=False)
+
+
+def _fault_node(mutated: MutatedProgram, mutation: Mutation) -> Node:
+    """The mutated subtree inside the mutated program."""
+    try:
+        from repro.tree import get_at
+
+        return get_at(mutated.program, mutation.path)
+    except (KeyError, AttributeError, IndexError, TypeError):
+        return mutation.mutated
+
+
+# ---------------------------------------------------------------------------
+# SEMINAL
+# ---------------------------------------------------------------------------
+
+
+#: SEMINAL presents a short ranked report; grading judges the best message
+#: among the leading suggestions, mirroring how the paper's graders saw the
+#: tool's output (the paper presents a ranked list, "though we often
+#: present only one" — two is the headline-plus-runner-up the examples in
+#: the paper's Section 2 discuss).
+DISPLAYED_SUGGESTIONS = 2
+
+
+def grade_seminal(
+    mutated: MutatedProgram, result: ExplainResult, top_k: int = DISPLAYED_SUGGESTIONS
+) -> Grade:
+    """Grade the displayed report: the best of the top ``top_k`` suggestions."""
+    best_grade = Grade(location=False, accurate=False)
+    for suggestion in result.suggestions[:top_k]:
+        grade = grade_suggestion(mutated, suggestion)
+        if grade.score > best_grade.score:
+            best_grade = grade
+        if best_grade.score == 2:
+            break
+    return best_grade
+
+
+def grade_suggestion(mutated: MutatedProgram, suggestion: Suggestion) -> Grade:
+    blame_path = tuple(suggestion.change.path)
+    blame_node = suggestion.change.original
+    # A known-fix rule for one of the fault families counts wherever it was
+    # applied: def/use-mismatch faults (currying, argument order, arity) can
+    # be correctly repaired at the *other* end of the mismatch — e.g. fixing
+    # a call site to match a mis-declared function.  The suggestion's very
+    # existence proves the repair makes the (focused) program type-check.
+    for mutation in mutated.mutations:
+        if suggestion.change.rule and suggestion.change.rule in FIXING_RULES.get(
+            mutation.family, ()
+        ):
+            return Grade(location=True, accurate=True)
+    for mutation in mutated.mutations:
+        fault_node = _fault_node(mutated, mutation)
+        if not _location_good(blame_path, blame_node, mutation, fault_node):
+            continue
+        return Grade(location=True, accurate=_suggestion_accurate(mutation, suggestion))
+    return Grade(location=False, accurate=False)
+
+
+def _suggestion_accurate(mutation: Mutation, suggestion: Suggestion) -> bool:
+    fault_path = tuple(mutation.path)
+    blame_path = tuple(suggestion.change.path)
+    # Exact inverse of the mutation: unquestionably accurate.
+    if blame_path == fault_path and structurally_equal(
+        suggestion.change.replacement, mutation.original
+    ):
+        return True
+    # A known-fix constructive rule for this fault family, at the fault.
+    if suggestion.change.rule in FIXING_RULES.get(mutation.family, ()):
+        return True
+    # An unbound-variable report for an unbound-name fault.
+    if suggestion.unbound_variable is not None and mutation.family in (
+        "unbound-name",
+        "forgot-rec",
+    ):
+        return True
+    # A removal/adaptation that pinpoints exactly the mutated node: the
+    # message quotes precisely the bad code and the type it should have.
+    if blame_path == fault_path or _is_prefix(fault_path, blame_path):
+        return suggestion.kind in (KIND_REMOVE, "adapt")
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Convenience: grade all three messages for one file
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FileGrades:
+    """The three message grades the study compares per analyzed file."""
+
+    checker: Grade
+    seminal: Grade
+    seminal_no_triage: Grade
+
+
+def grade_file(
+    mutated: MutatedProgram,
+    checker_error: MiniMLTypeError,
+    with_triage: ExplainResult,
+    without_triage: ExplainResult,
+) -> FileGrades:
+    return FileGrades(
+        checker=grade_checker(mutated, checker_error),
+        seminal=grade_seminal(mutated, with_triage),
+        seminal_no_triage=grade_seminal(mutated, without_triage),
+    )

@@ -1,0 +1,409 @@
+"""Student-error injectors: turning well-typed seeds into realistic bugs.
+
+Each mutator models one error *family* the paper's evaluation encountered
+(argument order, currying vs tupling, missing/extra arguments, the
+``[1,2,3]`` list pitfall, misspelled/unbound names, operator confusion,
+forgotten ``rec``, wrong literals, pattern mistakes) plus compound
+multi-error files for exercising triage.
+
+A mutation records its **ground truth**: the path it broke, the pristine
+subtree, and its family.  The paper graded message quality by hand against
+the programmer's eventual fix; the synthetic corpus replaces that with exact
+knowledge of the injected fault, which is strictly less subjective (see
+DESIGN.md substitution 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.miniml.ast_nodes import (
+    Binding,
+    DLet,
+    EAnnot,
+    ETry,
+    TEName,
+    EApp,
+    EBinop,
+    ECons,
+    EConst,
+    EConstructor,
+    EFieldSet,
+    EFieldGet,
+    EFun,
+    EIf,
+    EList,
+    EMatch,
+    ETuple,
+    EVar,
+    Expr,
+    PConst,
+    Pattern,
+    Program,
+)
+from repro.miniml.infer import typecheck_program
+from repro.miniml.parser import parse_program
+from repro.tree import Node, Path, get_at, replace_at, walk
+
+
+@dataclass(eq=False)
+class Mutation:
+    """One injected error with its ground truth."""
+
+    family: str
+    description: str
+    path: Path
+    original: Node
+    mutated: Node
+
+
+@dataclass(eq=False)
+class MutatedProgram:
+    """An ill-typed program plus the list of injected faults."""
+
+    program: Program
+    source_name: str
+    mutations: List[Mutation] = field(default_factory=list)
+
+    @property
+    def families(self) -> List[str]:
+        return [m.family for m in self.mutations]
+
+    @property
+    def is_multi_error(self) -> bool:
+        return len(self.mutations) > 1
+
+
+#: A mutator inspects a program and proposes (path, replacement) rewrites.
+MutatorFn = Callable[[Program, random.Random], List[Tuple[Path, Node, str]]]
+
+
+def _expr_sites(program: Program, predicate) -> List[Tuple[Path, Node]]:
+    return [(p, n) for p, n in walk(program) if isinstance(n, Expr) and predicate(n)]
+
+
+# ---------------------------------------------------------------------------
+# Individual mutators: each returns candidate rewrites (path, new, note)
+# ---------------------------------------------------------------------------
+
+
+def swap_app_args(program: Program, rng: random.Random):
+    out = []
+    for path, node in _expr_sites(program, lambda n: isinstance(n, EApp) and len(n.args) >= 2):
+        i, j = 0, len(node.args) - 1
+        args = list(node.args)
+        args[i], args[j] = args[j], args[i]
+        out.append((path, EApp(node.func, args), "passed arguments in the wrong order"))
+    return out
+
+
+def tupled_instead_of_curried(program: Program, rng: random.Random):
+    """Call ``f (a, b)`` where ``f`` expects curried arguments."""
+    out = []
+    for path, node in _expr_sites(program, lambda n: isinstance(n, EApp) and len(n.args) >= 2):
+        out.append((path, EApp(node.func, [ETuple(list(node.args))]),
+                    "packed curried arguments into a tuple"))
+    return out
+
+
+def curried_instead_of_tupled(program: Program, rng: random.Random):
+    """Define ``fun x y`` where a tuple argument was needed, or vice versa."""
+    out = []
+    for path, node in _expr_sites(
+        program, lambda n: isinstance(n, EFun) and len(n.params) == 1
+        and type(n.params[0]).__name__ == "PTuple"
+    ):
+        out.append((path, EFun(list(node.params[0].items), node.body),
+                    "took curried parameters where a tuple was expected"))
+    for path, node in _expr_sites(
+        program, lambda n: isinstance(n, EFun) and len(n.params) >= 2
+    ):
+        from repro.miniml.ast_nodes import PTuple
+
+        out.append((path, EFun([PTuple(list(node.params))], node.body),
+                    "took a tuple parameter where curried arguments were expected"))
+    return out
+
+
+def drop_argument(program: Program, rng: random.Random):
+    out = []
+    for path, node in _expr_sites(program, lambda n: isinstance(n, EApp) and len(n.args) >= 2):
+        args = list(node.args[:-1])
+        out.append((path, EApp(node.func, args), "forgot the last argument"))
+    return out
+
+
+def extra_argument(program: Program, rng: random.Random):
+    out = []
+    for path, node in _expr_sites(program, lambda n: isinstance(n, EApp)):
+        args = list(node.args) + [EConst(0, "int")]
+        out.append((path, EApp(node.func, args), "passed an extra argument"))
+    return out
+
+
+def list_commas(program: Program, rng: random.Random):
+    """The ``[1,2,3]`` pitfall: one tuple instead of three elements."""
+    out = []
+    for path, node in _expr_sites(
+        program, lambda n: isinstance(n, EList) and len(n.items) >= 2
+    ):
+        out.append((path, EList([ETuple(list(node.items))]),
+                    "separated list elements with ',' instead of ';'"))
+    return out
+
+
+_OP_CONFUSIONS = {
+    "+": ["+.", "^"],
+    "^": ["+"],
+    "@": ["+", "^"],
+    "=": [":="],
+    ":=": ["="],
+}
+
+
+def operator_confusion(program: Program, rng: random.Random):
+    out = []
+    for path, node in _expr_sites(program, lambda n: isinstance(n, EBinop)):
+        for alt in _OP_CONFUSIONS.get(node.op, []):
+            out.append((path, EBinop(alt, node.left, node.right),
+                        f"used {alt} where {node.op} was needed"))
+    return out
+
+
+def wrong_literal(program: Program, rng: random.Random):
+    """An int literal where a string belongs, or vice versa."""
+    out = []
+    for path, node in _expr_sites(
+        program, lambda n: isinstance(n, EConst) and n.kind == "int"
+    ):
+        out.append((path, EConst(str(node.value), "string"),
+                    "wrote a string literal where an int was needed"))
+    for path, node in _expr_sites(
+        program, lambda n: isinstance(n, EConst) and n.kind == "string"
+    ):
+        out.append((path, EConst(0, "int"),
+                    "wrote an int literal where a string was needed"))
+    return out
+
+
+_MISSPELLINGS = {
+    "print_string": "print",
+    "print_int": "printint",
+    "List.length": "List.size",
+    "List.map": "map",
+    "List.filter": "filter",
+    "String.concat": "concat",
+}
+
+
+def unbound_name(program: Program, rng: random.Random):
+    out = []
+    for path, node in _expr_sites(program, lambda n: isinstance(n, EVar)):
+        misspelled = _MISSPELLINGS.get(node.name)
+        if misspelled:
+            out.append((path, EVar(misspelled), f"called {misspelled} instead of {node.name}"))
+    return out
+
+
+def forgot_rec(program: Program, rng: random.Random):
+    out = []
+    for path, node in walk(program):
+        if isinstance(node, DLet) and node.rec:
+            out.append((path, DLet(False, node.bindings), "forgot 'rec' on a recursive function"))
+    return out
+
+
+def cons_misuse(program: Program, rng: random.Random):
+    out = []
+    for path, node in _expr_sites(program, lambda n: isinstance(n, ECons)):
+        out.append((path, ECons(node.tail, node.head), "swapped the sides of ::"))
+        out.append((path, EBinop("@", node.head, node.tail),
+                    "used @ where :: was needed"))
+    return out
+
+
+def field_update_with_eq(program: Program, rng: random.Random):
+    out = []
+    for path, node in _expr_sites(program, lambda n: isinstance(n, EFieldSet)):
+        getter = EFieldGet(node.record, node.field_name)
+        out.append((path, EBinop("=", getter, node.value),
+                    "wrote = instead of <- for a field update"))
+        out.append((path, EBinop(":=", getter, node.value),
+                    "wrote := instead of <- for a field update"))
+    return out
+
+
+def wrong_pattern_literal(program: Program, rng: random.Random):
+    out = []
+    for path, node in walk(program):
+        if isinstance(node, PConst) and node.kind == "int":
+            out.append((path, PConst(str(node.value), "string"),
+                        "matched a string literal where an int was needed"))
+    return out
+
+
+def try_instead_of_match(program: Program, rng: random.Random):
+    """Wrote ``match e with`` where ``try e with`` was needed (or the
+    student converted one to the other and broke the handler patterns)."""
+    out = []
+    for path, node in _expr_sites(program, lambda n: isinstance(n, ETry)):
+        out.append((path, EMatch(node.body, list(node.cases)),
+                    "matched on a value where exception handling was needed"))
+    return out
+
+
+def stale_annotation(program: Program, rng: random.Random):
+    """A type annotation left over from an earlier version of the code."""
+    out = []
+    for path, node in _expr_sites(
+        program, lambda n: isinstance(n, EConst) and n.kind == "int"
+    ):
+        out.append((path, EAnnot(EConst(node.value, "int"), TEName("string", [])),
+                    "kept a stale (e : string) annotation on an int"))
+    for path, node in _expr_sites(
+        program, lambda n: isinstance(n, EConst) and n.kind == "string"
+    ):
+        out.append((path, EAnnot(EConst(node.value, "string"), TEName("int", [])),
+                    "kept a stale (e : int) annotation on a string"))
+    return out
+
+
+def branch_type_mismatch(program: Program, rng: random.Random):
+    """Make an if/match branch return the wrong type."""
+    out = []
+    for path, node in _expr_sites(
+        program, lambda n: isinstance(n, EIf) and n.else_branch is not None
+    ):
+        wrong = EConst("oops", "string")
+        out.append((path + ("else_branch",), wrong,
+                    "returned a string from one branch"))
+    return out
+
+
+#: Family name -> mutator function.
+MUTATORS: Dict[str, MutatorFn] = {
+    "swap-args": swap_app_args,
+    "tupled-args": tupled_instead_of_curried,
+    "curried-params": curried_instead_of_tupled,
+    "missing-arg": drop_argument,
+    "extra-arg": extra_argument,
+    "list-commas": list_commas,
+    "operator-confusion": operator_confusion,
+    "wrong-literal": wrong_literal,
+    "unbound-name": unbound_name,
+    "forgot-rec": forgot_rec,
+    "cons-misuse": cons_misuse,
+    "field-update-eq": field_update_with_eq,
+    "wrong-pattern-literal": wrong_pattern_literal,
+    "branch-mismatch": branch_type_mismatch,
+    "try-match-confusion": try_instead_of_match,
+    "stale-annotation": stale_annotation,
+}
+
+#: Which SEMINAL constructive rules repair which mutation family; the
+#: grading module uses this to decide whether a suggestion "described the
+#: problem correctly".
+FIXING_RULES: Dict[str, Sequence[str]] = {
+    "swap-args": ("permute-args",),
+    "tupled-args": ("untuple-args", "curry-params"),
+    "curried-params": ("curry-params", "tuple-params", "untuple-args", "tuple-args"),
+    "missing-arg": ("insert-arg", "add-param"),
+    "extra-arg": ("drop-arg", "drop-param"),
+    "list-commas": ("list-of-tuple-to-list",),
+    "operator-confusion": ("swap-operator", "refupdate-to-fieldset", "fieldset-to-refupdate"),
+    "wrong-literal": ("wrap-conversion",),
+    "unbound-name": ("qualify-name",),
+    "forgot-rec": ("make-rec",),
+    "cons-misuse": ("swap-cons", "cons-to-append"),
+    "field-update-eq": ("refupdate-to-fieldset",),
+    "wrong-pattern-literal": (),
+    "branch-mismatch": (),
+    "try-match-confusion": ("match-to-try", "try-to-match"),
+    "stale-annotation": ("drop-annot",),
+}
+
+
+def apply_mutation(
+    program: Program,
+    source_name: str,
+    family: str,
+    rng: random.Random,
+    avoid_paths: Sequence[Path] = (),
+    prefer_decl: Optional[object] = None,
+) -> Optional[MutatedProgram]:
+    """Apply one random mutation of ``family``; None if inapplicable or if
+    the result still type-checks (some rewrites are accidentally benign).
+
+    ``prefer_decl`` (a first path step) biases the site toward one top-level
+    declaration — multi-error injection uses it so independent errors land
+    in the *same* function, the regime triage exists for (Section 2.4).
+    """
+    candidates = MUTATORS[family](program, rng)
+    if avoid_paths:
+        candidates = [
+            (p, n, d)
+            for p, n, d in candidates
+            if not any(p[: len(a)] == tuple(a) or tuple(a)[: len(p)] == p for a in avoid_paths)
+        ]
+    rng.shuffle(candidates)
+    if prefer_decl is not None:
+        candidates.sort(key=lambda c: 0 if (c[0] and c[0][0] == prefer_decl) else 1)
+    for path, replacement, description in candidates:
+        mutated = replace_at(program, path, replacement)
+        if not typecheck_program(mutated).ok:
+            original = get_at(program, path)
+            mutation = Mutation(family, description, path, original, replacement)
+            return MutatedProgram(mutated, source_name, [mutation])
+    return None
+
+
+def apply_mutations(
+    program: Program,
+    source_name: str,
+    families: Sequence[str],
+    rng: random.Random,
+) -> Optional[MutatedProgram]:
+    """Inject several *independent* errors (for triage evaluation).
+
+    Each later mutation avoids paths overlapping earlier ones so the errors
+    stay independent, and is validated to keep the program ill-typed.
+    """
+    current = program
+    mutations: List[Mutation] = []
+    for family in families:
+        prefer = mutations[0].path[0] if mutations and mutations[0].path else None
+        # For follow-up errors, try several families until one lands in the
+        # same declaration as the first: triage targets multiple errors in
+        # one function, so the corpus must actually contain that regime.
+        tried = [family] + [f for f in MUTATORS if f != family]
+        result = None
+        for candidate_family in tried:
+            attempt = apply_mutation(
+                current,
+                source_name,
+                candidate_family,
+                rng,
+                avoid_paths=[m.path for m in mutations],
+                prefer_decl=prefer,
+            )
+            if attempt is None:
+                continue
+            landed = attempt.mutations[0].path
+            if prefer is None or (landed and landed[0] == prefer):
+                result = attempt
+                break
+            if result is None:
+                result = attempt  # keep the first any-decl fallback
+        if result is None:
+            continue
+        current = result.program
+        mutations.extend(result.mutations)
+    if not mutations:
+        return None
+    return MutatedProgram(current, source_name, mutations)
+
+
+def family_names() -> List[str]:
+    return list(MUTATORS)

@@ -1,0 +1,129 @@
+"""Simulated programmer profiles.
+
+The paper's population: 10 part-time graduate students, experienced
+programmers but new to Caml (Section 3.1).  Two behaviours of theirs shape
+the data and are modeled here:
+
+* **error mix** — different people fall into different traps; profiles
+  weight the mutation families differently (Figure 5(a) buckets by
+  programmer precisely because "personal coding style might affect the
+  results");
+* **recompile habits** — "some programmers tend to try recompiling much more
+  often than others", which is why the paper quotients time-sequenced files
+  with the same problem into equivalence classes (Figure 6 shows the class
+  sizes, heavily skewed small, log scale).  Profiles carry a geometric
+  recompile parameter that reproduces that skew.
+
+Experience also grows across assignments ("programmers are more familiar
+with Caml on later homeworks"), so the per-assignment error count decays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .mutations import family_names
+
+
+@dataclass
+class Profile:
+    """One simulated student."""
+
+    name: str
+    #: Relative weight per mutation family.
+    weights: Dict[str, float]
+    #: Geometric parameter for same-problem recompiles; smaller -> longer
+    #: equivalence classes (compulsive recompilers).
+    recompile_p: float
+    #: Expected number of distinct problems on the first assignment.
+    base_problems: float
+    #: Multiplicative decay of problem count per later assignment.
+    learning_rate: float
+    #: Probability that a given problem is a multi-error file.
+    multi_error_rate: float
+
+    def problems_for_assignment(self, index: int, rng: random.Random) -> int:
+        """How many distinct ill-typed problems this student hits on
+        assignment ``index`` (0-based)."""
+        expected = self.base_problems * (self.learning_rate ** index)
+        count = int(rng.gauss(expected, expected * 0.25))
+        return max(1, count)
+
+    def class_size(self, rng: random.Random) -> int:
+        """Size of one same-problem equivalence class (>= 1, geometric)."""
+        size = 1
+        while rng.random() > self.recompile_p:
+            size += 1
+            if size >= 64:  # paper's Figure 6 tops out well below this
+                break
+        return size
+
+    def pick_families(self, rng: random.Random) -> List[str]:
+        """Families for one problem (usually one; several for multi-error)."""
+        names = list(self.weights)
+        weights = [self.weights[n] for n in names]
+        count = 1
+        if rng.random() < self.multi_error_rate:
+            count = rng.choice([2, 2, 3])
+        return rng.choices(names, weights=weights, k=count)
+
+
+#: Families whose conventional-checker message already explains the cause
+#: (wrong literal, unbound name, ...).  Real student corpora are dominated
+#: by these everyday slips, which is why the paper's headline result is a
+#: near-tie (19% vs 17%) rather than a blowout; the prior reproduces that.
+_COMMON_FAMILIES = {
+    "wrong-literal": 5.0,
+    "branch-mismatch": 4.0,
+    "unbound-name": 4.0,
+    "wrong-pattern-literal": 3.0,
+    "operator-confusion": 3.0,
+    "forgot-rec": 2.0,
+}
+
+
+def _weights(rng: random.Random, emphasis: Sequence[str]) -> Dict[str, float]:
+    weights = {
+        name: (0.4 + rng.random()) * _COMMON_FAMILIES.get(name, 1.0)
+        for name in family_names()
+    }
+    for name in emphasis:
+        if name in weights:
+            weights[name] += 1.5
+    return weights
+
+
+#: Styles to emphasize: each tuple biases a student toward a trap family.
+_STYLES = [
+    ("swap-args", "missing-arg"),
+    ("tupled-args", "curried-params"),
+    ("list-commas", "cons-misuse"),
+    ("unbound-name",),
+    ("operator-confusion", "wrong-literal"),
+    ("forgot-rec",),
+    ("field-update-eq", "operator-confusion"),
+    ("missing-arg", "extra-arg"),
+    ("branch-mismatch", "wrong-pattern-literal"),
+    ("swap-args", "unbound-name"),
+]
+
+
+def default_profiles(count: int = 10, seed: int = 2007) -> List[Profile]:
+    """The study's simulated cohort (deterministic for a given seed)."""
+    rng = random.Random(seed)
+    profiles = []
+    for i in range(count):
+        style = _STYLES[i % len(_STYLES)]
+        profiles.append(
+            Profile(
+                name=f"p{i + 1:02d}",
+                weights=_weights(rng, style),
+                recompile_p=rng.uniform(0.15, 0.6),
+                base_problems=rng.uniform(3.0, 7.0),
+                learning_rate=rng.uniform(0.75, 0.95),
+                multi_error_rate=rng.uniform(0.15, 0.35),
+            )
+        )
+    return profiles

@@ -1,0 +1,423 @@
+"""Seed programs: five homework-style MiniML assignments.
+
+The paper's corpus came from five homework assignments in a graduate PL
+course (each 100-200 lines, list-processing and interpreter flavored — the
+Fig. 9 excerpt is from "a small-step interpreter for a simple Logo-like
+language").  These seeds are well-typed programs in the same genres; the
+corpus generator injects student-style errors into them
+(:mod:`repro.corpus.mutations`).
+
+Every seed must type-check — ``tests/corpus/test_seeds.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+HW1_LIST_BASICS = """
+(* Homework 1: warm-up list utilities. *)
+let rec sum lst =
+  match lst with
+    [] -> 0
+  | x :: rest -> x + sum rest
+
+let rec map2 f aList bList =
+  List.map (fun (a, b) -> f a b) (List.combine aList bList)
+
+let rec zip xs ys =
+  match (xs, ys) with
+    ([], _) -> []
+  | (_, []) -> []
+  | (x :: xt, y :: yt) -> (x, y) :: zip xt yt
+
+let add str lst = if List.mem str lst then lst else str :: lst
+
+let rec lookup key pairs =
+  match pairs with
+    [] -> raise Not_found
+  | (k, v) :: rest -> if k = key then v else lookup key rest
+
+let dedup lst = List.fold_left (fun acc x -> add x acc) [] lst
+
+let pairsums aList bList = map2 (fun x y -> x + y) aList bList
+
+let count_if p lst = List.length (List.filter p lst)
+
+let join sep parts = String.concat sep parts
+
+let rec rev_map f lst acc =
+  match lst with
+    [] -> acc
+  | x :: rest -> rev_map f rest (f x :: acc)
+
+let rec intersperse sep lst =
+  match lst with
+    [] -> []
+  | [x] -> [x]
+  | x :: rest -> x :: sep :: intersperse sep rest
+
+let maximum lst =
+  match lst with
+    [] -> raise (Failure "maximum of empty list")
+  | x :: rest -> List.fold_left max x rest
+
+let rec assoc_update key value pairs =
+  match pairs with
+    [] -> [(key, value)]
+  | (k, v) :: rest ->
+      if k = key then (key, value) :: rest
+      else (k, v) :: assoc_update key value rest
+
+let histogram words =
+  List.fold_left
+    (fun counts w ->
+      let n = try lookup w counts with Not_found -> 0 in
+      assoc_update w (n + 1) counts)
+    [] words
+
+let describe counts =
+  join "; " (List.map (fun (w, n) -> w ^ "=" ^ string_of_int n) counts)
+
+let main =
+  let nums = [1; 2; 3; 4] in
+  let names = ["alice"; "bob"; "alice"] in
+  let uniq = dedup names in
+  let total = sum nums in
+  let tagged = zip names nums in
+  let bumped = pairsums nums [10; 20; 30; 40] in
+  let evens = count_if (fun n -> n mod 2 = 0) bumped in
+  print_string (join ", " uniq);
+  print_int (total + evens + List.length tagged);
+  print_newline ()
+"""
+
+HW2_CALCULATOR = """
+(* Homework 2: an arithmetic-expression interpreter. *)
+type expr =
+    Num of int
+  | Var of string
+  | Add of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+  | Let of string * expr * expr
+
+exception UnboundVar of string
+
+let rec lookup env name =
+  match env with
+    [] -> raise (UnboundVar name)
+  | (n, v) :: rest -> if n = name then v else lookup rest name
+
+let rec eval env e =
+  match e with
+    Num n -> n
+  | Var name -> lookup env name
+  | Add (a, b) -> eval env a + eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Neg a -> 0 - eval env a
+  | Let (name, bound, body) ->
+      let v = eval env bound in
+      eval ((name, v) :: env) body
+
+let rec simplify e =
+  match e with
+    Add (Num 0, b) -> simplify b
+  | Add (a, Num 0) -> simplify a
+  | Mul (Num 1, b) -> simplify b
+  | Mul (a, Num 1) -> simplify a
+  | Add (a, b) -> Add (simplify a, simplify b)
+  | Mul (a, b) -> Mul (simplify a, simplify b)
+  | Neg a -> Neg (simplify a)
+  | Let (n, a, b) -> Let (n, simplify a, simplify b)
+  | other -> other
+
+let rec size e =
+  match e with
+    Num _ -> 1
+  | Var _ -> 1
+  | Add (a, b) -> 1 + size a + size b
+  | Mul (a, b) -> 1 + size a + size b
+  | Neg a -> 1 + size a
+  | Let (_, a, b) -> 1 + size a + size b
+
+let rec to_string e =
+  match e with
+    Num n -> string_of_int n
+  | Var name -> name
+  | Add (a, b) -> "(" ^ to_string a ^ " + " ^ to_string b ^ ")"
+  | Mul (a, b) -> "(" ^ to_string a ^ " * " ^ to_string b ^ ")"
+  | Neg a -> "-" ^ to_string a
+  | Let (n, a, b) -> "let " ^ n ^ " = " ^ to_string a ^ " in " ^ to_string b
+
+let rec vars_of e =
+  match e with
+    Num _ -> []
+  | Var name -> [name]
+  | Add (a, b) -> vars_of a @ vars_of b
+  | Mul (a, b) -> vars_of a @ vars_of b
+  | Neg a -> vars_of a
+  | Let (n, a, b) -> vars_of a @ List.filter (fun v -> v <> n) (vars_of b)
+
+let rec depth e =
+  match e with
+    Num _ -> 1
+  | Var _ -> 1
+  | Add (a, b) -> 1 + max (depth a) (depth b)
+  | Mul (a, b) -> 1 + max (depth a) (depth b)
+  | Neg a -> 1 + depth a
+  | Let (_, a, b) -> 1 + max (depth a) (depth b)
+
+let is_closed e = vars_of e = []
+
+let sample = Let ("x", Num 6, Add (Mul (Var "x", Num 7), Num 0))
+
+let safe_eval env e = try eval env e with UnboundVar _ -> 0 | Not_found -> -1
+
+let annotated_size = (size sample : int)
+
+let report e =
+  to_string e ^ " [size " ^ string_of_int (size e) ^ ", depth "
+  ^ string_of_int (depth e) ^ "]"
+
+let main =
+  let simplified = simplify sample in
+  print_int (eval [] simplified);
+  print_string " size=";
+  print_int (size simplified);
+  print_newline ()
+"""
+
+HW3_LOGO_MOVER = """
+(* Homework 3: a small-step interpreter for a Logo-like mover. *)
+type move =
+    Ahead of int
+  | Turn of int
+  | For of int * (move list)
+
+let rec repeat n lst =
+  if n <= 0 then []
+  else lst @ repeat (n - 1) lst
+
+let rec flatten moves =
+  match moves with
+    [] -> []
+  | For (n, body) :: tl -> repeat n (flatten body) @ flatten tl
+  | m :: tl -> m :: flatten tl
+
+let step state m =
+  let (x, y, dir) = state in
+  match m with
+    Ahead n ->
+      if dir mod 4 = 0 then (x + n, y, dir)
+      else if dir mod 4 = 1 then (x, y + n, dir)
+      else if dir mod 4 = 2 then (x - n, y, dir)
+      else (x, y - n, dir)
+  | Turn n -> (x, y, dir + n)
+  | For (_, _) -> (x, y, dir)
+
+let rec run state moves =
+  match moves with
+    [] -> state
+  | m :: rest -> run (step state m) rest
+
+let distance state =
+  let (x, y, _) = state in
+  abs x + abs y
+
+let rec total_turns moves =
+  match moves with
+    [] -> 0
+  | Turn n :: tl -> n + total_turns tl
+  | For (k, body) :: tl -> k * total_turns body + total_turns tl
+  | _ :: tl -> total_turns tl
+
+let rec mirror moves =
+  match moves with
+    [] -> []
+  | Turn n :: tl -> Turn (0 - n) :: mirror tl
+  | For (k, body) :: tl -> For (k, mirror body) :: mirror tl
+  | m :: tl -> m :: mirror tl
+
+let rec optimize moves =
+  match moves with
+    Ahead a :: Ahead b :: tl -> optimize (Ahead (a + b) :: tl)
+  | Turn a :: Turn b :: tl -> optimize (Turn (a + b) :: tl)
+  | For (0, _) :: tl -> optimize tl
+  | For (1, body) :: tl -> optimize (body @ tl)
+  | m :: tl -> m :: optimize tl
+  | [] -> []
+
+let trace states m =
+  match states with
+    [] -> [step (0, 0, 0) m]
+  | s :: _ -> step s m :: states
+
+let path_of moves = List.rev (List.fold_left trace [] (flatten moves))
+
+let program = [Ahead 3; Turn 1; For (2, [Ahead 1; Turn 1]); Ahead 2]
+
+let main =
+  let final = run (0, 0, 0) (flatten program) in
+  print_int (distance final);
+  print_newline ()
+"""
+
+HW4_ACCOUNTS = """
+(* Homework 4: records, refs, and mutable state. *)
+type account = {owner : string; mutable balance : int; mutable ops : int}
+
+let make_account name start = {owner = name; balance = start; ops = 0}
+
+let deposit acct amount =
+  acct.balance <- acct.balance + amount;
+  acct.ops <- acct.ops + 1
+
+let withdraw acct amount =
+  if amount > acct.balance then raise (Failure "insufficient funds")
+  else begin
+    acct.balance <- acct.balance - amount;
+    acct.ops <- acct.ops + 1
+  end
+
+let transfer src dst amount =
+  withdraw src amount;
+  deposit dst amount
+
+let total_ops = ref 0
+
+let audit accounts =
+  List.iter (fun a -> total_ops := !total_ops + a.ops) accounts
+
+let richest accounts =
+  List.fold_left
+    (fun best a -> if a.balance > best.balance then a else best)
+    (List.hd accounts)
+    accounts
+
+let apply_interest rate acct =
+  acct.balance <- acct.balance + acct.balance * rate / 100
+
+let rec find_account name accounts =
+  match accounts with
+    [] -> raise Not_found
+  | a :: rest -> if a.owner = name then a else find_account name rest
+
+let safe_balance name accounts =
+  try (find_account name accounts).balance with Not_found -> 0
+
+let statement acct =
+  acct.owner ^ ": " ^ string_of_int acct.balance ^ " ("
+  ^ string_of_int acct.ops ^ " ops)"
+
+let statements accounts = String.concat "\n" (List.map statement accounts)
+
+let total_assets accounts =
+  List.fold_left (fun sum a -> sum + a.balance) 0 accounts
+
+let main =
+  let alice = make_account "alice" 100 in
+  let bob = make_account "bob" 50 in
+  deposit alice 25;
+  transfer alice bob 40;
+  audit [alice; bob];
+  print_string (richest [alice; bob]).owner;
+  print_int !total_ops;
+  print_newline ()
+"""
+
+HW5_TREES = """
+(* Homework 5: polymorphic trees and higher-order functions. *)
+type 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+
+let rec insert cmp t x =
+  match t with
+    Leaf -> Node (Leaf, x, Leaf)
+  | Node (l, v, r) ->
+      if cmp x v < 0 then Node (insert cmp l x, v, r)
+      else if cmp x v > 0 then Node (l, v, insert cmp r x)
+      else t
+
+let rec tree_map f t =
+  match t with
+    Leaf -> Leaf
+  | Node (l, v, r) -> Node (tree_map f l, f v, tree_map f r)
+
+let rec tree_fold f acc t =
+  match t with
+    Leaf -> acc
+  | Node (l, v, r) -> tree_fold f (f (tree_fold f acc l) v) r
+
+let rec to_list t = tree_fold (fun acc v -> acc @ [v]) [] t
+
+let rec height t =
+  match t with
+    Leaf -> 0
+  | Node (l, _, r) -> 1 + max (height l) (height r)
+
+let of_list cmp lst = List.fold_left (insert cmp) Leaf lst
+
+let rec find opt_default f t =
+  match t with
+    Leaf -> opt_default
+  | Node (l, v, r) ->
+      if f v then Some v
+      else
+        (match find opt_default f l with
+           Some x -> Some x
+         | None -> find opt_default f r)
+
+let rec mirror_tree t =
+  match t with
+    Leaf -> Leaf
+  | Node (l, v, r) -> Node (mirror_tree r, v, mirror_tree l)
+
+let rec tree_filter p t =
+  match t with
+    Leaf -> []
+  | Node (l, v, r) ->
+      let here = if p v then [v] else [] in
+      tree_filter p l @ here @ tree_filter p r
+
+let rec min_elem t =
+  match t with
+    Leaf -> None
+  | Node (Leaf, v, _) -> Some v
+  | Node (l, _, _) -> min_elem l
+
+let rec is_balanced t =
+  match t with
+    Leaf -> true
+  | Node (l, _, r) ->
+      let d = height l - height r in
+      d <= 1 && 0 - 1 <= d && is_balanced l && is_balanced r
+
+let count t = tree_fold (fun acc _ -> acc + 1) 0 t
+
+let main =
+  let t = of_list compare [5; 3; 8; 1; 4] in
+  let doubled = tree_map (fun n -> n * 2) t in
+  let total = tree_fold (fun acc n -> acc + n) 0 doubled in
+  let found = find None (fun n -> n > 6) doubled in
+  let bonus = match found with Some n -> n | None -> 0 in
+  print_int (total + height t + bonus + List.length (to_list t));
+  print_newline ()
+"""
+
+#: Assignment name -> source text, in course order (the paper's Figure 5(b)
+#: buckets results by assignment, "programmer experience increases for
+#: higher-numbered assignments").
+ASSIGNMENTS: Dict[str, str] = {
+    "hw1": HW1_LIST_BASICS,
+    "hw2": HW2_CALCULATOR,
+    "hw3": HW3_LOGO_MOVER,
+    "hw4": HW4_ACCOUNTS,
+    "hw5": HW5_TREES,
+}
+
+
+def assignment_names() -> List[str]:
+    return list(ASSIGNMENTS)
+
+
+def assignment_source(name: str) -> str:
+    return ASSIGNMENTS[name]

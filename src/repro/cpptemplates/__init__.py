@@ -1,0 +1,41 @@
+"""MiniCpp: the C++ template-function prototype of Section 4.
+
+Public surface:
+
+* :func:`parse_cpp` — source to AST,
+* :func:`typecheck_cpp` / :func:`typecheck_cpp_source` — the gcc-style
+  checker with instantiation-time template checking and cascading errors,
+* :func:`explain_cpp` — SEMINAL adapted to C++ (ptr_fun wrapping, hoisting,
+  statement removal, error-set-improvement success criterion).
+"""
+
+from .ast_nodes import (  # noqa: F401
+    Block,
+    CBinop,
+    CCall,
+    CExpr,
+    CIndex,
+    CLit,
+    CMember,
+    CName,
+    CTemplateId,
+    CUnop,
+    DeclStmt,
+    ExprStmt,
+    FunctionDef,
+    IfStmt,
+    Param,
+    ReturnStmt,
+    TranslationUnit,
+)
+from .parser import CppParseError, parse_cpp  # noqa: F401
+from .pretty import pretty_cpp, pretty_cpp_expr, pretty_cpp_function  # noqa: F401
+from .search import (  # noqa: F401
+    CppChange,
+    CppExplainResult,
+    CppSearcher,
+    CppSuggestion,
+    explain_cpp,
+)
+from .typecheck import CppCheckResult, CppError, typecheck_cpp, typecheck_cpp_source  # noqa: F401
+from .types import cpp_type_name, source_type_name  # noqa: F401

@@ -1,0 +1,176 @@
+"""Abstract syntax for MiniCpp (the Section 4 substrate).
+
+The subset covers what the paper's Figure 10 client and the mini-STL
+exercise: function definitions (optionally template), blocks, declarations,
+expression/return/if statements, calls, member access (``.`` and ``->``),
+template-ids (``multiplies<long>``), and the usual literals/operators.
+
+Nodes derive from :class:`repro.tree.Node` so the same generic search
+machinery (paths, replacement) drives the C++ prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.tree import Node
+
+from .types import CppType
+
+
+class CppNode(Node):
+    """Marker base for MiniCpp nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class CExpr(CppNode):
+    """Base class of expressions."""
+
+
+@dataclass(eq=False)
+class CLit(CExpr):
+    """Literal: ``kind`` is int/long/double/bool/string."""
+
+    value: object
+    kind: str
+
+
+@dataclass(eq=False)
+class CName(CExpr):
+    """Variable or function name."""
+
+    name: str
+
+
+@dataclass(eq=False)
+class CTemplateId(CExpr):
+    """Explicit template-id used as a value, e.g. ``multiplies<long>()``
+    parses as CCall(CTemplateId('multiplies', [long]), [])."""
+
+    name: str
+    type_args: List[CppType]
+
+
+@dataclass(eq=False)
+class CCall(CExpr):
+    """Call: function, functor object, or constructor."""
+
+    func: CExpr
+    args: List[CExpr]
+
+
+@dataclass(eq=False)
+class CMember(CExpr):
+    """Member access ``obj.m`` or ``obj->m`` (``arrow`` selects which)."""
+
+    obj: CExpr
+    member: str
+    arrow: bool = False
+
+
+@dataclass(eq=False)
+class CBinop(CExpr):
+    op: str
+    left: CExpr
+    right: CExpr
+
+
+@dataclass(eq=False)
+class CUnop(CExpr):
+    """Prefix unary: ``*`` (deref), ``&`` (address-of), ``-``, ``!``."""
+
+    op: str
+    operand: CExpr
+
+
+@dataclass(eq=False)
+class CIndex(CExpr):
+    obj: CExpr
+    index: CExpr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class CStmt(CppNode):
+    """Base class of statements."""
+
+
+@dataclass(eq=False)
+class Block(CppNode):
+    stmts: List[CStmt] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class DeclStmt(CStmt):
+    """``T name = init;`` (init optional)."""
+
+    decl_type: CppType
+    name: str
+    init: Optional[CExpr] = None
+
+
+@dataclass(eq=False)
+class ExprStmt(CStmt):
+    expr: CExpr
+
+
+@dataclass(eq=False)
+class ReturnStmt(CStmt):
+    value: Optional[CExpr] = None
+
+
+@dataclass(eq=False)
+class IfStmt(CStmt):
+    cond: CExpr
+    then_block: Block
+    else_block: Optional[Block] = None
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Param(CppNode):
+    name: str
+    param_type: CppType
+
+
+@dataclass(eq=False)
+class FunctionDef(CppNode):
+    """A function definition; ``template_params`` non-empty for templates.
+
+    Template bodies are *not* checked at definition time — only at each
+    instantiation, which is exactly the late checking that produces the
+    deep error chains of Section 4.1.
+    """
+
+    name: str
+    ret_type: CppType
+    params: List[Param]
+    body: Block
+    template_params: List[str] = field(default_factory=list)
+
+    @property
+    def is_template(self) -> bool:
+        return bool(self.template_params)
+
+
+@dataclass(eq=False)
+class TranslationUnit(CppNode):
+    functions: List[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> Optional[FunctionDef]:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        return None

@@ -1,0 +1,472 @@
+"""Parser for the MiniCpp subset.
+
+Parses exactly enough C++ for the paper's Section 4 workload: includes and
+``using`` lines (skipped), template and plain function definitions, blocks,
+declarations, and expressions over the mini-STL.  The classic ``<``
+ambiguity is resolved with a registry of known template names (how real
+front ends do it with symbol tables).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Set
+
+from repro.tree import Span
+
+from .ast_nodes import (
+    Block,
+    CBinop,
+    CCall,
+    CExpr,
+    CIndex,
+    CLit,
+    CMember,
+    CName,
+    CTemplateId,
+    CUnop,
+    DeclStmt,
+    ExprStmt,
+    FunctionDef,
+    IfStmt,
+    Param,
+    ReturnStmt,
+    TranslationUnit,
+)
+from .types import (
+    BOOL,
+    DOUBLE,
+    INT,
+    LONG,
+    STRING,
+    VOID,
+    CppType,
+    TClass,
+    TFunc,
+    TParam,
+    TPtr,
+    TRef,
+    TPrim,
+)
+
+#: Names the parser treats as templates when followed by ``<``.
+TEMPLATE_TYPE_NAMES: Set[str] = {
+    "vector",
+    "multiplies",
+    "plus",
+    "minus",
+    "negate",
+    "binder1st",
+    "binder2nd",
+    "unary_compose",
+    "pointer_to_unary_function",
+    "list",
+}
+
+_PRIMS = {"void": VOID, "bool": BOOL, "int": INT, "long": LONG, "double": DOUBLE,
+          "string": STRING}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+  | (?P<num>\d+\.\d+|\d+)
+  | (?P<str>"(?:[^"\\]|\\.)*")
+  | (?P<id>[A-Za-z_][A-Za-z0-9_:]*)
+  | (?P<op>->|::|<<|>>|<=|>=|==|!=|&&|\|\||[-+*/%=<>!&|.,;:(){}\[\]~^?])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class CppParseError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class _Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_Tok({self.kind},{self.text!r})"
+
+
+def _lex(source: str) -> List[_Tok]:
+    tokens: List[_Tok] = []
+    line = 1
+    pos = 0
+    # Strip preprocessor lines first, preserving line numbers.
+    cleaned_lines = []
+    for raw in source.split("\n"):
+        if raw.lstrip().startswith("#"):
+            cleaned_lines.append("")
+        else:
+            cleaned_lines.append(raw)
+    source = "\n".join(cleaned_lines)
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise CppParseError(f"bad character {source[pos]!r}", line)
+        pos = match.end()
+        text = match.group(0)
+        line += text.count("\n")
+        if match.lastgroup == "ws":
+            continue
+        tokens.append(_Tok(match.lastgroup, text, line))
+    tokens.append(_Tok("eof", "", line))
+    return tokens
+
+
+class CppParser:
+    def __init__(self, source: str, template_names: Optional[Sequence[str]] = None):
+        self.tokens = _lex(source)
+        self.index = 0
+        self.template_names = set(template_names or TEMPLATE_TYPE_NAMES)
+        #: Template *function* parameter names in scope (treated as types).
+        self.type_params: Set[str] = set()
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def tok(self) -> _Tok:
+        return self.tokens[self.index]
+
+    def _peek(self, ahead: int = 1) -> _Tok:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def _next(self) -> _Tok:
+        t = self.tok
+        if t.kind != "eof":
+            self.index += 1
+        return t
+
+    def _expect(self, text: str) -> _Tok:
+        if self.tok.text != text:
+            raise CppParseError(f"expected {text!r}, found {self.tok.text!r}", self.tok.line)
+        return self._next()
+
+    def _eat(self, text: str) -> bool:
+        if self.tok.text == text:
+            self._next()
+            return True
+        return False
+
+    def _span(self, line: int) -> Span:
+        return Span(line, 1, line, 1)
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_translation_unit(self) -> TranslationUnit:
+        functions = []
+        while self.tok.kind != "eof":
+            if self.tok.text == "using":
+                while self.tok.text != ";" and self.tok.kind != "eof":
+                    self._next()
+                self._eat(";")
+                continue
+            functions.append(self.parse_function())
+        unit = TranslationUnit(functions)
+        return unit
+
+    def parse_function(self) -> FunctionDef:
+        start_line = self.tok.line
+        template_params: List[str] = []
+        if self.tok.text == "template":
+            self._next()
+            self._expect("<")
+            while True:
+                if self.tok.text not in ("class", "typename"):
+                    raise CppParseError("expected 'class' or 'typename'", self.tok.line)
+                self._next()
+                template_params.append(self._next().text)
+                if not self._eat(","):
+                    break
+            self._expect(">")
+        self.type_params = set(template_params)
+        ret_type = self.parse_type()
+        name = self._next().text
+        self._expect("(")
+        params: List[Param] = []
+        if self.tok.text != ")":
+            while True:
+                params.append(self.parse_param())
+                if not self._eat(","):
+                    break
+        self._expect(")")
+        body = self.parse_block()
+        fn = FunctionDef(name, ret_type, params, body, template_params)
+        fn.span = self._span(start_line)
+        self.type_params = set()
+        return fn
+
+    def parse_param(self) -> Param:
+        line = self.tok.line
+        param_type = self.parse_type()
+        name = ""
+        if self.tok.kind == "id":
+            name = self._next().text
+        # C-style function-pointer parameter: ``R (*name)(args)``.
+        if self.tok.text == "(" and self._peek().text == "*":
+            self._next()
+            self._expect("*")
+            name = self._next().text if self.tok.kind == "id" else ""
+            self._expect(")")
+            self._expect("(")
+            arg_types = []
+            if self.tok.text != ")":
+                while True:
+                    arg_types.append(self.parse_type())
+                    if self.tok.kind == "id":
+                        self._next()  # optional parameter name
+                    if not self._eat(","):
+                        break
+            self._expect(")")
+            param_type = TFunc(param_type, arg_types)
+        param = Param(name, param_type)
+        param.span = self._span(line)
+        return param
+
+    # -- types ----------------------------------------------------------------
+
+    def _is_type_start(self) -> bool:
+        text = self.tok.text
+        if text == "const":
+            return True
+        if text in _PRIMS:
+            return True
+        if text in self.type_params:
+            return True
+        base = text.split("::")[-1]
+        return base in self.template_names
+
+    def parse_type(self) -> CppType:
+        self._eat("const")
+        tok = self._next()
+        name = tok.text.split("::")[-1]
+        base: CppType
+        if name in _PRIMS:
+            # allow ``long int`` / ``unsigned`` style two-word prims minimally
+            if name == "long" and self.tok.text == "int":
+                self._next()
+            base = _PRIMS[name]
+        elif name in self.type_params:
+            base = TParam(name)
+        else:
+            args: List[CppType] = []
+            if self.tok.text == "<":
+                self._next()
+                while True:
+                    args.append(self.parse_type())
+                    if not self._eat(","):
+                        break
+                self._expect(">")
+            base = TClass(name, args)
+        while True:
+            if self._eat("*"):
+                base = TPtr(base)
+            elif self._eat("&"):
+                base = TRef(base)
+            elif self._eat("const"):
+                pass
+            else:
+                break
+        return base
+
+    # -- statements --------------------------------------------------------
+
+    def parse_block(self) -> Block:
+        line = self.tok.line
+        self._expect("{")
+        stmts = []
+        while self.tok.text != "}":
+            if self.tok.kind == "eof":
+                raise CppParseError("unterminated block", line)
+            stmts.append(self.parse_stmt())
+        self._expect("}")
+        block = Block(stmts)
+        block.span = self._span(line)
+        return block
+
+    def parse_stmt(self):
+        line = self.tok.line
+        if self.tok.text == "return":
+            self._next()
+            value = None if self.tok.text == ";" else self.parse_expr()
+            self._expect(";")
+            stmt = ReturnStmt(value)
+        elif self.tok.text == "if":
+            self._next()
+            self._expect("(")
+            cond = self.parse_expr()
+            self._expect(")")
+            then_block = self._stmt_as_block()
+            else_block = self._stmt_as_block() if self._eat("else") else None
+            stmt = IfStmt(cond, then_block, else_block)
+        elif self.tok.text == "for":
+            # Infinite loops appear only in the paper's magicFun; accept the
+            # degenerate ``for (;;);`` form.
+            self._next()
+            self._expect("(")
+            self._expect(";")
+            self._expect(";")
+            self._expect(")")
+            self._expect(";")
+            stmt = ExprStmt(CLit(0, "int"))
+        elif self._is_type_start() and self._peek_decl():
+            decl_type = self.parse_type()
+            name = self._next().text
+            init = None
+            if self._eat("="):
+                init = self.parse_expr()
+            elif self.tok.text == "(":  # constructor-style init
+                self._next()
+                args = []
+                if self.tok.text != ")":
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self._eat(","):
+                            break
+                self._expect(")")
+                init = CCall(CTemplateId("__ctor", []), args)
+            self._expect(";")
+            stmt = DeclStmt(decl_type, name, init)
+        else:
+            expr = self.parse_expr()
+            self._expect(";")
+            stmt = ExprStmt(expr)
+        stmt.span = self._span(line)
+        return stmt
+
+    def _stmt_as_block(self) -> Block:
+        if self.tok.text == "{":
+            return self.parse_block()
+        stmt = self.parse_stmt()
+        block = Block([stmt])
+        block.span = stmt.span
+        return block
+
+    def _peek_decl(self) -> bool:
+        """Disambiguate ``T x ...;`` declarations from expressions."""
+        save = self.index
+        try:
+            self.parse_type()
+            ok = self.tok.kind == "id"
+        except CppParseError:
+            ok = False
+        finally:
+            self.index = save
+        return ok
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> CExpr:
+        return self._parse_binary(0)
+
+    _LEVELS = [
+        ["||"],
+        ["&&"],
+        ["==", "!="],
+        ["<", ">", "<=", ">="],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _parse_binary(self, level: int) -> CExpr:
+        if level >= len(self._LEVELS):
+            return self._parse_unary()
+        line = self.tok.line
+        left = self._parse_binary(level + 1)
+        while self.tok.text in self._LEVELS[level]:
+            op = self._next().text
+            right = self._parse_binary(level + 1)
+            left = CBinop(op, left, right)
+            left.span = self._span(line)
+        return left
+
+    def _parse_unary(self) -> CExpr:
+        tok = self.tok
+        if tok.text in ("*", "&", "-", "!"):
+            self._next()
+            operand = self._parse_unary()
+            node = CUnop(tok.text, operand)
+            node.span = self._span(tok.line)
+            return node
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> CExpr:
+        expr = self._parse_primary()
+        while True:
+            line = self.tok.line
+            if self.tok.text == "(":
+                self._next()
+                args = []
+                if self.tok.text != ")":
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self._eat(","):
+                            break
+                self._expect(")")
+                expr = CCall(expr, args)
+            elif self.tok.text == ".":
+                self._next()
+                member = self._next().text
+                expr = CMember(expr, member, arrow=False)
+            elif self.tok.text == "->":
+                self._next()
+                member = self._next().text
+                expr = CMember(expr, member, arrow=True)
+            elif self.tok.text == "[":
+                self._next()
+                index = self.parse_expr()
+                self._expect("]")
+                expr = CIndex(expr, index)
+            else:
+                return expr
+            expr.span = self._span(line)
+
+    def _parse_primary(self) -> CExpr:
+        tok = self.tok
+        if tok.kind == "num":
+            self._next()
+            if "." in tok.text:
+                node: CExpr = CLit(float(tok.text), "double")
+            else:
+                node = CLit(int(tok.text), "int")
+        elif tok.kind == "str":
+            self._next()
+            node = CLit(tok.text[1:-1], "string")
+        elif tok.text in ("true", "false"):
+            self._next()
+            node = CLit(tok.text == "true", "bool")
+        elif tok.text == "(":
+            self._next()
+            node = self.parse_expr()
+            self._expect(")")
+        elif tok.kind == "id":
+            self._next()
+            base = tok.text.split("::")[-1]
+            if base in self.template_names and self.tok.text == "<":
+                self._next()
+                type_args = []
+                while True:
+                    type_args.append(self.parse_type())
+                    if not self._eat(","):
+                        break
+                self._expect(">")
+                node = CTemplateId(base, type_args)
+            else:
+                node = CName(base)
+        else:
+            raise CppParseError(f"unexpected token {tok.text!r}", tok.line)
+        node.span = self._span(tok.line)
+        return node
+
+
+def parse_cpp(source: str, template_names: Optional[Sequence[str]] = None) -> TranslationUnit:
+    """Parse MiniCpp source into a :class:`TranslationUnit`."""
+    return CppParser(source, template_names).parse_translation_unit()

@@ -1,0 +1,128 @@
+"""Concrete-syntax printer for MiniCpp (suggestions quote source code)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast_nodes import (
+    Block,
+    CBinop,
+    CCall,
+    CExpr,
+    CIndex,
+    CLit,
+    CMember,
+    CName,
+    CTemplateId,
+    CUnop,
+    CStmt,
+    DeclStmt,
+    ExprStmt,
+    FunctionDef,
+    IfStmt,
+    Param,
+    ReturnStmt,
+    TranslationUnit,
+)
+from .types import source_type_name
+
+_BINOP_LEVEL = {
+    "||": 1, "&&": 2, "==": 3, "!=": 3, "<": 4, ">": 4, "<=": 4, ">=": 4,
+    "+": 5, "-": 5, "*": 6, "/": 6, "%": 6,
+}
+
+
+def pretty_cpp_expr(e: CExpr, level: int = 0) -> str:
+    text, own = _expr(e)
+    return f"({text})" if own < level else text
+
+
+def _expr(e: CExpr):
+    if isinstance(e, CLit):
+        if e.kind == "string":
+            return f'"{e.value}"', 10
+        if e.kind == "bool":
+            return ("true" if e.value else "false"), 10
+        return str(e.value), 10
+    if isinstance(e, CName):
+        return e.name, 10
+    if isinstance(e, CTemplateId):
+        args = ", ".join(source_type_name(t) for t in e.type_args)
+        if args.endswith(">"):
+            args += " "
+        return f"{e.name}<{args}>", 10
+    if isinstance(e, CCall):
+        if isinstance(e.func, CTemplateId) and e.func.name == "__ctor":
+            inner = ", ".join(pretty_cpp_expr(a) for a in e.args)
+            return f"({inner})", 10
+        func = pretty_cpp_expr(e.func, 7)
+        args = ", ".join(pretty_cpp_expr(a) for a in e.args)
+        return f"{func}({args})", 8
+    if isinstance(e, CMember):
+        sep = "->" if e.arrow else "."
+        return f"{pretty_cpp_expr(e.obj, 8)}{sep}{e.member}", 8
+    if isinstance(e, CIndex):
+        return f"{pretty_cpp_expr(e.obj, 8)}[{pretty_cpp_expr(e.index)}]", 8
+    if isinstance(e, CBinop):
+        own = _BINOP_LEVEL.get(e.op, 3)
+        left = pretty_cpp_expr(e.left, own)
+        right = pretty_cpp_expr(e.right, own + 1)
+        return f"{left} {e.op} {right}", own
+    if isinstance(e, CUnop):
+        return f"{e.op}{pretty_cpp_expr(e.operand, 7)}", 7
+    raise TypeError(f"unknown expression {type(e).__name__}")
+
+
+def pretty_cpp_stmt(stmt: CStmt, indent: int = 0) -> str:
+    pad = "    " * indent
+    if isinstance(stmt, DeclStmt):
+        init = f" = {pretty_cpp_expr(stmt.init)}" if stmt.init is not None else ""
+        return f"{pad}{source_type_name(stmt.decl_type)} {stmt.name}{init};"
+    if isinstance(stmt, ExprStmt):
+        return f"{pad}{pretty_cpp_expr(stmt.expr)};"
+    if isinstance(stmt, ReturnStmt):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {pretty_cpp_expr(stmt.value)};"
+    if isinstance(stmt, IfStmt):
+        lines = [f"{pad}if ({pretty_cpp_expr(stmt.cond)}) " + "{"]
+        lines.append(pretty_cpp_block_body(stmt.then_block, indent + 1))
+        if stmt.else_block is not None:
+            lines.append(pad + "} else {")
+            lines.append(pretty_cpp_block_body(stmt.else_block, indent + 1))
+        lines.append(pad + "}")
+        return "\n".join(lines)
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def pretty_cpp_block_body(block: Block, indent: int = 1) -> str:
+    return "\n".join(pretty_cpp_stmt(s, indent) for s in block.stmts)
+
+
+def pretty_cpp_function(fn: FunctionDef) -> str:
+    lines: List[str] = []
+    if fn.is_template:
+        params = ", ".join(f"class {p}" for p in fn.template_params)
+        lines.append(f"template <{params}>")
+    params = ", ".join(f"{source_type_name(p.param_type)} {p.name}".rstrip() for p in fn.params)
+    lines.append(f"{source_type_name(fn.ret_type)} {fn.name}({params}) " + "{")
+    lines.append(pretty_cpp_block_body(fn.body))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_cpp(node) -> str:
+    """Dispatch helper."""
+    if isinstance(node, TranslationUnit):
+        return "\n\n".join(pretty_cpp_function(f) for f in node.functions)
+    if isinstance(node, FunctionDef):
+        return pretty_cpp_function(node)
+    if isinstance(node, Block):
+        return pretty_cpp_block_body(node, 0)
+    if isinstance(node, CStmt):
+        return pretty_cpp_stmt(node)
+    if isinstance(node, CExpr):
+        return pretty_cpp_expr(node)
+    if isinstance(node, Param):
+        return f"{source_type_name(node.param_type)} {node.name}"
+    raise TypeError(f"unknown node {type(node).__name__}")

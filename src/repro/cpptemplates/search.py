@@ -1,0 +1,318 @@
+"""SEMINAL for C++ template functions (Section 4.2).
+
+The Caml algorithm largely carries over, with the paper's four adaptations:
+
+* **Scope** — C++ is explicitly typed, so search is confined to the function
+  containing the reported error (identified from the first diagnostic's
+  client line), not the whole program.
+* **No universal wildcard** — there is no expression of every type, so
+  removal means *statement deletion* and *hoisting* (``e0(e1, e2);`` becomes
+  ``e0; e1; e2;``), not a ``raise Foo`` substitute.
+* **Different constructive changes** — STL-specific rewrites, above all
+  wrapping/unwrapping arguments with ``ptr_fun`` (Figure 10's fix), plus
+  ``.``/``->`` swaps and the usual call-argument surgery.
+* **Success = error-set improvement** — C++ cascades diagnostics, so a
+  change succeeds when it "eliminates some errors while introducing no new
+  ones" (Section 4.2), judged on message keys; a built-in notion of triage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.tree import Node, Path, get_at, node_size, replace_at, walk
+
+from .ast_nodes import (
+    Block,
+    CCall,
+    CExpr,
+    CMember,
+    CName,
+    ExprStmt,
+    FunctionDef,
+    CStmt,
+    TranslationUnit,
+)
+from .parser import parse_cpp
+from .pretty import pretty_cpp, pretty_cpp_expr, pretty_cpp_stmt
+from .typecheck import CppCheckResult, typecheck_cpp
+
+
+@dataclass(eq=False)
+class CppChange:
+    """One candidate rewrite of the translation unit."""
+
+    path: Path
+    original: Node
+    replacement: Node
+    rule: str
+    description: str
+
+
+@dataclass(eq=False)
+class CppSuggestion:
+    """A change that eliminated errors without introducing new ones."""
+
+    change: CppChange
+    program: TranslationUnit
+    errors_before: int
+    errors_after: int
+
+    @property
+    def fixes_everything(self) -> bool:
+        return self.errors_after == 0
+
+    def render(self) -> str:
+        original = pretty_cpp(self.change.original)
+        replacement = pretty_cpp(self.change.replacement)
+        message = f"Try replacing `{original}' with `{replacement}'"
+        if self.change.description:
+            message += f" ({self.change.description})"
+        if not self.fixes_everything:
+            remaining = self.errors_after
+            message += f"\n({remaining} other error(s) remain elsewhere)"
+        return message
+
+
+@dataclass
+class CppExplainResult:
+    ok: bool
+    program: TranslationUnit
+    check: CppCheckResult
+    suggestions: List[CppSuggestion] = field(default_factory=list)
+    checker_calls: int = 0
+
+    @property
+    def best(self) -> Optional[CppSuggestion]:
+        return self.suggestions[0] if self.suggestions else None
+
+    def render_best(self) -> str:
+        if self.ok:
+            return "The program compiles."
+        if self.best is None:
+            return self.check.render()
+        return self.best.render()
+
+
+class CppSearcher:
+    """The C++ changer: enumerate rewrites, judge by error-set improvement."""
+
+    def __init__(self, max_checker_calls: int = 2000):
+        self.max_checker_calls = max_checker_calls
+        self.checker_calls = 0
+
+    # ------------------------------------------------------------------
+
+    def explain(self, unit: TranslationUnit) -> CppExplainResult:
+        baseline = self._check(unit)
+        if baseline.ok:
+            return CppExplainResult(True, unit, baseline, checker_calls=self.checker_calls)
+        result = CppExplainResult(False, unit, baseline, checker_calls=0)
+        target = self._function_containing(unit, baseline)
+        if target is None:
+            result.checker_calls = self.checker_calls
+            return result
+        fn_path = self._path_of_function(unit, target)
+        baseline_keys = _key_multiset(baseline)
+        suggestions: List[CppSuggestion] = []
+        for change in self._enumerate(unit, fn_path, target):
+            if self.checker_calls >= self.max_checker_calls:
+                break
+            candidate = replace_at(unit, change.path, change.replacement)
+            after = self._check(candidate)
+            if _improves(baseline_keys, _key_multiset(after)):
+                suggestions.append(
+                    CppSuggestion(
+                        change=change,
+                        program=candidate,
+                        errors_before=len(baseline.errors),
+                        errors_after=len(after.errors),
+                    )
+                )
+        result.suggestions = _rank(suggestions)
+        result.checker_calls = self.checker_calls
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _check(self, unit: TranslationUnit) -> CppCheckResult:
+        self.checker_calls += 1
+        return typecheck_cpp(unit)
+
+    def _function_containing(
+        self, unit: TranslationUnit, check: CppCheckResult
+    ) -> Optional[FunctionDef]:
+        """The non-template function whose lines cover the first error.
+
+        "Simple processing of the error message identifies the location"
+        (Section 4.2, footnote 8).
+        """
+        first = check.errors[0]
+        best: Optional[FunctionDef] = None
+        for fn in unit.functions:
+            if fn.is_template or fn.span is None:
+                continue
+            if fn.span.start_line <= first.client_line:
+                if best is None or fn.span.start_line >= best.span.start_line:
+                    best = fn
+        return best or next((f for f in unit.functions if not f.is_template), None)
+
+    def _path_of_function(self, unit: TranslationUnit, fn: FunctionDef) -> Path:
+        for i, candidate in enumerate(unit.functions):
+            if candidate is fn:
+                return (("functions", i),)
+        raise ValueError("function not in unit")
+
+    # ------------------------------------------------------------------
+    # Change enumeration (the C++ enumerator)
+    # ------------------------------------------------------------------
+
+    def _enumerate(
+        self, unit: TranslationUnit, fn_path: Path, fn: FunctionDef
+    ) -> List[CppChange]:
+        changes: List[CppChange] = []
+        for rel_path, node in walk(fn):
+            path = fn_path + rel_path
+            if isinstance(node, CCall):
+                changes.extend(self._call_changes(path, node))
+            if isinstance(node, CMember):
+                changes.append(
+                    CppChange(
+                        path,
+                        node,
+                        CMember(node.obj, node.member, arrow=not node.arrow),
+                        "dot-arrow-swap",
+                        f"use `{'.' if node.arrow else '->'}' instead of "
+                        f"`{'->' if node.arrow else '.'}'",
+                    )
+                )
+            if isinstance(node, Block):
+                changes.extend(self._block_changes(path, node))
+        return changes
+
+    def _call_changes(self, path: Path, node: CCall) -> List[CppChange]:
+        changes: List[CppChange] = []
+        for i, arg in enumerate(node.args):
+            # ptr_fun(arg): the Figure 10 fix — function pointer to functor.
+            wrapped_args = list(node.args)
+            wrapped_args[i] = CCall(CName("ptr_fun"), [arg])
+            changes.append(
+                CppChange(
+                    path + (("args", i),),
+                    arg,
+                    wrapped_args[i],
+                    "wrap-ptr-fun",
+                    "wrap the function pointer in ptr_fun to obtain a functor",
+                )
+            )
+            # Unwrap ptr_fun(x) -> x: some APIs want the raw pointer.
+            if (
+                isinstance(arg, CCall)
+                and isinstance(arg.func, CName)
+                and arg.func.name == "ptr_fun"
+                and len(arg.args) == 1
+            ):
+                changes.append(
+                    CppChange(
+                        path + (("args", i),),
+                        arg,
+                        arg.args[0],
+                        "unwrap-ptr-fun",
+                        "pass the raw function pointer instead of a ptr_fun functor",
+                    )
+                )
+            # Drop an argument.
+            if len(node.args) >= 2:
+                rest = node.args[:i] + node.args[i + 1 :]
+                changes.append(
+                    CppChange(path, node, CCall(node.func, rest), "drop-arg",
+                              f"remove argument {i + 1}")
+                )
+        # Permute (adjacent swaps keep the count linear).
+        for i in range(len(node.args) - 1):
+            swapped = list(node.args)
+            swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+            changes.append(
+                CppChange(path, node, CCall(node.func, swapped), "permute-args",
+                          f"swap arguments {i + 1} and {i + 2}")
+            )
+        return changes
+
+    def _block_changes(self, path: Path, block: Block) -> List[CppChange]:
+        """Statement removal and call hoisting (the C++ 'wildcard')."""
+        changes: List[CppChange] = []
+        for i, stmt in enumerate(block.stmts):
+            rest = block.stmts[:i] + block.stmts[i + 1 :]
+            changes.append(
+                CppChange(path, block, Block(rest), "remove-stmt",
+                          f"remove the statement `{pretty_cpp_stmt(stmt).strip()}'")
+            )
+            # Hoist: e0(e1, e2); -> e1; e2;   (drops e0's constraints while
+            # keeping the argument expressions checkable on their own).
+            if isinstance(stmt, ExprStmt) and isinstance(stmt.expr, CCall):
+                hoisted: List[CStmt] = [ExprStmt(arg) for arg in stmt.expr.args]
+                changes.append(
+                    CppChange(
+                        path,
+                        block,
+                        Block(block.stmts[:i] + hoisted + block.stmts[i + 1 :]),
+                        "hoist-call",
+                        "check the call's arguments as separate statements",
+                    )
+                )
+        return changes
+
+
+def _key_multiset(check: CppCheckResult) -> Dict[str, int]:
+    keys: Dict[str, int] = {}
+    for key in check.error_keys:
+        keys[key] = keys.get(key, 0) + 1
+    return keys
+
+
+def _improves(before: Dict[str, int], after: Dict[str, int]) -> bool:
+    """Eliminates some errors while introducing no new ones (Section 4.2)."""
+    if sum(after.values()) >= sum(before.values()):
+        return False
+    for key, count in after.items():
+        if count > before.get(key, 0):
+            return False
+    return True
+
+
+_RULE_ORDER = {
+    "wrap-ptr-fun": 0,
+    "unwrap-ptr-fun": 0,
+    "dot-arrow-swap": 1,
+    "permute-args": 1,
+    "drop-arg": 2,
+    "hoist-call": 3,
+    "remove-stmt": 4,
+}
+
+
+def _rank(suggestions: List[CppSuggestion]) -> List[CppSuggestion]:
+    """Complete fixes first, then constructive over destructive, then small."""
+    return sorted(
+        suggestions,
+        key=lambda s: (
+            0 if s.fixes_everything else 1,
+            s.errors_after,
+            _RULE_ORDER.get(s.change.rule, 2),
+            node_size(s.change.original),
+        ),
+    )
+
+
+def explain_cpp(
+    source: Union[str, TranslationUnit], max_checker_calls: int = 2000
+) -> CppExplainResult:
+    """One call from C++ source text to ranked template-error suggestions.
+
+    >>> result = explain_cpp('void f() { int x = 1; }')
+    >>> result.ok
+    True
+    """
+    unit = parse_cpp(source) if isinstance(source, str) else source
+    return CppSearcher(max_checker_calls).explain(unit)

@@ -1,0 +1,231 @@
+"""The mini-STL: the template library the Section 4 case study exercises.
+
+Models the slice of libstdc++ (and the ``__gnu_cxx`` extension) that the
+paper's Figure 10 client uses: ``vector``, ``transform``, the functor
+classes (``multiplies``, ``binder1st``, ``unary_compose``,
+``pointer_to_unary_function``), and their adaptor functions (``bind1st``,
+``compose1``, ``ptr_fun``).
+
+Class templates carry *instantiation constraints* whose violations produce
+gcc's deep header-located errors — e.g. ``unary_compose`` requires both
+arguments to be class types, and instantiating it with a function-pointer
+type yields exactly the "is not a class, struct, or union type" chain of
+Figure 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .types import (
+    BOOL,
+    CppType,
+    DOUBLE,
+    INT,
+    LONG,
+    VOID,
+    TClass,
+    TFunc,
+    TPtr,
+    cpp_type_name,
+    is_class_type,
+)
+
+#: Pseudo header paths used in error messages, echoing Figure 11.
+FUNCTIONAL_EXT_HEADER = "/usr/include/c++/ext/functional"
+FUNCTIONAL_HEADER = "/usr/include/c++/bits/stl_function.h"
+ALGO_HEADER = "/usr/include/c++/bits/stl_algo.h"
+VECTOR_HEADER = "/usr/include/c++/bits/stl_vector.h"
+
+
+@dataclass
+class FunctorSignature:
+    """The operator() of a functor instance."""
+
+    params: List[CppType]
+    ret: CppType
+
+
+@dataclass
+class ClassTemplateInfo:
+    """One mini-STL class template."""
+
+    name: str
+    n_params: int
+    header: str
+    #: Instantiation-constraint checker: returns gcc-style messages.
+    validate: Callable[[Sequence[CppType]], List[str]]
+    #: operator() signature for an instance, or None (not callable /
+    #: broken instance).
+    call_signature: Callable[[Sequence[CppType]], Optional[FunctorSignature]]
+
+
+def _no_validation(args: Sequence[CppType]) -> List[str]:
+    return []
+
+
+def _binary_functor(args: Sequence[CppType]) -> Optional[FunctorSignature]:
+    t = args[0]
+    return FunctorSignature([t, t], t)
+
+
+def _unary_functor_same(args: Sequence[CppType]) -> Optional[FunctorSignature]:
+    t = args[0]
+    return FunctorSignature([t], t)
+
+
+def _functor_call(t: CppType) -> Optional[FunctorSignature]:
+    """operator() of an arbitrary functor type, if it has one."""
+    if isinstance(t, TClass):
+        info = CLASS_TEMPLATES.get(t.name)
+        if info is not None:
+            return info.call_signature(t.args)
+    if isinstance(t, TFunc):
+        return FunctorSignature(list(t.params), t.ret)
+    return None
+
+
+# -- binder1st ---------------------------------------------------------------
+
+
+def _binder1st_validate(args: Sequence[CppType]) -> List[str]:
+    op = args[0]
+    if not is_class_type(op):
+        return [
+            f"{FUNCTIONAL_HEADER}: error: `{cpp_type_name(op)}' is not a class, "
+            "struct, or union type"
+        ]
+    sig = _functor_call(op)
+    if sig is None or len(sig.params) != 2:
+        return [
+            f"{FUNCTIONAL_HEADER}: error: no binary `operator()' in "
+            f"`{cpp_type_name(op)}' for binder1st"
+        ]
+    return []
+
+
+def _binder1st_call(args: Sequence[CppType]) -> Optional[FunctorSignature]:
+    sig = _functor_call(args[0])
+    if sig is None or len(sig.params) != 2:
+        return None
+    return FunctorSignature([sig.params[1]], sig.ret)
+
+
+def _binder2nd_call(args: Sequence[CppType]) -> Optional[FunctorSignature]:
+    sig = _functor_call(args[0])
+    if sig is None or len(sig.params) != 2:
+        return None
+    return FunctorSignature([sig.params[0]], sig.ret)
+
+
+# -- unary_compose -----------------------------------------------------------
+
+
+def _unary_compose_validate(args: Sequence[CppType]) -> List[str]:
+    """The Figure 11 constraint: both operations must be class types."""
+    errors: List[str] = []
+    for index, op in enumerate(args):
+        if not is_class_type(op):
+            name = cpp_type_name(op)
+            errors.append(
+                f"{FUNCTIONAL_EXT_HEADER}:128: error: `{name}' is not a class, "
+                "struct, or union type"
+            )
+            errors.append(
+                f"{FUNCTIONAL_EXT_HEADER}:136: error: `{name}' is not a class, "
+                "struct, or union type"
+            )
+            field_name = "_M_fn1" if index == 0 else "_M_fn2"
+            errors.append(
+                f"{FUNCTIONAL_EXT_HEADER}:131: error: field "
+                f"`__gnu_cxx::unary_compose<{cpp_type_name(args[0])}, "
+                f"{cpp_type_name(args[1])}>::{field_name}' invalidly declared "
+                "function type"
+            )
+    return errors
+
+
+def _unary_compose_call(args: Sequence[CppType]) -> Optional[FunctorSignature]:
+    if any(not is_class_type(a) for a in args):
+        return None  # broken instance: no usable operator()
+    outer = _functor_call(args[0])
+    inner = _functor_call(args[1])
+    if outer is None or inner is None:
+        return None
+    if len(outer.params) != 1 or len(inner.params) != 1:
+        return None
+    return FunctorSignature([inner.params[0]], outer.ret)
+
+
+# -- pointer_to_unary_function -------------------------------------------------
+
+
+def _ptr_fun_call(args: Sequence[CppType]) -> Optional[FunctorSignature]:
+    arg_type, ret_type = args[0], args[1]
+    return FunctorSignature([arg_type], ret_type)
+
+
+CLASS_TEMPLATES: Dict[str, ClassTemplateInfo] = {
+    "multiplies": ClassTemplateInfo(
+        "multiplies", 1, FUNCTIONAL_HEADER, _no_validation, _binary_functor
+    ),
+    "plus": ClassTemplateInfo(
+        "plus", 1, FUNCTIONAL_HEADER, _no_validation, _binary_functor
+    ),
+    "minus": ClassTemplateInfo(
+        "minus", 1, FUNCTIONAL_HEADER, _no_validation, _binary_functor
+    ),
+    "negate": ClassTemplateInfo(
+        "negate", 1, FUNCTIONAL_HEADER, _no_validation, _unary_functor_same
+    ),
+    "binder1st": ClassTemplateInfo(
+        "binder1st", 1, FUNCTIONAL_HEADER, _binder1st_validate, _binder1st_call
+    ),
+    "binder2nd": ClassTemplateInfo(
+        "binder2nd", 1, FUNCTIONAL_HEADER, _binder1st_validate, _binder2nd_call
+    ),
+    "unary_compose": ClassTemplateInfo(
+        "unary_compose", 2, FUNCTIONAL_EXT_HEADER, _unary_compose_validate,
+        _unary_compose_call,
+    ),
+    "pointer_to_unary_function": ClassTemplateInfo(
+        "pointer_to_unary_function", 2, FUNCTIONAL_HEADER, _no_validation, _ptr_fun_call
+    ),
+    "vector": ClassTemplateInfo(
+        "vector", 1, VECTOR_HEADER, _no_validation, lambda args: None
+    ),
+}
+
+
+def functor_call_signature(t: CppType) -> Optional[FunctorSignature]:
+    """Public resolver used by the checker for ``obj(args)`` calls."""
+    return _functor_call(t)
+
+
+def validate_instance(t: CppType) -> List[str]:
+    """Instantiation-constraint errors for a class-template instance."""
+    if isinstance(t, TClass):
+        info = CLASS_TEMPLATES.get(t.name)
+        if info is not None and len(t.args) == info.n_params:
+            return info.validate(t.args)
+    return []
+
+
+#: Members of vector<T>; (params, result) with T filled in by the checker.
+VECTOR_MEMBERS: Dict[str, Callable[[CppType], Tuple[List[CppType], CppType]]] = {
+    "begin": lambda t: ([], TPtr(t)),
+    "end": lambda t: ([], TPtr(t)),
+    "size": lambda t: ([], INT),
+    "push_back": lambda t: ([t], VOID),
+    "front": lambda t: ([], t),
+    "back": lambda t: ([], t),
+}
+
+#: Plain builtin functions.
+BUILTIN_FUNCTIONS: Dict[str, TFunc] = {
+    "labs": TFunc(LONG, [LONG]),
+    "abs": TFunc(INT, [INT]),
+    "fabs": TFunc(DOUBLE, [DOUBLE]),
+    "sqrt": TFunc(DOUBLE, [DOUBLE]),
+}

@@ -1,0 +1,711 @@
+"""The MiniCpp type-checker: monomorphic checking + instantiation-time
+template checking with gcc-style cascading error chains.
+
+Two properties reproduce Section 4.1's pathology:
+
+* template bodies (user templates *and* the mini-STL's adaptors) are checked
+  only when instantiated, so a client mistake surfaces as errors located in
+  library headers "several layers deep in template calls", each carrying an
+  ``instantiated from here`` note pointing back at the client line;
+* checking continues after an error (gcc's cascading behaviour), so one bad
+  argument produces the multi-error chains of Figure 11 — which is why the
+  C++ searcher judges success as "eliminates some errors while introducing
+  no new ones" rather than as a boolean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .ast_nodes import (
+    Block,
+    CBinop,
+    CCall,
+    CExpr,
+    CIndex,
+    CLit,
+    CMember,
+    CName,
+    CTemplateId,
+    CUnop,
+    DeclStmt,
+    ExprStmt,
+    FunctionDef,
+    IfStmt,
+    Param,
+    ReturnStmt,
+    TranslationUnit,
+)
+from .stl import (
+    ALGO_HEADER,
+    BUILTIN_FUNCTIONS,
+    CLASS_TEMPLATES,
+    FUNCTIONAL_EXT_HEADER,
+    FUNCTIONAL_HEADER,
+    VECTOR_MEMBERS,
+    functor_call_signature,
+    validate_instance,
+)
+from .types import (
+    BOOL,
+    CppType,
+    DOUBLE,
+    DeductionError,
+    INT,
+    LONG,
+    STRING,
+    TClass,
+    TFunc,
+    TParam,
+    TPtr,
+    TRef,
+    TPrim,
+    VOID,
+    cpp_type_name,
+    deduce,
+    strip_ref,
+    substitute,
+)
+
+#: Sentinel type carried by expressions that already failed; operations on
+#: it are silently accepted to avoid drowning the user in derived noise
+#: (gcc suppresses similarly).
+ERROR_TYPE = TPrim("<error>")
+
+_LIT_TYPES = {"int": INT, "long": LONG, "double": DOUBLE, "bool": BOOL, "string": STRING}
+
+_MAX_ERRORS = 40
+_MAX_INSTANTIATION_DEPTH = 16
+
+
+@dataclass(eq=False)
+class CppError:
+    """One gcc-style diagnostic."""
+
+    client_line: int
+    message: str
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        """Stable identity for the searcher's error-set comparison."""
+        return self.message
+
+    def render(self, filename: str = "client.cpp") -> str:
+        lines = []
+        for note in self.notes:
+            lines.append(note)
+        lines.append(self.message)
+        lines.append(f"{filename}:{self.client_line}:   instantiated from here"
+                     if self.notes else f"{filename}:{self.client_line}: {self.message}")
+        # Keep the gcc flavour: header-located message plus client locus.
+        if self.notes:
+            return "\n".join(self.notes + [self.message,
+                                           f"{filename}:{self.client_line}:   instantiated from here"])
+        return f"{filename}:{self.client_line}: {self.message}"
+
+
+@dataclass
+class CppCheckResult:
+    errors: List[CppError] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def error_keys(self) -> List[str]:
+        return [e.key for e in self.errors]
+
+    def render(self, filename: str = "client.cpp") -> str:
+        if self.ok:
+            return "(no errors)"
+        return "\n".join(e.render(filename) for e in self.errors)
+
+
+def _widens_to(src: CppType, dst: CppType) -> bool:
+    order = {"bool": 0, "int": 1, "long": 2, "double": 3}
+    if isinstance(src, TPrim) and isinstance(dst, TPrim):
+        if src.name in order and dst.name in order:
+            return order[src.name] <= order[dst.name]
+    return False
+
+
+def assignable(src: CppType, dst: CppType) -> bool:
+    src = strip_ref(src)
+    dst = strip_ref(dst)
+    if src is ERROR_TYPE or dst is ERROR_TYPE:
+        return True
+    return src == dst or _widens_to(src, dst)
+
+
+class CppChecker:
+    """One checking pass over a translation unit."""
+
+    def __init__(self, unit: TranslationUnit):
+        self.unit = unit
+        self.errors: List[CppError] = []
+        self.user_functions: Dict[str, FunctionDef] = {f.name: f for f in unit.functions}
+        self._instantiation_stack: List[Tuple[str, str]] = []
+        self._client_line = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def check(self) -> CppCheckResult:
+        for fn in self.unit.functions:
+            if fn.is_template:
+                continue  # checked per instantiation only
+            self._check_function_body(fn, bindings={})
+        return CppCheckResult(self.errors)
+
+    # ------------------------------------------------------------------
+    # Error plumbing
+    # ------------------------------------------------------------------
+
+    def _line_of(self, node) -> int:
+        if node is not None and node.span is not None:
+            return node.span.start_line
+        return self._client_line
+
+    def _error(self, node, message: str, notes: Optional[List[str]] = None) -> None:
+        if len(self.errors) >= _MAX_ERRORS:
+            return
+        line = self._client_line or self._line_of(node)
+        if not self._instantiation_stack:
+            line = self._line_of(node)
+        self.errors.append(CppError(client_line=line, message=message, notes=notes or []))
+
+    def _instantiation_notes(self, header: str, description: str) -> List[str]:
+        return [f"{header}: In instantiation of `{description}':"]
+
+    # ------------------------------------------------------------------
+    # Functions and statements
+    # ------------------------------------------------------------------
+
+    def _check_function_body(self, fn: FunctionDef, bindings: Dict[str, CppType]) -> None:
+        scope: Dict[str, CppType] = {}
+        for param in fn.params:
+            scope[param.name] = substitute(param.param_type, bindings)
+        ret = substitute(fn.ret_type, bindings)
+        self._check_block(fn.body, [scope], ret, bindings)
+
+    def _check_block(
+        self,
+        block: Block,
+        scopes: List[Dict[str, CppType]],
+        ret: CppType,
+        bindings: Dict[str, CppType],
+    ) -> None:
+        scopes = scopes + [{}]
+        for stmt in block.stmts:
+            if isinstance(stmt, DeclStmt):
+                declared = substitute(stmt.decl_type, bindings)
+                self._validate_type(stmt, declared)
+                if stmt.init is not None:
+                    init_t = self.type_of(stmt.init, scopes, bindings)
+                    if not assignable(init_t, declared) and not _is_ctor_call(stmt.init):
+                        self._error(
+                            stmt,
+                            f"error: cannot convert `{cpp_type_name(init_t)}' to "
+                            f"`{cpp_type_name(declared)}' in initialization",
+                        )
+                scopes[-1][stmt.name] = declared
+            elif isinstance(stmt, ExprStmt):
+                self.type_of(stmt.expr, scopes, bindings)
+            elif isinstance(stmt, ReturnStmt):
+                if stmt.value is None:
+                    if strip_ref(ret) != VOID:
+                        self._error(stmt, "error: return-statement with no value")
+                else:
+                    value_t = self.type_of(stmt.value, scopes, bindings)
+                    if strip_ref(ret) == VOID:
+                        self._error(stmt, "error: return-statement with a value, "
+                                          "in function returning 'void'")
+                    elif not assignable(value_t, ret):
+                        self._error(
+                            stmt,
+                            f"error: cannot convert `{cpp_type_name(value_t)}' to "
+                            f"`{cpp_type_name(ret)}' in return",
+                        )
+            elif isinstance(stmt, IfStmt):
+                cond_t = self.type_of(stmt.cond, scopes, bindings)
+                if not assignable(cond_t, BOOL) and not _widens_to(BOOL, strip_ref(cond_t)):
+                    # ints are fine as conditions in C++
+                    if not isinstance(strip_ref(cond_t), TPrim):
+                        self._error(stmt, f"error: could not convert "
+                                          f"`{cpp_type_name(cond_t)}' to `bool'")
+                self._check_block(stmt.then_block, scopes, ret, bindings)
+                if stmt.else_block is not None:
+                    self._check_block(stmt.else_block, scopes, ret, bindings)
+            else:  # pragma: no cover - parser emits nothing else
+                raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+    def _validate_type(self, node, t: CppType) -> None:
+        for message in validate_instance(strip_ref(t)):
+            self._error(node, message)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def type_of(
+        self, e: CExpr, scopes: List[Dict[str, CppType]], bindings: Dict[str, CppType]
+    ) -> CppType:
+        if isinstance(e, CLit):
+            return _LIT_TYPES[e.kind]
+        if isinstance(e, CName):
+            return self._name_type(e, scopes)
+        if isinstance(e, CTemplateId):
+            # Bare template-id (functor class used as a value before call).
+            return TClass(e.name, [substitute(a, bindings) for a in e.type_args])
+        if isinstance(e, CCall):
+            return self._call_type(e, scopes, bindings)
+        if isinstance(e, CMember):
+            return self._member_type(e, scopes, bindings)
+        if isinstance(e, CBinop):
+            return self._binop_type(e, scopes, bindings)
+        if isinstance(e, CUnop):
+            return self._unop_type(e, scopes, bindings)
+        if isinstance(e, CIndex):
+            obj_t = strip_ref(self.type_of(e.obj, scopes, bindings))
+            self.type_of(e.index, scopes, bindings)
+            if isinstance(obj_t, TClass) and obj_t.name == "vector":
+                return obj_t.args[0]
+            if isinstance(obj_t, TPtr):
+                return obj_t.inner
+            if obj_t is not ERROR_TYPE:
+                self._error(e, f"error: no match for 'operator[]' on "
+                               f"`{cpp_type_name(obj_t)}'")
+            return ERROR_TYPE
+        raise TypeError(f"unknown expression {type(e).__name__}")
+
+    def _name_type(self, e: CName, scopes: List[Dict[str, CppType]]) -> CppType:
+        for scope in reversed(scopes):
+            if e.name in scope:
+                return scope[e.name]
+        if e.name in BUILTIN_FUNCTIONS:
+            return BUILTIN_FUNCTIONS[e.name]
+        fn = self.user_functions.get(e.name)
+        if fn is not None and not fn.is_template:
+            return TFunc(fn.ret_type, [p.param_type for p in fn.params])
+        self._error(e, f"error: `{e.name}' undeclared (first use this function)")
+        return ERROR_TYPE
+
+    def _member_type(
+        self, e: CMember, scopes: List[Dict[str, CppType]], bindings: Dict[str, CppType]
+    ) -> CppType:
+        obj_t = strip_ref(self.type_of(e.obj, scopes, bindings))
+        if obj_t is ERROR_TYPE:
+            return ERROR_TYPE
+        is_pointer = isinstance(obj_t, TPtr)
+        if e.arrow and not is_pointer:
+            self._error(
+                e,
+                f"error: base operand of `->' has non-pointer type "
+                f"`{cpp_type_name(obj_t)}' (maybe you meant to use `.'?)",
+            )
+            return ERROR_TYPE
+        if not e.arrow and is_pointer:
+            self._error(
+                e,
+                f"error: request for member `{e.member}' in a pointer type "
+                f"`{cpp_type_name(obj_t)}' (maybe you meant to use `->'?)",
+            )
+            return ERROR_TYPE
+        target = obj_t.inner if is_pointer else obj_t
+        if isinstance(target, TClass) and target.name == "vector":
+            member = VECTOR_MEMBERS.get(e.member)
+            if member is None:
+                self._error(e, f"error: `{e.member}' is not a member of "
+                               f"`{cpp_type_name(target)}'")
+                return ERROR_TYPE
+            params, result = member(target.args[0])
+            return TFunc(result, params)
+        self._error(e, f"error: `{e.member}' is not a member of "
+                       f"`{cpp_type_name(target)}'")
+        return ERROR_TYPE
+
+    def _binop_type(
+        self, e: CBinop, scopes: List[Dict[str, CppType]], bindings: Dict[str, CppType]
+    ) -> CppType:
+        left = strip_ref(self.type_of(e.left, scopes, bindings))
+        right = strip_ref(self.type_of(e.right, scopes, bindings))
+        if left is ERROR_TYPE or right is ERROR_TYPE:
+            return ERROR_TYPE
+        if e.op in ("==", "!=", "<", ">", "<=", ">="):
+            if assignable(left, right) or assignable(right, left):
+                return BOOL
+        elif e.op in ("&&", "||"):
+            return BOOL
+        else:
+            if assignable(left, right):
+                return right
+            if assignable(right, left):
+                return left
+        self._error(
+            e,
+            f"error: no match for 'operator{e.op}' in "
+            f"`{cpp_type_name(left)} {e.op} {cpp_type_name(right)}'",
+        )
+        return ERROR_TYPE
+
+    def _unop_type(
+        self, e: CUnop, scopes: List[Dict[str, CppType]], bindings: Dict[str, CppType]
+    ) -> CppType:
+        t = strip_ref(self.type_of(e.operand, scopes, bindings))
+        if t is ERROR_TYPE:
+            return ERROR_TYPE
+        if e.op == "*":
+            if isinstance(t, TPtr):
+                return t.inner
+            self._error(e, f"error: invalid type argument of `unary *' "
+                           f"(have `{cpp_type_name(t)}')")
+            return ERROR_TYPE
+        if e.op == "&":
+            return TPtr(t)
+        if e.op == "!":
+            return BOOL
+        return t  # unary minus
+
+    # ------------------------------------------------------------------
+    # Calls (the heart of Section 4)
+    # ------------------------------------------------------------------
+
+    def _call_type(
+        self, e: CCall, scopes: List[Dict[str, CppType]], bindings: Dict[str, CppType]
+    ) -> CppType:
+        arg_types = [strip_ref(self.type_of(a, scopes, bindings)) for a in e.args]
+        # Constructor of an explicit template-id: multiplies<long>().
+        if isinstance(e.func, CTemplateId):
+            instance = TClass(
+                e.func.name, [substitute(a, bindings) for a in e.func.type_args]
+            )
+            self._validate_type(e, instance)
+            return instance
+        # Named callee: builtin templates, user functions/templates, values.
+        if isinstance(e.func, CName):
+            name = e.func.name
+            handler = _BUILTIN_TEMPLATES.get(name)
+            if handler is not None:
+                return handler(self, e, arg_types)
+            fn = self.user_functions.get(name)
+            if fn is not None:
+                return self._user_call(e, fn, arg_types)
+            if name in BUILTIN_FUNCTIONS:
+                return self._plain_call(e, name, BUILTIN_FUNCTIONS[name], arg_types)
+        callee_t = strip_ref(self.type_of(e.func, scopes, bindings))
+        if callee_t is ERROR_TYPE:
+            return ERROR_TYPE
+        signature = functor_call_signature(callee_t)
+        if signature is None:
+            self._error(
+                e,
+                f"error: no match for call to `({cpp_type_name(callee_t)}) "
+                f"({', '.join(cpp_type_name(t) for t in arg_types)}{'&' if arg_types else ''})'",
+            )
+            return ERROR_TYPE
+        return self._apply_signature(e, cpp_type_name(callee_t), signature.params,
+                                     signature.ret, arg_types)
+
+    def _plain_call(self, e: CCall, name: str, fn_type: TFunc, arg_types) -> CppType:
+        return self._apply_signature(e, name, fn_type.params, fn_type.ret, arg_types)
+
+    def _apply_signature(self, e, name: str, params, ret, arg_types) -> CppType:
+        if len(params) != len(arg_types):
+            self._error(
+                e,
+                f"error: wrong number of arguments to `{name}' "
+                f"(expected {len(params)}, got {len(arg_types)})",
+            )
+            return ERROR_TYPE
+        for param, arg in zip(params, arg_types):
+            if not assignable(arg, param):
+                self._error(
+                    e,
+                    f"error: cannot convert `{cpp_type_name(arg)}' to "
+                    f"`{cpp_type_name(param)}' in call to `{name}'",
+                )
+        return ret
+
+    def _user_call(self, e: CCall, fn: FunctionDef, arg_types) -> CppType:
+        if not fn.is_template:
+            return self._plain_call(
+                e, fn.name, TFunc(fn.ret_type, [p.param_type for p in fn.params]), arg_types
+            )
+        # Template-function call: deduce, then instantiate and check body.
+        if len(fn.params) != len(arg_types):
+            self._error(
+                e,
+                f"error: wrong number of arguments to template function `{fn.name}'",
+            )
+            return ERROR_TYPE
+        bindings: Dict[str, CppType] = {}
+        try:
+            for param, arg in zip(fn.params, arg_types):
+                deduce(param.param_type, arg, bindings)
+            for tp in fn.template_params:
+                if tp not in bindings:
+                    raise DeductionError(f"cannot deduce template parameter {tp}")
+        except DeductionError as err:
+            self._error(e, f"error: no matching function for call to `{fn.name}' ({err})")
+            return ERROR_TYPE
+        description = (
+            fn.name + "<" + ", ".join(cpp_type_name(bindings[p]) for p in fn.template_params) + ">"
+        )
+        if len(self._instantiation_stack) >= _MAX_INSTANTIATION_DEPTH:
+            return substitute(fn.ret_type, bindings)
+        prior_errors = len(self.errors)
+        self._instantiation_stack.append((fn.name, description))
+        saved_line = self._client_line
+        if not saved_line:
+            self._client_line = self._line_of(e)
+        try:
+            self._check_function_body(fn, bindings)
+        finally:
+            self._instantiation_stack.pop()
+            self._client_line = saved_line
+        # Annotate any errors raised inside the instantiation with the chain.
+        for error in self.errors[prior_errors:]:
+            error.notes = [
+                f"client.cpp: In instantiation of `{description}':"
+            ] + error.notes
+        return substitute(fn.ret_type, bindings)
+
+
+def _is_ctor_call(e: CExpr) -> bool:
+    return isinstance(e, CCall) and isinstance(e.func, CTemplateId) and e.func.name == "__ctor"
+
+
+# ---------------------------------------------------------------------------
+# Builtin template functions (the mini-STL's adaptors and algorithms)
+# ---------------------------------------------------------------------------
+
+
+def _bt_transform(checker: CppChecker, e: CCall, arg_types) -> CppType:
+    if len(arg_types) != 4:
+        checker._error(e, "error: no matching function for call to `transform' "
+                          f"(takes 4 arguments, got {len(arg_types)})")
+        return ERROR_TYPE
+    first, last, out, op = arg_types
+    if any(t is ERROR_TYPE for t in arg_types):
+        return ERROR_TYPE
+    for name, t in (("first", first), ("last", last), ("result", out)):
+        if not isinstance(t, TPtr):
+            checker._error(
+                e,
+                f"error: no matching function for call to `transform' "
+                f"(`{cpp_type_name(t)}' is not an iterator)",
+            )
+            return ERROR_TYPE
+    elem = first.inner
+    signature = functor_call_signature(op)
+    description = (
+        "_OutputIterator std::transform(_InputIterator, _InputIterator, "
+        f"_OutputIterator, _UnaryOperation) [with _UnaryOperation = {cpp_type_name(op)}]"
+    )
+    if signature is None or len(signature.params) != 1:
+        checker._error(
+            e,
+            f"{ALGO_HEADER}:789: error: no match for call to "
+            f"`({cpp_type_name(op)}) ({cpp_type_name(elem)}&)'",
+            notes=[f"{ALGO_HEADER}: In function `{description}':"],
+        )
+        return out
+    if not assignable(elem, signature.params[0]):
+        checker._error(
+            e,
+            f"{ALGO_HEADER}:789: error: cannot convert `{cpp_type_name(elem)}' to "
+            f"`{cpp_type_name(signature.params[0])}' in call to "
+            f"`({cpp_type_name(op)})'",
+            notes=[f"{ALGO_HEADER}: In function `{description}':"],
+        )
+        return out
+    if not assignable(signature.ret, out.inner):
+        checker._error(
+            e,
+            f"{ALGO_HEADER}:790: error: cannot convert `{cpp_type_name(signature.ret)}'"
+            f" to `{cpp_type_name(out.inner)}' in assignment",
+            notes=[f"{ALGO_HEADER}: In function `{description}':"],
+        )
+    return out
+
+
+def _bt_for_each(checker: CppChecker, e: CCall, arg_types) -> CppType:
+    if len(arg_types) != 3:
+        checker._error(e, "error: no matching function for call to `for_each'")
+        return ERROR_TYPE
+    first, last, op = arg_types
+    if any(t is ERROR_TYPE for t in arg_types):
+        return ERROR_TYPE
+    if not isinstance(first, TPtr):
+        checker._error(e, "error: no matching function for call to `for_each' "
+                          f"(`{cpp_type_name(first)}' is not an iterator)")
+        return ERROR_TYPE
+    elem = first.inner
+    signature = functor_call_signature(op)
+    if signature is None or len(signature.params) != 1 or not assignable(elem, signature.params[0]):
+        checker._error(
+            e,
+            f"{ALGO_HEADER}:158: error: no match for call to "
+            f"`({cpp_type_name(op)}) ({cpp_type_name(elem)}&)'",
+            notes=[f"{ALGO_HEADER}: In function `std::for_each':"],
+        )
+    return op
+
+
+def _bt_compose1(checker: CppChecker, e: CCall, arg_types) -> CppType:
+    if len(arg_types) != 2:
+        checker._error(e, "error: no matching function for call to `compose1'")
+        return ERROR_TYPE
+    op1, op2 = arg_types
+    if op1 is ERROR_TYPE or op2 is ERROR_TYPE:
+        return ERROR_TYPE
+    instance = TClass("unary_compose", [op1, op2])
+    # compose1's body instantiates unary_compose<Op1, Op2>; constraint
+    # violations surface *here*, located in the extension header, with the
+    # client call as "instantiated from here" — exactly Figure 11.
+    description = (
+        f"__gnu_cxx::unary_compose<{cpp_type_name(op1)}, {cpp_type_name(op2)}>"
+    )
+    for message in validate_instance(instance):
+        checker._error(
+            e, message,
+            notes=[f"{FUNCTIONAL_EXT_HEADER}: In instantiation of `{description}':"],
+        )
+    return instance
+
+
+def _bt_bind1st(checker: CppChecker, e: CCall, arg_types) -> CppType:
+    if len(arg_types) != 2:
+        checker._error(e, "error: no matching function for call to `bind1st'")
+        return ERROR_TYPE
+    op, value = arg_types
+    if op is ERROR_TYPE:
+        return ERROR_TYPE
+    instance = TClass("binder1st", [op])
+    for message in validate_instance(instance):
+        checker._error(
+            e, message,
+            notes=[f"{FUNCTIONAL_HEADER}: In instantiation of "
+                   f"`std::binder1st<{cpp_type_name(op)}>':"],
+        )
+    signature = functor_call_signature(op)
+    if signature is not None and len(signature.params) == 2:
+        if not assignable(value, signature.params[0]):
+            checker._error(
+                e,
+                f"error: cannot convert `{cpp_type_name(value)}' to "
+                f"`{cpp_type_name(signature.params[0])}' in call to `bind1st'",
+            )
+    return instance
+
+
+def _bt_bind2nd(checker: CppChecker, e: CCall, arg_types) -> CppType:
+    if len(arg_types) != 2:
+        checker._error(e, "error: no matching function for call to `bind2nd'")
+        return ERROR_TYPE
+    op, value = arg_types
+    if op is ERROR_TYPE:
+        return ERROR_TYPE
+    instance = TClass("binder2nd", [op])
+    for message in validate_instance(instance):
+        checker._error(
+            e, message,
+            notes=[f"{FUNCTIONAL_HEADER}: In instantiation of "
+                   f"`std::binder2nd<{cpp_type_name(op)}>':"],
+        )
+    signature = functor_call_signature(op)
+    if signature is not None and len(signature.params) == 2:
+        if not assignable(value, signature.params[1]):
+            checker._error(
+                e,
+                f"error: cannot convert `{cpp_type_name(value)}' to "
+                f"`{cpp_type_name(signature.params[1])}' in call to `bind2nd'",
+            )
+    return instance
+
+
+def _bt_count_if(checker: CppChecker, e: CCall, arg_types) -> CppType:
+    if len(arg_types) != 3:
+        checker._error(e, "error: no matching function for call to `count_if'")
+        return ERROR_TYPE
+    first, last, pred = arg_types
+    if any(t is ERROR_TYPE for t in arg_types):
+        return ERROR_TYPE
+    if not isinstance(first, TPtr):
+        checker._error(e, "error: no matching function for call to `count_if' "
+                          f"(`{cpp_type_name(first)}' is not an iterator)")
+        return ERROR_TYPE
+    elem = first.inner
+    signature = functor_call_signature(pred)
+    if signature is None or len(signature.params) != 1 or not assignable(elem, signature.params[0]):
+        checker._error(
+            e,
+            f"{ALGO_HEADER}:401: error: no match for call to "
+            f"`({cpp_type_name(pred)}) ({cpp_type_name(elem)}&)'",
+            notes=[f"{ALGO_HEADER}: In function `std::count_if':"],
+        )
+    return INT
+
+
+def _bt_accumulate(checker: CppChecker, e: CCall, arg_types) -> CppType:
+    if len(arg_types) != 3:
+        checker._error(e, "error: no matching function for call to `accumulate'")
+        return ERROR_TYPE
+    first, last, init = arg_types
+    if any(t is ERROR_TYPE for t in arg_types):
+        return ERROR_TYPE
+    if not isinstance(first, TPtr):
+        checker._error(e, "error: no matching function for call to `accumulate' "
+                          f"(`{cpp_type_name(first)}' is not an iterator)")
+        return ERROR_TYPE
+    if not assignable(first.inner, init) and not assignable(init, first.inner):
+        checker._error(
+            e,
+            f"error: no match for 'operator+' in `{cpp_type_name(init)} + "
+            f"{cpp_type_name(first.inner)}'",
+            notes=[f"{ALGO_HEADER}: In function `std::accumulate':"],
+        )
+    return init
+
+
+def _bt_ptr_fun(checker: CppChecker, e: CCall, arg_types) -> CppType:
+    if len(arg_types) != 1:
+        checker._error(e, "error: no matching function for call to `ptr_fun'")
+        return ERROR_TYPE
+    fn = arg_types[0]
+    if fn is ERROR_TYPE:
+        return ERROR_TYPE
+    if not isinstance(fn, TFunc) or len(fn.params) != 1:
+        checker._error(
+            e,
+            f"error: no matching function for call to `ptr_fun({cpp_type_name(fn)})'",
+        )
+        return ERROR_TYPE
+    return TClass("pointer_to_unary_function", [fn.params[0], fn.ret])
+
+
+_BUILTIN_TEMPLATES = {
+    "transform": _bt_transform,
+    "for_each": _bt_for_each,
+    "compose1": _bt_compose1,
+    "bind1st": _bt_bind1st,
+    "bind2nd": _bt_bind2nd,
+    "count_if": _bt_count_if,
+    "accumulate": _bt_accumulate,
+    "ptr_fun": _bt_ptr_fun,
+}
+
+
+def typecheck_cpp(unit: TranslationUnit) -> CppCheckResult:
+    """Check a translation unit; collects (bounded) cascading errors."""
+    return CppChecker(unit).check()
+
+
+def typecheck_cpp_source(source: str) -> CppCheckResult:
+    from .parser import parse_cpp
+
+    return typecheck_cpp(parse_cpp(source))

@@ -1,0 +1,207 @@
+"""Semantic types for MiniCpp.
+
+C++ (as Section 4.1 notes) is explicitly and monomorphically typed except
+for templates, so types here are plain trees — no unification variables.
+Template *parameters* appear as :class:`TParam` inside template-function
+bodies and are substituted away at instantiation.
+
+Printing mimics gcc 3.x's spelling in Figure 11 (``long int``, and function
+types printed as ``long int ()(long int)``), which matters because the
+benchmark compares our conventional error text against the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class CppType:
+    """Base class; instances are immutable and compared structurally."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CppType) and cpp_type_name(self) == cpp_type_name(other)
+
+    def __hash__(self) -> int:
+        return hash(cpp_type_name(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{cpp_type_name(self)}>"
+
+
+class TPrim(CppType):
+    """Primitive: void, bool, int, long, double, string."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class TClass(CppType):
+    """A (possibly template) class type, e.g. ``vector<long>``."""
+
+    def __init__(self, name: str, args: Optional[Sequence[CppType]] = None):
+        self.name = name
+        self.args: List[CppType] = list(args or [])
+
+
+class TPtr(CppType):
+    """Pointer (we use it for iterators: ``vector<T>`` iterators are T*)."""
+
+    def __init__(self, inner: CppType):
+        self.inner = inner
+
+
+class TRef(CppType):
+    """Reference; the checker strips it for value semantics."""
+
+    def __init__(self, inner: CppType):
+        self.inner = inner
+
+
+class TFunc(CppType):
+    """Function (or decayed function-pointer) type."""
+
+    def __init__(self, ret: CppType, params: Sequence[CppType]):
+        self.ret = ret
+        self.params = list(params)
+
+
+class TParam(CppType):
+    """A template parameter inside an uninstantiated template body."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+VOID = TPrim("void")
+BOOL = TPrim("bool")
+INT = TPrim("int")
+LONG = TPrim("long")
+DOUBLE = TPrim("double")
+STRING = TPrim("string")
+
+_GCC_PRIM_NAMES = {
+    "int": "int",
+    "long": "long int",
+    "double": "double",
+    "bool": "bool",
+    "void": "void",
+    "string": "std::string",
+}
+
+
+def cpp_type_name(t: CppType) -> str:
+    """gcc-style spelling of a type (Figure 11's vocabulary)."""
+    if isinstance(t, TPrim):
+        return _GCC_PRIM_NAMES.get(t.name, t.name)
+    if isinstance(t, TClass):
+        if not t.args:
+            return t.name
+        inner = ", ".join(cpp_type_name(a) for a in t.args)
+        # gcc inserts a space to avoid closing '>>'.
+        if inner.endswith(">"):
+            inner += " "
+        return f"{t.name}<{inner}>"
+    if isinstance(t, TPtr):
+        return f"{cpp_type_name(t.inner)}*"
+    if isinstance(t, TRef):
+        return f"{cpp_type_name(t.inner)}&"
+    if isinstance(t, TFunc):
+        params = ", ".join(cpp_type_name(p) for p in t.params)
+        # gcc 3.4 prints function types like ``long int ()(long int)``.
+        return f"{cpp_type_name(t.ret)} ()({params})"
+    if isinstance(t, TParam):
+        return t.name
+    raise TypeError(f"unknown type {t!r}")
+
+
+def source_type_name(t: CppType) -> str:
+    """Source-syntax spelling (what a programmer writes), for suggestions."""
+    if isinstance(t, TPrim):
+        return t.name
+    if isinstance(t, TClass):
+        if not t.args:
+            return t.name
+        inner = ", ".join(source_type_name(a) for a in t.args)
+        if inner.endswith(">"):
+            inner += " "
+        return f"{t.name}<{inner}>"
+    if isinstance(t, TPtr):
+        return f"{source_type_name(t.inner)}*"
+    if isinstance(t, TRef):
+        return f"{source_type_name(t.inner)}&"
+    if isinstance(t, TFunc):
+        params = ", ".join(source_type_name(p) for p in t.params)
+        return f"{source_type_name(t.ret)} (*)({params})"
+    if isinstance(t, TParam):
+        return t.name
+    raise TypeError(f"unknown type {t!r}")
+
+
+def strip_ref(t: CppType) -> CppType:
+    return t.inner if isinstance(t, TRef) else t
+
+
+def is_class_type(t: CppType) -> bool:
+    """The constraint ``unary_compose`` enforces on its arguments."""
+    return isinstance(t, TClass)
+
+
+def substitute(t: CppType, bindings: Dict[str, CppType]) -> CppType:
+    """Replace template parameters by their deduced bindings."""
+    if isinstance(t, TParam):
+        return bindings.get(t.name, t)
+    if isinstance(t, TClass):
+        return TClass(t.name, [substitute(a, bindings) for a in t.args])
+    if isinstance(t, TPtr):
+        return TPtr(substitute(t.inner, bindings))
+    if isinstance(t, TRef):
+        return TRef(substitute(t.inner, bindings))
+    if isinstance(t, TFunc):
+        return TFunc(substitute(t.ret, bindings), [substitute(p, bindings) for p in t.params])
+    return t
+
+
+class DeductionError(Exception):
+    """Template argument deduction failed."""
+
+
+def deduce(pattern: CppType, actual: CppType, bindings: Dict[str, CppType]) -> None:
+    """Deduce template parameters by matching ``pattern`` against ``actual``.
+
+    Mirrors C++ deduction closely enough for the mini-STL: references are
+    stripped, and a mismatching structure raises :class:`DeductionError`.
+    """
+    pattern = strip_ref(pattern)
+    actual = strip_ref(actual)
+    if isinstance(pattern, TParam):
+        existing = bindings.get(pattern.name)
+        if existing is not None and existing != actual:
+            raise DeductionError(
+                f"conflicting deductions for {pattern.name}: "
+                f"{cpp_type_name(existing)} vs {cpp_type_name(actual)}"
+            )
+        bindings[pattern.name] = actual
+        return
+    if isinstance(pattern, TClass) and isinstance(actual, TClass):
+        if pattern.name != actual.name or len(pattern.args) != len(actual.args):
+            raise DeductionError(
+                f"cannot deduce {cpp_type_name(pattern)} from {cpp_type_name(actual)}"
+            )
+        for p, a in zip(pattern.args, actual.args):
+            deduce(p, a, bindings)
+        return
+    if isinstance(pattern, TPtr) and isinstance(actual, TPtr):
+        deduce(pattern.inner, actual.inner, bindings)
+        return
+    if isinstance(pattern, TFunc) and isinstance(actual, TFunc):
+        if len(pattern.params) != len(actual.params):
+            raise DeductionError("function-type arity mismatch")
+        deduce(pattern.ret, actual.ret, bindings)
+        for p, a in zip(pattern.params, actual.params):
+            deduce(p, a, bindings)
+        return
+    if pattern == actual:
+        return
+    raise DeductionError(
+        f"cannot deduce {cpp_type_name(pattern)} from {cpp_type_name(actual)}"
+    )

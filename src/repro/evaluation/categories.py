@@ -1,0 +1,136 @@
+"""The five outcome categories of the paper's Section 3.2.
+
+For each analyzed file the study compares three messages — the type-checker's,
+SEMINAL's, and SEMINAL's with triage disabled — and places the file in:
+
+1. tie, triage unnecessary;
+2. tie, triage necessary;
+3. SEMINAL better, triage unnecessary;
+4. SEMINAL better, triage necessary;
+5. the type-checker better.
+
+"Triage necessary" means the no-triage configuration would have produced a
+worse message than the full system did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Iterable, List
+
+from repro.corpus.grading import FileGrades
+
+
+class Category(IntEnum):
+    TIE_NO_TRIAGE = 1
+    TIE_TRIAGE_NEEDED = 2
+    BETTER_NO_TRIAGE = 3
+    BETTER_TRIAGE_NEEDED = 4
+    CHECKER_BETTER = 5
+
+    @property
+    def label(self) -> str:
+        return _LABELS[self]
+
+
+_LABELS = {
+    Category.TIE_NO_TRIAGE: "tie (triage unnecessary)",
+    Category.TIE_TRIAGE_NEEDED: "tie (triage necessary)",
+    Category.BETTER_NO_TRIAGE: "ours better (triage unnecessary)",
+    Category.BETTER_TRIAGE_NEEDED: "ours better (triage necessary)",
+    Category.CHECKER_BETTER: "type-checker better",
+}
+
+
+def categorize_location_only(grades: FileGrades) -> Category:
+    """Categorize on message *location* alone (the paper's laxer metric)."""
+    ours = 1 if grades.seminal.location else 0
+    theirs = 1 if grades.checker.location else 0
+    without = 1 if grades.seminal_no_triage.location else 0
+    triage_needed = without < ours
+    if ours > theirs:
+        return Category.BETTER_TRIAGE_NEEDED if triage_needed else Category.BETTER_NO_TRIAGE
+    if ours == theirs:
+        return Category.TIE_TRIAGE_NEEDED if triage_needed else Category.TIE_NO_TRIAGE
+    return Category.CHECKER_BETTER
+
+
+def categorize(grades: FileGrades) -> Category:
+    """Assign one analyzed file to its Section 3.2 category."""
+    ours = grades.seminal.score
+    theirs = grades.checker.score
+    without = grades.seminal_no_triage.score
+    triage_needed = without < ours
+    if ours > theirs:
+        return Category.BETTER_TRIAGE_NEEDED if triage_needed else Category.BETTER_NO_TRIAGE
+    if ours == theirs:
+        return Category.TIE_TRIAGE_NEEDED if triage_needed else Category.TIE_NO_TRIAGE
+    return Category.CHECKER_BETTER
+
+
+@dataclass
+class CategoryCounts:
+    """Aggregated category tallies with the paper's headline ratios."""
+
+    counts: Dict[Category, int]
+
+    @classmethod
+    def tally(cls, categories: Iterable[Category]) -> "CategoryCounts":
+        counts = {c: 0 for c in Category}
+        for category in categories:
+            counts[category] += 1
+        return cls(counts)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, *categories: Category) -> float:
+        if self.total == 0:
+            return 0.0
+        return sum(self.counts[c] for c in categories) / self.total
+
+    # -- the paper's headline numbers (Section 3.2) ----------------------
+
+    @property
+    def ours_better(self) -> float:
+        """Paper: 19%."""
+        return self.fraction(Category.BETTER_NO_TRIAGE, Category.BETTER_TRIAGE_NEEDED)
+
+    @property
+    def checker_better(self) -> float:
+        """Paper: 17%."""
+        return self.fraction(Category.CHECKER_BETTER)
+
+    @property
+    def no_worse(self) -> float:
+        """Paper: 83% (categories 1-4)."""
+        return self.fraction(
+            Category.TIE_NO_TRIAGE,
+            Category.TIE_TRIAGE_NEEDED,
+            Category.BETTER_NO_TRIAGE,
+            Category.BETTER_TRIAGE_NEEDED,
+        )
+
+    @property
+    def triage_win_boost(self) -> float:
+        """Category 4 / category 3 (paper: +44%)."""
+        c3 = self.counts[Category.BETTER_NO_TRIAGE]
+        c4 = self.counts[Category.BETTER_TRIAGE_NEEDED]
+        return c4 / c3 if c3 else float("inf") if c4 else 0.0
+
+    @property
+    def triage_tie_boost(self) -> float:
+        """Category 2 / category 1 (paper: +19%)."""
+        c1 = self.counts[Category.TIE_NO_TRIAGE]
+        c2 = self.counts[Category.TIE_TRIAGE_NEEDED]
+        return c2 / c1 if c1 else float("inf") if c2 else 0.0
+
+    @property
+    def triage_helped(self) -> float:
+        """Categories 2 + 4 (paper: 16% of files)."""
+        return self.fraction(Category.TIE_TRIAGE_NEEDED, Category.BETTER_TRIAGE_NEEDED)
+
+    def as_row(self) -> List[int]:
+        return [self.counts[c] for c in Category]

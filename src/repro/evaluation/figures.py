@@ -1,0 +1,148 @@
+"""Rendering the paper's evaluation figures as text.
+
+* Figure 5(a)/(b): stacked category bars by programmer / by assignment.
+* Figure 6: histogram of same-problem equivalence-class sizes (log-scale
+  in the paper; we print the raw distribution with a log-bucketed view).
+* Section 3.2 headline numbers.
+
+The renderers return plain strings so benchmarks can ``print`` them and
+EXPERIMENTS.md can embed them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from .categories import Category, CategoryCounts
+
+#: One glyph per category for the stacked bars, in category order.
+_GLYPHS = {
+    Category.TIE_NO_TRIAGE: "=",
+    Category.TIE_TRIAGE_NEEDED: "t",
+    Category.BETTER_NO_TRIAGE: "#",
+    Category.BETTER_TRIAGE_NEEDED: "T",
+    Category.CHECKER_BETTER: "x",
+}
+
+_LEGEND = (
+    "legend: '=' tie  't' tie(triage needed)  '#' ours better  "
+    "'T' ours better(triage needed)  'x' checker better"
+)
+
+
+def render_figure5(
+    groups: Dict[str, CategoryCounts], title: str, width: int = 50
+) -> str:
+    """A Figure 5-style stacked bar chart, one row per group."""
+    lines = [title, _LEGEND]
+    total_max = max((c.total for c in groups.values()), default=1)
+    for name, counts in groups.items():
+        bar = ""
+        for category in Category:
+            n = counts.counts[category]
+            segment = max(0, round(n / total_max * width)) if total_max else 0
+            bar += _GLYPHS[category] * segment
+        row = f"{name:>6} |{bar:<{width}}| n={counts.total:3d}  " + " ".join(
+            f"c{c.value}={counts.counts[c]}" for c in Category
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_headline(counts: CategoryCounts, unhelpful_ties: float) -> str:
+    """The Section 3.2 headline paragraph, paper value in parentheses."""
+    return "\n".join(
+        [
+            f"analyzed files:            {counts.total}",
+            f"ours better (cat 3+4):     {counts.ours_better:6.1%}   (paper: 19%)",
+            f"checker better (cat 5):    {counts.checker_better:6.1%}   (paper: 17%)",
+            f"no worse (cat 1-4):        {counts.no_worse:6.1%}   (paper: 83%)",
+            f"triage helped (cat 2+4):   {counts.triage_helped:6.1%}   (paper: 16%)",
+            f"cat4/cat3 (win boost):     {counts.triage_win_boost:6.2f}    (paper: 0.44)",
+            f"cat2/cat1 (tie boost):     {counts.triage_tie_boost:6.2f}    (paper: 0.19)",
+            f"ties where neither helped: {unhelpful_ties:6.1%}   (paper: 9%)",
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: equivalence-class size histogram
+# ---------------------------------------------------------------------------
+
+
+def class_size_histogram(sizes: Sequence[int]) -> Dict[int, int]:
+    """size -> number of classes with that size."""
+    histogram: Dict[int, int] = {}
+    for size in sizes:
+        histogram[size] = histogram.get(size, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def render_figure6(sizes: Sequence[int], width: int = 40) -> str:
+    """Figure 6: class-size distribution, bar length on a log scale."""
+    histogram = class_size_histogram(sizes)
+    if not histogram:
+        return "Figure 6: (empty corpus)"
+    max_log = max(math.log10(n + 1) for n in histogram.values())
+    lines = [
+        "Figure 6: sizes of same-problem file groups "
+        "(one representative per group is analyzed; log-scale bars)"
+    ]
+    for size, count in histogram.items():
+        bar = "#" * max(1, round(math.log10(count + 1) / max_log * width))
+        lines.append(f"size {size:3d} | {bar} {count}")
+    total_files = sum(s * n for s, n in histogram.items())
+    lines.append(f"total files: {total_files}, groups (analyzed): {len(sizes)}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# CDFs (shared by Figure 7)
+# ---------------------------------------------------------------------------
+
+
+def cdf_points(times: Sequence[float]) -> List[Tuple[float, float]]:
+    """Sorted (t, fraction of runs completing within t) pairs."""
+    ordered = sorted(times)
+    n = len(ordered)
+    return [(t, (i + 1) / n) for i, t in enumerate(ordered)]
+
+
+def fraction_within(times: Sequence[float], budget: float) -> float:
+    """Fraction of runs completing within ``budget`` seconds."""
+    if not times:
+        return 0.0
+    return sum(1 for t in times if t <= budget) / len(times)
+
+
+def percentile(times: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..1) of run times."""
+    ordered = sorted(times)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, int(math.ceil(q * len(ordered))) - 1))
+    return ordered[index]
+
+
+def render_figure7(
+    curves: Dict[str, Sequence[float]], budgets: Sequence[float]
+) -> str:
+    """Figure 7: cumulative distribution of tool running time.
+
+    ``curves`` maps configuration name (full tool / slow change disabled /
+    triage disabled) to its per-file times.  ``budgets`` are the thresholds
+    to report (the paper highlights 4s and 30s on its hardware; ours are
+    relative to our substrate's speed).
+    """
+    lines = ["Figure 7: cumulative distribution of running time per analyzed file"]
+    for name, times in curves.items():
+        median = percentile(times, 0.5)
+        p90 = percentile(times, 0.9)
+        fractions = "  ".join(
+            f"<= {b * 1000:.0f}ms: {fraction_within(times, b):4.0%}" for b in budgets
+        )
+        lines.append(
+            f"{name:<24} median={median * 1000:6.1f}ms  p90={p90 * 1000:6.1f}ms  {fractions}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Machine-generated paper-vs-measured report (backs EXPERIMENTS.md).
+
+:func:`generate_report` runs the full study and timing sweep and renders a
+markdown document comparing every headline metric against the paper's
+published value, so the numbers in EXPERIMENTS.md can be refreshed with::
+
+    python -m repro.evaluation.report [scale] > report.md
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.corpus.generator import Corpus, generate_corpus
+
+from .categories import CategoryCounts
+from .figures import (
+    percentile,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+)
+from .study import StudyResult, run_study
+from .timing import TimingResult, run_timing_study
+
+#: The paper's Section 3.2 values, for side-by-side comparison.
+PAPER_VALUES = {
+    "ours_better": 0.19,
+    "checker_better": 0.17,
+    "no_worse": 0.83,
+    "triage_helped": 0.16,
+    "triage_win_boost": 0.44,
+    "triage_tie_boost": 0.19,
+    "unhelpful_ties": 0.09,
+}
+
+
+@dataclass
+class ReportData:
+    corpus: Corpus
+    study: StudyResult
+    timing: TimingResult
+
+
+def collect(scale: float = 1.0, seed: int = 2007, timing_files: int = 60) -> ReportData:
+    corpus = generate_corpus(scale=scale, seed=seed)
+    study = run_study(corpus)
+    timing = run_timing_study(corpus, max_files=timing_files)
+    return ReportData(corpus=corpus, study=study, timing=timing)
+
+
+def _row(name: str, paper: float, measured: float, as_ratio: bool = False) -> str:
+    if as_ratio:
+        return f"| {name} | {paper:.2f} | {measured:.2f} |"
+    return f"| {name} | {paper:.0%} | {measured:.1%} |"
+
+
+def headline_table(study: StudyResult) -> str:
+    counts: CategoryCounts = study.counts
+    lines = [
+        "| metric | paper | measured |",
+        "|---|---|---|",
+        _row("ours better (cat 3+4)", PAPER_VALUES["ours_better"], counts.ours_better),
+        _row("checker better (cat 5)", PAPER_VALUES["checker_better"], counts.checker_better),
+        _row("no worse (cat 1-4)", PAPER_VALUES["no_worse"], counts.no_worse),
+        _row("triage helped (cat 2+4)", PAPER_VALUES["triage_helped"], counts.triage_helped),
+        _row("cat4/cat3", PAPER_VALUES["triage_win_boost"], counts.triage_win_boost, as_ratio=True),
+        _row("cat2/cat1", PAPER_VALUES["triage_tie_boost"], counts.triage_tie_boost, as_ratio=True),
+        _row("unhelpful ties", PAPER_VALUES["unhelpful_ties"], study.unhelpful_tie_fraction),
+    ]
+    return "\n".join(lines)
+
+
+def timing_table(timing: TimingResult) -> str:
+    lines = ["| configuration | median | p90 |", "|---|---|---|"]
+    for name, times in timing.curves.items():
+        lines.append(
+            f"| {name} | {percentile(times, 0.5) * 1000:.1f} ms "
+            f"| {percentile(times, 0.9) * 1000:.1f} ms |"
+        )
+    return "\n".join(lines)
+
+
+def generate_report(data: Optional[ReportData] = None, scale: float = 1.0) -> str:
+    if data is None:
+        data = collect(scale=scale)
+    corpus, study, timing = data.corpus, data.study, data.timing
+    parts: List[str] = [
+        "# Measured results (auto-generated)",
+        "",
+        f"Corpus: {len(corpus.files)} files collected, "
+        f"{len(corpus.representatives)} analyzed after quotienting "
+        "(paper: 2122 / 1075).",
+        "",
+        "## Section 3.2 headline numbers",
+        "",
+        headline_table(study),
+        "",
+        "## Figure 7 timings",
+        "",
+        timing_table(timing),
+        "",
+        "## Figures (text renderings)",
+        "",
+        "```",
+        render_figure5(study.by_programmer, "Figure 5(a): results by programmer"),
+        "",
+        render_figure5(study.by_assignment, "Figure 5(b): results by assignment"),
+        "",
+        render_figure6(corpus.class_sizes),
+        "",
+        render_figure7(timing.curves, budgets=[0.02, 0.05, 0.25]),
+        "```",
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - thin CLI
+    argv = sys.argv[1:] if argv is None else argv
+    scale = float(argv[0]) if argv else 1.0
+    print(generate_report(scale=scale))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

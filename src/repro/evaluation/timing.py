@@ -1,0 +1,68 @@
+"""The Figure 7 timing study: running-time CDFs under three configurations.
+
+The paper's three curves:
+
+* bottom — the full tool;
+* middle — one constructive change with a performance bug disabled (the
+  nested-match reparenthesizer; our enumerator tags it ``reparen-match``);
+* top — triage disabled ("not a single file takes longer than 4 seconds").
+
+Absolute numbers depend on hardware and substrate speed (a 2007 laptop
+running OCaml vs. a Python MiniML checker), so the *claims* we reproduce are
+relative: the full CDF has a long tail, disabling the one slow change trims
+roughly a third of the tail, and disabling triage collapses it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.seminal import explain
+from repro.corpus.generator import Corpus
+
+#: Configuration name -> explain() keyword arguments.
+CONFIGURATIONS: Dict[str, dict] = {
+    "full tool": {},
+    "no reparen-match change": {"disabled_rules": ("reparen-match",)},
+    "no triage": {"enable_triage": False},
+}
+
+
+@dataclass
+class TimingResult:
+    """Per-configuration sorted run times (seconds)."""
+
+    curves: Dict[str, List[float]] = field(default_factory=dict)
+    oracle_calls: Dict[str, List[int]] = field(default_factory=dict)
+
+    def curve(self, name: str) -> List[float]:
+        return self.curves[name]
+
+
+def run_timing_study(
+    corpus: Corpus,
+    max_files: Optional[int] = None,
+    configurations: Optional[Dict[str, dict]] = None,
+    max_oracle_calls: Optional[int] = 20000,
+) -> TimingResult:
+    """Time :func:`explain` on every representative under each configuration."""
+    configurations = configurations if configurations is not None else CONFIGURATIONS
+    files = corpus.representatives
+    if max_files is not None:
+        files = files[:max_files]
+    result = TimingResult()
+    for name, kwargs in configurations.items():
+        times: List[float] = []
+        calls: List[int] = []
+        for corpus_file in files:
+            start = time.perf_counter()
+            outcome = explain(
+                corpus_file.program, max_oracle_calls=max_oracle_calls, **kwargs
+            )
+            times.append(time.perf_counter() - start)
+            calls.append(outcome.oracle_calls)
+        result.curves[name] = sorted(times)
+        result.oracle_calls[name] = calls
+    return result

@@ -1,0 +1,45 @@
+"""MiniML: the Caml-subset substrate (lexer, parser, HM type inference).
+
+This package replaces the OCaml compiler the paper used.  The public
+surface is:
+
+* :func:`parse_program` / :func:`parse_expr` — source text to AST,
+* :func:`typecheck_program` / :func:`typecheck_source` — the oracle,
+* :func:`pretty` and friends — AST back to concrete syntax,
+* the AST node classes in :mod:`repro.miniml.ast_nodes`.
+"""
+
+from .ast_nodes import *  # noqa: F401,F403 - the AST is the public vocabulary
+from .errors import (  # noqa: F401
+    ConstructorArityError,
+    DuplicateBindingError,
+    MiniMLTypeError,
+    NotAFunctionError,
+    PatternMismatchError,
+    RecordFieldError,
+    TypeMismatchError,
+    UnboundConstructorError,
+    UnboundFieldError,
+    UnboundVariableError,
+    UnknownTypeError,
+)
+from .exhaustiveness import (  # noqa: F401
+    MatchWarning,
+    match_warnings,
+    match_warnings_source,
+)
+from .eval import (  # noqa: F401
+    Interpreter,
+    MatchFailure,
+    MiniMLException,
+    RuntimeTypeError,
+    eval_expr_source,
+    render_value,
+    run_source,
+)
+from .infer import CheckResult, Inferencer, is_syntactic_value, typecheck_program, typecheck_source  # noqa: F401
+from .lexer import LexError, tokenize  # noqa: F401
+from .parser import ParseError, parse_expr, parse_program  # noqa: F401
+from .pretty import pretty, pretty_decl, pretty_expr, pretty_pattern, pretty_program  # noqa: F401
+from .stdlib import TypeEnv, default_env  # noqa: F401
+from .types import Scheme, type_to_string  # noqa: F401

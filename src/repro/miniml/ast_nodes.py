@@ -1,0 +1,403 @@
+"""Abstract syntax for MiniML.
+
+The node inventory mirrors the Caml fragment used by every example in the
+paper: curried functions and application, tuples vs. curried arguments
+(Fig. 2), lists with ``;`` vs. tuples with ``,`` (the ``[1,2,3]`` pitfall),
+pattern matching (Fig. 4), references and ``:=`` vs. record-field update
+``<-`` (Fig. 3), and user variant types (Fig. 9's ``move``).
+
+All expression/pattern/declaration classes derive from :class:`repro.tree.Node`
+so the generic searcher can traverse and rebuild them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.tree import Node
+
+# ---------------------------------------------------------------------------
+# Type expressions (surface syntax inside ``type`` declarations)
+# ---------------------------------------------------------------------------
+
+
+class TypeExpr(Node):
+    """Surface-syntax type (as written in declarations), not a semantic type."""
+
+
+@dataclass(eq=False)
+class TEVar(TypeExpr):
+    """A type variable, e.g. ``'a``."""
+
+    name: str
+
+
+@dataclass(eq=False)
+class TEName(TypeExpr):
+    """A (possibly parameterized) named type, e.g. ``int`` or ``move list``."""
+
+    name: str
+    args: List[TypeExpr] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class TEArrow(TypeExpr):
+    """Function type ``t1 -> t2``."""
+
+    param: TypeExpr
+    result: TypeExpr
+
+
+@dataclass(eq=False)
+class TETuple(TypeExpr):
+    """Tuple type ``t1 * t2 * ...``."""
+
+    items: List[TypeExpr]
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+class Pattern(Node):
+    """Base class of match/binding patterns."""
+
+
+@dataclass(eq=False)
+class PWild(Pattern):
+    """The wildcard pattern ``_``."""
+
+
+@dataclass(eq=False)
+class PVar(Pattern):
+    """A variable binding pattern."""
+
+    name: str
+
+
+@dataclass(eq=False)
+class PConst(Pattern):
+    """A literal pattern: int, string, bool, float, or unit.
+
+    ``kind`` is one of ``int float string bool unit``.
+    """
+
+    value: object
+    kind: str
+
+
+@dataclass(eq=False)
+class PTuple(Pattern):
+    """Tuple pattern ``p1, p2, ...``."""
+
+    items: List[Pattern]
+
+
+@dataclass(eq=False)
+class PCons(Pattern):
+    """List cons pattern ``p1 :: p2``."""
+
+    head: Pattern
+    tail: Pattern
+
+
+@dataclass(eq=False)
+class PList(Pattern):
+    """List literal pattern ``[p1; p2; ...]`` (``[]`` when empty)."""
+
+    items: List[Pattern]
+
+
+@dataclass(eq=False)
+class PConstructor(Pattern):
+    """Variant constructor pattern, e.g. ``Some x`` or ``For (n, lst)``."""
+
+    name: str
+    arg: Optional[Pattern] = None
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class of expressions."""
+
+
+@dataclass(eq=False)
+class EConst(Expr):
+    """Literal constant. ``kind`` is one of ``int float string bool unit``."""
+
+    value: object
+    kind: str
+
+
+@dataclass(eq=False)
+class EVar(Expr):
+    """Variable reference; may be module-qualified, e.g. ``List.map``."""
+
+    name: str
+
+
+@dataclass(eq=False)
+class EConstructor(Expr):
+    """Variant constructor application, e.g. ``Some e``, ``None``, ``Foo``."""
+
+    name: str
+    arg: Optional[Expr] = None
+
+
+@dataclass(eq=False)
+class ETuple(Expr):
+    """Tuple expression ``(e1, e2, ...)``."""
+
+    items: List[Expr]
+
+
+@dataclass(eq=False)
+class EList(Expr):
+    """List literal ``[e1; e2; ...]``."""
+
+    items: List[Expr]
+
+
+@dataclass(eq=False)
+class ECons(Expr):
+    """Cons cell ``e1 :: e2``."""
+
+    head: Expr
+    tail: Expr
+
+
+@dataclass(eq=False)
+class EApp(Expr):
+    """N-ary curried application ``f a1 a2 ... an`` (args flattened).
+
+    Keeping applications flat matches the paper's treatment of
+    ``e1 e2 e3 e4`` as one node with four children, which is what triage
+    (Section 2.4) iterates over.
+    """
+
+    func: Expr
+    args: List[Expr]
+
+
+@dataclass(eq=False)
+class EFun(Expr):
+    """Anonymous function ``fun p1 p2 ... -> body``."""
+
+    params: List[Pattern]
+    body: Expr
+
+
+@dataclass(eq=False)
+class MatchCase(Node):
+    """One ``pattern -> expr`` arm of a match/function expression."""
+
+    pattern: Pattern
+    body: Expr
+
+
+@dataclass(eq=False)
+class EFunction(Expr):
+    """``function | p1 -> e1 | ...`` (single-argument pattern lambda)."""
+
+    cases: List[MatchCase]
+
+
+@dataclass(eq=False)
+class Binding(Node):
+    """One ``pattern = expr`` binding inside a let.
+
+    Function sugar ``let f x y = e`` is desugared by the parser into
+    ``pattern = PVar f, expr = EFun [x; y] e`` but we remember ``params`` so
+    the pretty-printer can restore the sugar.
+    """
+
+    pattern: Pattern
+    expr: Expr
+    fun_name: Optional[str] = None
+    n_sugar_params: int = 0
+
+
+@dataclass(eq=False)
+class ELet(Expr):
+    """``let [rec] b1 and b2 ... in body``."""
+
+    rec: bool
+    bindings: List[Binding]
+    body: Expr
+
+
+@dataclass(eq=False)
+class EIf(Expr):
+    """``if cond then then_branch [else else_branch]``."""
+
+    cond: Expr
+    then_branch: Expr
+    else_branch: Optional[Expr] = None
+
+
+@dataclass(eq=False)
+class EMatch(Expr):
+    """``match scrutinee with | p1 -> e1 | ...``."""
+
+    scrutinee: Expr
+    cases: List[MatchCase]
+
+
+@dataclass(eq=False)
+class EBinop(Expr):
+    """Infix binary operator application (``+``, ``^``, ``:=``, ``=``, ...)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(eq=False)
+class EUnop(Expr):
+    """Prefix unary operator: ``!e`` (deref) or ``-e`` (negation)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(eq=False)
+class ESeq(Expr):
+    """Sequencing ``e1; e2``."""
+
+    first: Expr
+    second: Expr
+
+
+@dataclass(eq=False)
+class ERaise(Expr):
+    """``raise e`` — has any type, which makes it the search wildcard."""
+
+    exn: Expr
+
+
+@dataclass(eq=False)
+class ETry(Expr):
+    """``try body with | p1 -> e1 | ...`` (patterns match exceptions)."""
+
+    body: Expr
+    cases: List["MatchCase"]
+
+
+@dataclass(eq=False)
+class EAnnot(Expr):
+    """Type-ascribed expression ``(e : t)``."""
+
+    expr: Expr
+    type_expr: "TypeExpr"
+
+
+@dataclass(eq=False)
+class RecordField(Node):
+    """One ``name = expr`` field of a record literal."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(eq=False)
+class ERecord(Expr):
+    """Record literal ``{ f1 = e1; f2 = e2 }``."""
+
+    fields: List[RecordField]
+
+
+@dataclass(eq=False)
+class EFieldGet(Expr):
+    """Record field access ``e.fld``."""
+
+    record: Expr
+    field_name: str
+
+
+@dataclass(eq=False)
+class EFieldSet(Expr):
+    """Mutable record field update ``e.fld <- e2``."""
+
+    record: Expr
+    field_name: str
+    value: Expr
+
+
+# ---------------------------------------------------------------------------
+# Declarations / programs
+# ---------------------------------------------------------------------------
+
+
+class Decl(Node):
+    """Base class of top-level declarations."""
+
+
+@dataclass(eq=False)
+class DLet(Decl):
+    """Top-level ``let [rec] b1 and b2 ...``."""
+
+    rec: bool
+    bindings: List[Binding]
+
+
+@dataclass(eq=False)
+class VariantCase(Node):
+    """One constructor of a variant declaration: name + optional argument."""
+
+    name: str
+    arg: Optional[TypeExpr] = None
+
+
+@dataclass(eq=False)
+class FieldDecl(Node):
+    """One field of a record type declaration."""
+
+    name: str
+    type_expr: TypeExpr
+    mutable: bool = False
+
+
+@dataclass(eq=False)
+class DType(Decl):
+    """``type ['a ...] name = <variants or record>``.
+
+    Exactly one of ``variants``/``record_fields`` is non-empty.
+    """
+
+    name: str
+    params: List[str]
+    variants: List[VariantCase] = field(default_factory=list)
+    record_fields: List[FieldDecl] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class DException(Decl):
+    """``exception Name [of type]``."""
+
+    name: str
+    arg: Optional[TypeExpr] = None
+
+
+@dataclass(eq=False)
+class DExpr(Decl):
+    """A top-level expression statement (sugar for ``let _ = e``)."""
+
+    expr: Expr
+
+
+@dataclass(eq=False)
+class Program(Node):
+    """A whole source file: an ordered list of declarations."""
+
+    decls: List[Decl]
+
+
+# Convenience groupings used by the enumerator and tests.
+LEAF_EXPRS: Tuple[type, ...] = (EConst, EVar)
+BINDING_EXPRS: Tuple[type, ...] = (ELet, EFun, EFunction, EMatch)

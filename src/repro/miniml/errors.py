@@ -1,0 +1,163 @@
+"""Type-error objects produced by the MiniML checker.
+
+These model the *conventional* compiler messages the paper compares against
+(Figures 2, 8, 9 left-hand sides): OCaml-style "This expression has type X
+but is here used with type Y", "Unbound value x", and friends.  Each error
+carries the offending AST node so the evaluation harness can judge message
+*location* quality against ground truth.
+
+Messages are rendered eagerly because semantic types are mutable union-find
+structures whose links may be garbage after the inference pass unwinds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tree import Node, Span
+
+from .types import Type, types_to_strings
+
+
+class MiniMLTypeError(Exception):
+    """Base class: any failure of the MiniML type-checker.
+
+    ``kind`` is a stable machine-readable tag (used by tests and by the
+    evaluation grader); ``node`` is the AST node the message points at.
+    """
+
+    kind = "type-error"
+
+    def __init__(self, message: str, node: Optional[Node] = None):
+        super().__init__(message)
+        self.message = message
+        self.node = node
+
+    @property
+    def span(self) -> Optional[Span]:
+        return self.node.span if self.node is not None else None
+
+    def render(self, quote: str = "") -> str:
+        """Full display message, optionally quoting the offending expression."""
+        location = ""
+        if self.span is not None:
+            location = f"Line {self.span.start_line}, characters {self.span.start_col}-{self.span.end_col}:\n"
+        return location + self.message
+
+
+class TypeMismatchError(MiniMLTypeError):
+    """``This expression has type X but is here used with type Y``."""
+
+    kind = "mismatch"
+
+    def __init__(self, node: Node, actual: Type, expected: Type, quoted: str = ""):
+        self.actual_str, self.expected_str = types_to_strings([actual, expected])
+        subject = f"The expression {quoted}" if quoted else "This expression"
+        message = (
+            f"{subject} has type {self.actual_str} "
+            f"but is here used with type {self.expected_str}"
+        )
+        super().__init__(message, node)
+
+
+class PatternMismatchError(MiniMLTypeError):
+    """``This pattern matches values of type X but ... type Y``."""
+
+    kind = "pattern-mismatch"
+
+    def __init__(self, node: Node, actual: Type, expected: Type):
+        self.actual_str, self.expected_str = types_to_strings([actual, expected])
+        message = (
+            f"This pattern matches values of type {self.actual_str} "
+            f"but is here used to match values of type {self.expected_str}"
+        )
+        super().__init__(message, node)
+
+
+class UnboundVariableError(MiniMLTypeError):
+    """``Unbound value x`` — what OCaml says for ``print`` vs ``print_string``."""
+
+    kind = "unbound"
+
+    def __init__(self, node: Node, name: str):
+        self.name = name
+        super().__init__(f"Unbound value {name}", node)
+
+
+class UnboundConstructorError(MiniMLTypeError):
+    kind = "unbound-constructor"
+
+    def __init__(self, node: Node, name: str):
+        self.name = name
+        super().__init__(f"Unbound constructor {name}", node)
+
+
+class UnboundFieldError(MiniMLTypeError):
+    kind = "unbound-field"
+
+    def __init__(self, node: Node, name: str):
+        self.name = name
+        super().__init__(f"Unbound record field {name}", node)
+
+
+class NotAFunctionError(MiniMLTypeError):
+    """``This expression is not a function; it cannot be applied`` /
+    over-application of a known function."""
+
+    kind = "not-a-function"
+
+    def __init__(self, node: Node, actual: Type, quoted: str = ""):
+        (self.actual_str,) = types_to_strings([actual])
+        subject = f"The expression {quoted}" if quoted else "This expression"
+        message = (
+            f"{subject} has type {self.actual_str}. "
+            "It is not a function; it cannot be applied"
+        )
+        super().__init__(message, node)
+
+
+class ConstructorArityError(MiniMLTypeError):
+    kind = "constructor-arity"
+
+    def __init__(self, node: Node, name: str, expected: int, got: int):
+        self.name = name
+        message = (
+            f"The constructor {name} expects {expected} argument(s), "
+            f"but is applied here to {got} argument(s)"
+        )
+        super().__init__(message, node)
+
+
+class RecordFieldError(MiniMLTypeError):
+    """Missing/duplicate fields in a record literal, or immutable update."""
+
+    kind = "record-field"
+
+    def __init__(self, node: Node, message: str):
+        super().__init__(message, node)
+
+
+class DuplicateBindingError(MiniMLTypeError):
+    kind = "duplicate-binding"
+
+    def __init__(self, node: Node, name: str):
+        self.name = name
+        super().__init__(f"Variable {name} is bound several times in this matching", node)
+
+
+class UnknownTypeError(MiniMLTypeError):
+    """A ``type`` declaration refers to an unknown or wrong-arity type name."""
+
+    kind = "unknown-type"
+
+    def __init__(self, node: Optional[Node], message: str):
+        super().__init__(message, node)
+
+
+class RecursionError_(MiniMLTypeError):
+    """``let rec`` with a non-variable pattern or non-function-ish binding."""
+
+    kind = "bad-recursion"
+
+    def __init__(self, node: Node, message: str):
+        super().__init__(message, node)

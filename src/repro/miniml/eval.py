@@ -1,0 +1,931 @@
+"""A call-by-value interpreter for MiniML.
+
+The substrate's runtime half: the corpus seeds are homework *programs*, and
+the study's credibility improves if they do not merely type-check but run
+and compute sensible answers.  The interpreter also powers the runtime
+type-soundness property tests (a well-typed program never raises
+:class:`RuntimeTypeError`, only MiniML-level exceptions).
+
+Semantics follow OCaml's core: strict evaluation, left-to-right application,
+mutable refs and record fields, structural equality for ``=``, physical-ish
+equality degraded to structural for ``==`` (sufficient for the corpus),
+exceptions as first-class ``exn`` values with ``raise``/``try``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .ast_nodes import (
+    Binding,
+    DException,
+    DExpr,
+    DLet,
+    DType,
+    EAnnot,
+    EApp,
+    EBinop,
+    ECons,
+    EConst,
+    EConstructor,
+    EFieldGet,
+    EFieldSet,
+    EFun,
+    EFunction,
+    EIf,
+    EList,
+    ELet,
+    EMatch,
+    ERaise,
+    ERecord,
+    ESeq,
+    ETry,
+    ETuple,
+    EUnop,
+    EVar,
+    Expr,
+    MatchCase,
+    Pattern,
+    PConst,
+    PCons,
+    PConstructor,
+    PList,
+    PTuple,
+    PVar,
+    PWild,
+    Program,
+)
+
+
+class RuntimeTypeError(Exception):
+    """An operation applied to a value of the wrong shape.
+
+    For *well-typed* programs this is unreachable — the soundness property
+    the test suite checks.  It exists so the interpreter stays total on
+    ill-typed ASTs (the searcher never runs programs, but users might).
+    """
+
+
+class MatchFailure(Exception):
+    """No pattern matched the scrutinee (OCaml's Match_failure)."""
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+
+class Value:
+    """Base class of runtime values."""
+
+
+@dataclass(eq=False)
+class VConst(Value):
+    """int, float, bool, string, or unit (value=None)."""
+
+    value: object
+    kind: str
+
+
+UNIT = VConst(None, "unit")
+
+
+@dataclass(eq=False)
+class VTuple(Value):
+    items: List[Value]
+
+
+@dataclass(eq=False)
+class VList(Value):
+    items: List[Value]
+
+
+@dataclass(eq=False)
+class VClosure(Value):
+    params: List[Pattern]
+    body: Expr
+    env: "Env"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<fun>"
+
+
+@dataclass(eq=False)
+class VCases(Value):
+    """A ``function |...`` closure (single pattern-matched argument)."""
+
+    cases: List[MatchCase]
+    env: "Env"
+
+
+@dataclass(eq=False)
+class VBuiltin(Value):
+    name: str
+    arity: int
+    fn: Callable[..., Value]
+    applied: Tuple[Value, ...] = ()
+
+
+@dataclass(eq=False)
+class VConstructor(Value):
+    name: str
+    arg: Optional[Value] = None
+
+
+@dataclass(eq=False)
+class VRecord(Value):
+    fields: Dict[str, Value]
+
+
+@dataclass(eq=False)
+class VRef(Value):
+    contents: Value
+
+
+class MiniMLException(Exception):
+    """A raised MiniML exception carrying its ``exn`` value."""
+
+    def __init__(self, value: Value):
+        super().__init__(render_value(value))
+        self.value = value
+
+
+# ---------------------------------------------------------------------------
+# Environments
+# ---------------------------------------------------------------------------
+
+
+class Env:
+    """Persistent environment: chained frames, functional extension."""
+
+    __slots__ = ("frame", "parent")
+
+    def __init__(self, frame: Optional[Dict[str, Value]] = None, parent: Optional["Env"] = None):
+        self.frame: Dict[str, Value] = frame if frame is not None else {}
+        self.parent = parent
+
+    def child(self, frame: Optional[Dict[str, Value]] = None) -> "Env":
+        return Env(frame or {}, self)
+
+    def lookup(self, name: str) -> Value:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.frame:
+                return env.frame[name]
+            env = env.parent
+        raise RuntimeTypeError(f"unbound variable {name} at runtime")
+
+    def bind(self, name: str, value: Value) -> None:
+        self.frame[name] = value
+
+
+# ---------------------------------------------------------------------------
+# Structural equality and rendering
+# ---------------------------------------------------------------------------
+
+
+def values_equal(a: Value, b: Value) -> bool:
+    if isinstance(a, VConst) and isinstance(b, VConst):
+        return a.value == b.value
+    if isinstance(a, VTuple) and isinstance(b, VTuple):
+        return len(a.items) == len(b.items) and all(
+            values_equal(x, y) for x, y in zip(a.items, b.items)
+        )
+    if isinstance(a, VList) and isinstance(b, VList):
+        return len(a.items) == len(b.items) and all(
+            values_equal(x, y) for x, y in zip(a.items, b.items)
+        )
+    if isinstance(a, VConstructor) and isinstance(b, VConstructor):
+        if a.name != b.name:
+            return False
+        if a.arg is None or b.arg is None:
+            return a.arg is b.arg
+        return values_equal(a.arg, b.arg)
+    if isinstance(a, VRecord) and isinstance(b, VRecord):
+        return set(a.fields) == set(b.fields) and all(
+            values_equal(a.fields[k], b.fields[k]) for k in a.fields
+        )
+    if isinstance(a, VRef) and isinstance(b, VRef):
+        return a is b
+    if isinstance(a, (VClosure, VBuiltin, VCases)) or isinstance(b, (VClosure, VBuiltin, VCases)):
+        raise RuntimeTypeError("cannot compare functional values")
+    return False
+
+
+def _compare_values(a: Value, b: Value) -> int:
+    """OCaml-ish structural compare for ``compare``/``<``/``max``..."""
+    if isinstance(a, VConst) and isinstance(b, VConst):
+        if a.value == b.value:
+            return 0
+        return -1 if (a.value is not None and b.value is not None and a.value < b.value) else 1
+    if isinstance(a, VTuple) and isinstance(b, VTuple):
+        for x, y in zip(a.items, b.items):
+            c = _compare_values(x, y)
+            if c != 0:
+                return c
+        return 0
+    if isinstance(a, VList) and isinstance(b, VList):
+        for x, y in zip(a.items, b.items):
+            c = _compare_values(x, y)
+            if c != 0:
+                return c
+        return (len(a.items) > len(b.items)) - (len(a.items) < len(b.items))
+    if isinstance(a, VConstructor) and isinstance(b, VConstructor):
+        if a.name != b.name:
+            return -1 if a.name < b.name else 1
+        if a.arg is None or b.arg is None:
+            return 0
+        return _compare_values(a.arg, b.arg)
+    raise RuntimeTypeError("cannot compare these values")
+
+
+def render_value(v: Value) -> str:
+    """Display form of a value (toplevel-printer style)."""
+    if isinstance(v, VConst):
+        if v.kind == "unit":
+            return "()"
+        if v.kind == "string":
+            return f'"{v.value}"'
+        if v.kind == "bool":
+            return "true" if v.value else "false"
+        return str(v.value)
+    if isinstance(v, VTuple):
+        return "(" + ", ".join(render_value(i) for i in v.items) + ")"
+    if isinstance(v, VList):
+        return "[" + "; ".join(render_value(i) for i in v.items) + "]"
+    if isinstance(v, VConstructor):
+        if v.arg is None:
+            return v.name
+        return f"{v.name} {render_value(v.arg)}"
+    if isinstance(v, VRecord):
+        inner = "; ".join(f"{k} = {render_value(val)}" for k, val in v.fields.items())
+        return "{" + inner + "}"
+    if isinstance(v, VRef):
+        return "{contents = " + render_value(v.contents) + "}"
+    if isinstance(v, (VClosure, VBuiltin, VCases)):
+        return "<fun>"
+    raise RuntimeTypeError(f"unprintable value {v!r}")
+
+
+# ---------------------------------------------------------------------------
+# The interpreter
+# ---------------------------------------------------------------------------
+
+
+class Interpreter:
+    """Evaluates programs; ``output`` collects what print_* wrote."""
+
+    def __init__(self, max_steps: int = 1_000_000):
+        self.output: List[str] = []
+        self.max_steps = max_steps
+        self._steps = 0
+
+    # -- fuel ------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise RuntimeTypeError("evaluation step budget exceeded (likely divergence)")
+
+    # -- entry points ------------------------------------------------------
+
+    def run_program(self, program: Program) -> Env:
+        env = self._base_env()
+        try:
+            for decl in program.decls:
+                if isinstance(decl, DLet):
+                    self._eval_bindings(env, decl.rec, decl.bindings, toplevel=True)
+                elif isinstance(decl, DExpr):
+                    self.eval(env, decl.expr)
+                elif isinstance(decl, (DType, DException)):
+                    continue  # types erased at runtime
+        except RecursionError:
+            # Deep (often accidental infinite) recursion exhausts Python's
+            # stack before our step budget; report it as divergence.
+            raise RuntimeTypeError("evaluation step budget exceeded (deep recursion)")
+        return env
+
+    def printed(self) -> str:
+        return "".join(self.output)
+
+    # -- bindings -----------------------------------------------------------
+
+    def _eval_bindings(self, env: Env, rec: bool, bindings: List[Binding], toplevel: bool = False) -> Env:
+        target = env if toplevel else env.child()
+        if rec:
+            # Back-patch closures so mutual recursion works.
+            placeholders: Dict[str, VClosure] = {}
+            for b in bindings:
+                if not isinstance(b.pattern, PVar):
+                    raise RuntimeTypeError("let rec requires variable patterns")
+            rec_env = target if toplevel else target
+            for b in bindings:
+                value = self.eval(rec_env, b.expr)
+                rec_env.bind(b.pattern.name, value)  # type: ignore[union-attr]
+                if isinstance(value, (VClosure, VCases)):
+                    placeholders[b.pattern.name] = value  # type: ignore[union-attr,assignment]
+            # Closures capture rec_env itself, so late bindings are visible.
+            return rec_env
+        for b in bindings:
+            value = self.eval(env, b.expr)
+            bound = self._match(b.pattern, value)
+            if bound is None:
+                raise MatchFailure(f"binding pattern did not match {render_value(value)}")
+            for name, v in bound.items():
+                target.bind(name, v)
+        return target
+
+    # -- pattern matching ---------------------------------------------------
+
+    def _match(self, p: Pattern, v: Value) -> Optional[Dict[str, Value]]:
+        if isinstance(p, PWild):
+            return {}
+        if isinstance(p, PVar):
+            return {p.name: v}
+        if isinstance(p, PConst):
+            if isinstance(v, VConst) and v.value == p.value:
+                return {}
+            return None
+        if isinstance(p, PTuple):
+            if not isinstance(v, VTuple) or len(v.items) != len(p.items):
+                return None
+            out: Dict[str, Value] = {}
+            for sub, item in zip(p.items, v.items):
+                bound = self._match(sub, item)
+                if bound is None:
+                    return None
+                out.update(bound)
+            return out
+        if isinstance(p, PCons):
+            if not isinstance(v, VList) or not v.items:
+                return None
+            head = self._match(p.head, v.items[0])
+            if head is None:
+                return None
+            tail = self._match(p.tail, VList(v.items[1:]))
+            if tail is None:
+                return None
+            head.update(tail)
+            return head
+        if isinstance(p, PList):
+            if not isinstance(v, VList) or len(v.items) != len(p.items):
+                return None
+            out = {}
+            for sub, item in zip(p.items, v.items):
+                bound = self._match(sub, item)
+                if bound is None:
+                    return None
+                out.update(bound)
+            return out
+        if isinstance(p, PConstructor):
+            if not isinstance(v, VConstructor) or v.name != p.name:
+                return None
+            if p.arg is None:
+                return {} if v.arg is None else None
+            if v.arg is None:
+                return None
+            return self._match(p.arg, v.arg)
+        raise RuntimeTypeError(f"unknown pattern {type(p).__name__}")
+
+    def _match_cases(self, env: Env, cases: List[MatchCase], value: Value) -> Value:
+        for case in cases:
+            bound = self._match(case.pattern, value)
+            if bound is not None:
+                return self.eval(env.child(bound), case.body)
+        raise MatchFailure(render_value(value))
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, env: Env, e: Expr) -> Value:
+        self._tick()
+        if isinstance(e, EConst):
+            return UNIT if e.kind == "unit" else VConst(e.value, e.kind)
+        if isinstance(e, EVar):
+            return env.lookup(e.name)
+        if isinstance(e, EConstructor):
+            arg = self.eval(env, e.arg) if e.arg is not None else None
+            return VConstructor(e.name, arg)
+        if isinstance(e, ETuple):
+            return VTuple([self.eval(env, i) for i in e.items])
+        if isinstance(e, EList):
+            return VList([self.eval(env, i) for i in e.items])
+        if isinstance(e, ECons):
+            head = self.eval(env, e.head)
+            tail = self.eval(env, e.tail)
+            if not isinstance(tail, VList):
+                raise RuntimeTypeError(":: onto a non-list")
+            return VList([head] + tail.items)
+        if isinstance(e, EApp):
+            fn = self.eval(env, e.func)
+            for arg_expr in e.args:
+                fn = self.apply(fn, self.eval(env, arg_expr))
+            return fn
+        if isinstance(e, EFun):
+            return VClosure(list(e.params), e.body, env)
+        if isinstance(e, EFunction):
+            return VCases(list(e.cases), env)
+        if isinstance(e, ELet):
+            child = self._eval_bindings(env, e.rec, e.bindings)
+            return self.eval(child, e.body)
+        if isinstance(e, EIf):
+            cond = self.eval(env, e.cond)
+            if not isinstance(cond, VConst) or cond.kind != "bool":
+                raise RuntimeTypeError("if condition is not a bool")
+            if cond.value:
+                return self.eval(env, e.then_branch)
+            if e.else_branch is None:
+                return UNIT
+            return self.eval(env, e.else_branch)
+        if isinstance(e, EMatch):
+            return self._match_cases(env, e.cases, self.eval(env, e.scrutinee))
+        if isinstance(e, EBinop):
+            return self._binop(env, e)
+        if isinstance(e, EUnop):
+            return self._unop(env, e)
+        if isinstance(e, ESeq):
+            self.eval(env, e.first)
+            return self.eval(env, e.second)
+        if isinstance(e, ERaise):
+            raise MiniMLException(self.eval(env, e.exn))
+        if isinstance(e, ETry):
+            try:
+                return self.eval(env, e.body)
+            except MiniMLException as exc:
+                for case in e.cases:
+                    bound = self._match(case.pattern, exc.value)
+                    if bound is not None:
+                        return self.eval(env.child(bound), case.body)
+                raise
+        if isinstance(e, EAnnot):
+            return self.eval(env, e.expr)
+        if isinstance(e, ERecord):
+            return VRecord({f.name: self.eval(env, f.expr) for f in e.fields})
+        if isinstance(e, EFieldGet):
+            record = self.eval(env, e.record)
+            if not isinstance(record, VRecord) or e.field_name not in record.fields:
+                raise RuntimeTypeError(f"no field {e.field_name}")
+            return record.fields[e.field_name]
+        if isinstance(e, EFieldSet):
+            record = self.eval(env, e.record)
+            if not isinstance(record, VRecord) or e.field_name not in record.fields:
+                raise RuntimeTypeError(f"no field {e.field_name}")
+            record.fields[e.field_name] = self.eval(env, e.value)
+            return UNIT
+        raise RuntimeTypeError(f"unknown expression {type(e).__name__}")
+
+    # -- application --------------------------------------------------------
+
+    def apply(self, fn: Value, arg: Value) -> Value:
+        self._tick()
+        if isinstance(fn, VClosure):
+            bound = self._match(fn.params[0], arg)
+            if bound is None:
+                raise MatchFailure("function argument pattern")
+            env = fn.env.child(bound)
+            if len(fn.params) == 1:
+                return self.eval(env, fn.body)
+            return VClosure(fn.params[1:], fn.body, env)
+        if isinstance(fn, VCases):
+            return self._match_cases(fn.env, fn.cases, arg)
+        if isinstance(fn, VBuiltin):
+            applied = fn.applied + (arg,)
+            if len(applied) == fn.arity:
+                return fn.fn(*applied)
+            return VBuiltin(fn.name, fn.arity, fn.fn, applied)
+        raise RuntimeTypeError(f"applying a non-function ({render_value(fn)})")
+
+    # -- operators -----------------------------------------------------------
+
+    def _num(self, v: Value, kind: str) -> object:
+        if isinstance(v, VConst) and v.kind == kind:
+            return v.value
+        raise RuntimeTypeError(f"expected {kind}")
+
+    def _binop(self, env: Env, e: EBinop) -> Value:
+        op = e.op
+        if op == "&&":
+            left = self.eval(env, e.left)
+            if not self._truth(left):
+                return VConst(False, "bool")
+            return VConst(self._truth(self.eval(env, e.right)), "bool")
+        if op == "||":
+            left = self.eval(env, e.left)
+            if self._truth(left):
+                return VConst(True, "bool")
+            return VConst(self._truth(self.eval(env, e.right)), "bool")
+        a = self.eval(env, e.left)
+        b = self.eval(env, e.right)
+        if op in ("+", "-", "*", "/", "mod"):
+            x, y = self._num(a, "int"), self._num(b, "int")
+            if op == "/":
+                if y == 0:
+                    raise MiniMLException(VConstructor("Division_by_zero"))
+                return VConst(int(x / y) if (x < 0) != (y < 0) and x % y != 0 else x // y, "int")
+            if op == "mod":
+                if y == 0:
+                    raise MiniMLException(VConstructor("Division_by_zero"))
+                result = abs(x) % abs(y) * (1 if x >= 0 else -1)
+                return VConst(result, "int")
+            return VConst({"+": x + y, "-": x - y, "*": x * y}[op], "int")
+        if op in ("+.", "-.", "*.", "/."):
+            x, y = self._num(a, "float"), self._num(b, "float")
+            return VConst({"+.": x + y, "-.": x - y, "*.": x * y, "/.": x / y if y else float("inf")}[op], "float")
+        if op == "^":
+            return VConst(str(self._num(a, "string")) + str(self._num(b, "string")), "string")
+        if op == "@":
+            if not isinstance(a, VList) or not isinstance(b, VList):
+                raise RuntimeTypeError("@ on non-lists")
+            return VList(a.items + b.items)
+        if op in ("=", "=="):
+            return VConst(values_equal(a, b), "bool")
+        if op in ("<>", "!="):
+            return VConst(not values_equal(a, b), "bool")
+        if op in ("<", ">", "<=", ">="):
+            c = _compare_values(a, b)
+            return VConst({"<": c < 0, ">": c > 0, "<=": c <= 0, ">=": c >= 0}[op], "bool")
+        if op == ":=":
+            if not isinstance(a, VRef):
+                raise RuntimeTypeError(":= on a non-ref")
+            a.contents = b
+            return UNIT
+        raise RuntimeTypeError(f"unknown operator {op}")
+
+    def _truth(self, v: Value) -> bool:
+        if isinstance(v, VConst) and v.kind == "bool":
+            return bool(v.value)
+        raise RuntimeTypeError("expected bool")
+
+    def _unop(self, env: Env, e: EUnop) -> Value:
+        v = self.eval(env, e.operand)
+        if e.op == "!":
+            if not isinstance(v, VRef):
+                raise RuntimeTypeError("! on a non-ref")
+            return v.contents
+        if e.op == "-":
+            if isinstance(v, VConst) and v.kind == "int":
+                return VConst(-v.value, "int")
+            if isinstance(v, VConst) and v.kind == "float":
+                return VConst(-v.value, "float")
+        raise RuntimeTypeError(f"unknown unary {e.op}")
+
+    # -- builtins ------------------------------------------------------------
+
+    def _base_env(self) -> Env:
+        env = Env()
+        b = env.bind
+
+        def builtin(name: str, arity: int):
+            def register(fn: Callable[..., Value]):
+                b(name, VBuiltin(name, arity, fn))
+                return fn
+
+            return register
+
+        def ints(v):
+            return self._num(v, "int")
+
+        def strings(v):
+            return self._num(v, "string")
+
+        def want_list(v):
+            if not isinstance(v, VList):
+                raise RuntimeTypeError("expected a list")
+            return v
+
+        def want_fn(v):
+            return v
+
+        def call(fn, *args):
+            out = fn
+            for a in args:
+                out = self.apply(out, a)
+            return out
+
+        @builtin("not", 1)
+        def _not(v):
+            return VConst(not self._truth(v), "bool")
+
+        @builtin("abs", 1)
+        def _abs(v):
+            return VConst(abs(ints(v)), "int")
+
+        @builtin("succ", 1)
+        def _succ(v):
+            return VConst(ints(v) + 1, "int")
+
+        @builtin("pred", 1)
+        def _pred(v):
+            return VConst(ints(v) - 1, "int")
+
+        @builtin("max", 2)
+        def _max(a, x):
+            return a if _compare_values(a, x) >= 0 else x
+
+        @builtin("min", 2)
+        def _min(a, x):
+            return a if _compare_values(a, x) <= 0 else x
+
+        @builtin("compare", 2)
+        def _compare(a, x):
+            return VConst(_compare_values(a, x), "int")
+
+        @builtin("fst", 1)
+        def _fst(v):
+            if isinstance(v, VTuple) and len(v.items) == 2:
+                return v.items[0]
+            raise RuntimeTypeError("fst on a non-pair")
+
+        @builtin("snd", 1)
+        def _snd(v):
+            if isinstance(v, VTuple) and len(v.items) == 2:
+                return v.items[1]
+            raise RuntimeTypeError("snd on a non-pair")
+
+        @builtin("ignore", 1)
+        def _ignore(v):
+            return UNIT
+
+        @builtin("ref", 1)
+        def _ref(v):
+            return VRef(v)
+
+        @builtin("incr", 1)
+        def _incr(v):
+            if isinstance(v, VRef):
+                v.contents = VConst(ints(v.contents) + 1, "int")
+                return UNIT
+            raise RuntimeTypeError("incr on a non-ref")
+
+        @builtin("decr", 1)
+        def _decr(v):
+            if isinstance(v, VRef):
+                v.contents = VConst(ints(v.contents) - 1, "int")
+                return UNIT
+            raise RuntimeTypeError("decr on a non-ref")
+
+        @builtin("string_of_int", 1)
+        def _soi(v):
+            return VConst(str(ints(v)), "string")
+
+        @builtin("int_of_string", 1)
+        def _ios(v):
+            try:
+                return VConst(int(strings(v)), "int")
+            except ValueError:
+                raise MiniMLException(VConstructor("Failure", VConst("int_of_string", "string")))
+
+        @builtin("string_of_float", 1)
+        def _sof(v):
+            return VConst(str(self._num(v, "float")), "string")
+
+        @builtin("string_of_bool", 1)
+        def _sob(v):
+            return VConst("true" if self._truth(v) else "false", "string")
+
+        @builtin("float_of_int", 1)
+        def _foi(v):
+            return VConst(float(ints(v)), "float")
+
+        @builtin("int_of_float", 1)
+        def _iof(v):
+            return VConst(int(self._num(v, "float")), "int")
+
+        @builtin("print_string", 1)
+        def _ps(v):
+            self.output.append(str(strings(v)))
+            return UNIT
+
+        @builtin("print_int", 1)
+        def _pi(v):
+            self.output.append(str(ints(v)))
+            return UNIT
+
+        @builtin("print_endline", 1)
+        def _pe(v):
+            self.output.append(str(strings(v)) + "\n")
+            return UNIT
+
+        @builtin("print_newline", 1)
+        def _pn(v):
+            self.output.append("\n")
+            return UNIT
+
+        @builtin("failwith", 1)
+        def _failwith(v):
+            raise MiniMLException(VConstructor("Failure", v))
+
+        @builtin("invalid_arg", 1)
+        def _invalid(v):
+            raise MiniMLException(VConstructor("Invalid_argument", v))
+
+        @builtin("exit", 1)
+        def _exit(v):
+            raise MiniMLException(VConstructor("Exit"))
+
+        # -- List ----------------------------------------------------------
+        @builtin("List.length", 1)
+        def _length(v):
+            return VConst(len(want_list(v).items), "int")
+
+        @builtin("List.hd", 1)
+        def _hd(v):
+            items = want_list(v).items
+            if not items:
+                raise MiniMLException(VConstructor("Failure", VConst("hd", "string")))
+            return items[0]
+
+        @builtin("List.tl", 1)
+        def _tl(v):
+            items = want_list(v).items
+            if not items:
+                raise MiniMLException(VConstructor("Failure", VConst("tl", "string")))
+            return VList(items[1:])
+
+        @builtin("List.nth", 2)
+        def _nth(v, n):
+            items = want_list(v).items
+            index = ints(n)
+            if index < 0 or index >= len(items):
+                raise MiniMLException(VConstructor("Failure", VConst("nth", "string")))
+            return items[index]
+
+        @builtin("List.rev", 1)
+        def _rev(v):
+            return VList(list(reversed(want_list(v).items)))
+
+        @builtin("List.append", 2)
+        def _append(a, c):
+            return VList(want_list(a).items + want_list(c).items)
+
+        @builtin("List.rev_append", 2)
+        def _rev_append(a, c):
+            return VList(list(reversed(want_list(a).items)) + want_list(c).items)
+
+        @builtin("List.concat", 1)
+        def _concat(v):
+            out = []
+            for sub in want_list(v).items:
+                out.extend(want_list(sub).items)
+            return VList(out)
+
+        b("List.flatten", env.lookup("List.concat"))
+
+        @builtin("List.map", 2)
+        def _map(f, lst):
+            return VList([call(f, x) for x in want_list(lst).items])
+
+        @builtin("List.mapi", 2)
+        def _mapi(f, lst):
+            return VList(
+                [call(f, VConst(i, "int"), x) for i, x in enumerate(want_list(lst).items)]
+            )
+
+        @builtin("List.iter", 2)
+        def _iter(f, lst):
+            for x in want_list(lst).items:
+                call(f, x)
+            return UNIT
+
+        @builtin("List.fold_left", 3)
+        def _fold_left(f, acc, lst):
+            for x in want_list(lst).items:
+                acc = call(f, acc, x)
+            return acc
+
+        @builtin("List.fold_right", 3)
+        def _fold_right(f, lst, acc):
+            for x in reversed(want_list(lst).items):
+                acc = call(f, x, acc)
+            return acc
+
+        @builtin("List.mem", 2)
+        def _mem(x, lst):
+            return VConst(any(values_equal(x, y) for y in want_list(lst).items), "bool")
+
+        @builtin("List.filter", 2)
+        def _filter(p, lst):
+            return VList([x for x in want_list(lst).items if self._truth(call(p, x))])
+
+        @builtin("List.partition", 2)
+        def _partition(p, lst):
+            yes, no = [], []
+            for x in want_list(lst).items:
+                (yes if self._truth(call(p, x)) else no).append(x)
+            return VTuple([VList(yes), VList(no)])
+
+        @builtin("List.exists", 2)
+        def _exists(p, lst):
+            return VConst(any(self._truth(call(p, x)) for x in want_list(lst).items), "bool")
+
+        @builtin("List.for_all", 2)
+        def _for_all(p, lst):
+            return VConst(all(self._truth(call(p, x)) for x in want_list(lst).items), "bool")
+
+        @builtin("List.find", 2)
+        def _find(p, lst):
+            for x in want_list(lst).items:
+                if self._truth(call(p, x)):
+                    return x
+            raise MiniMLException(VConstructor("Not_found"))
+
+        @builtin("List.combine", 2)
+        def _combine(a, c):
+            xs, ys = want_list(a).items, want_list(c).items
+            if len(xs) != len(ys):
+                raise MiniMLException(
+                    VConstructor("Invalid_argument", VConst("List.combine", "string"))
+                )
+            return VList([VTuple([x, y]) for x, y in zip(xs, ys)])
+
+        @builtin("List.split", 1)
+        def _split(v):
+            xs, ys = [], []
+            for pair in want_list(v).items:
+                if not isinstance(pair, VTuple) or len(pair.items) != 2:
+                    raise RuntimeTypeError("List.split on non-pairs")
+                xs.append(pair.items[0])
+                ys.append(pair.items[1])
+            return VTuple([VList(xs), VList(ys)])
+
+        @builtin("List.assoc", 2)
+        def _assoc(key, lst):
+            for pair in want_list(lst).items:
+                if isinstance(pair, VTuple) and len(pair.items) == 2 and values_equal(pair.items[0], key):
+                    return pair.items[1]
+            raise MiniMLException(VConstructor("Not_found"))
+
+        @builtin("List.mem_assoc", 2)
+        def _mem_assoc(key, lst):
+            for pair in want_list(lst).items:
+                if isinstance(pair, VTuple) and len(pair.items) == 2 and values_equal(pair.items[0], key):
+                    return VConst(True, "bool")
+            return VConst(False, "bool")
+
+        @builtin("List.sort", 2)
+        def _sort(cmp, lst):
+            import functools
+
+            items = list(want_list(lst).items)
+            items.sort(key=functools.cmp_to_key(lambda x, y: ints(call(cmp, x, y))))
+            return VList(items)
+
+        @builtin("List.init", 2)
+        def _init(n, f):
+            return VList([call(f, VConst(i, "int")) for i in range(ints(n))])
+
+        # -- String --------------------------------------------------------
+        @builtin("String.length", 1)
+        def _slen(v):
+            return VConst(len(str(strings(v))), "string" if False else "int")
+
+        @builtin("String.sub", 3)
+        def _ssub(v, start, length):
+            text = str(strings(v))
+            i, n = ints(start), ints(length)
+            if i < 0 or n < 0 or i + n > len(text):
+                raise MiniMLException(
+                    VConstructor("Invalid_argument", VConst("String.sub", "string"))
+                )
+            return VConst(text[i : i + n], "string")
+
+        @builtin("String.concat", 2)
+        def _sconcat(sep, parts):
+            return VConst(
+                str(strings(sep)).join(str(strings(p)) for p in want_list(parts).items),
+                "string",
+            )
+
+        @builtin("String.uppercase", 1)
+        def _supper(v):
+            return VConst(str(strings(v)).upper(), "string")
+
+        @builtin("String.lowercase", 1)
+        def _slower(v):
+            return VConst(str(strings(v)).lower(), "string")
+
+        @builtin("String.make", 2)
+        def _smake(n, s):
+            return VConst(str(strings(s)) * ints(n), "string")
+
+        return env
+
+
+def run_source(source: str, max_steps: int = 1_000_000) -> Tuple[Env, str]:
+    """Parse, evaluate, and return (final environment, captured output)."""
+    from .parser import parse_program
+
+    interpreter = Interpreter(max_steps=max_steps)
+    env = interpreter.run_program(parse_program(source))
+    return env, interpreter.printed()
+
+
+def eval_expr_source(source: str, max_steps: int = 1_000_000) -> Value:
+    """Evaluate a single expression in the base environment."""
+    from .parser import parse_expr
+
+    interpreter = Interpreter(max_steps=max_steps)
+    try:
+        return interpreter.eval(interpreter._base_env(), parse_expr(source))
+    except RecursionError:
+        raise RuntimeTypeError("evaluation step budget exceeded (deep recursion)")

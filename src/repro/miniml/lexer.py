@@ -1,0 +1,195 @@
+"""Hand-rolled lexer for MiniML.
+
+Produces a flat token list with accurate spans; supports nested ``(* ... *)``
+comments, string escapes, int/float literals, type variables (``'a``), and
+module-qualified lowercase identifiers (``List.map`` lexes as one LIDENT so
+the parser treats stdlib functions as atomic names, matching how the paper's
+examples read).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tree import Span
+
+from .tokens import KEYWORDS, OPERATORS, Token, TokenKind
+
+
+class LexError(Exception):
+    """Raised on malformed input (unterminated string/comment, bad char)."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{line}:{col}: {message}")
+        self.message = message
+        self.line = line
+        self.col = col
+
+
+class _Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.tokens: List[Token] = []
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _mark(self) -> tuple[int, int, int]:
+        return self.line, self.col, self.pos
+
+    def _span_from(self, mark: tuple[int, int, int]) -> Span:
+        line, col, offset = mark
+        return Span(line, col, self.line, self.col, offset, self.pos)
+
+    def _emit(self, kind: TokenKind, text: str, value, mark) -> None:
+        self.tokens.append(Token(kind, text, value, self._span_from(mark)))
+
+    # -- token scanners ----------------------------------------------------
+
+    def _skip_comment(self) -> None:
+        mark = self._mark()
+        depth = 0
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated comment", mark[0], mark[1])
+            if self._peek() == "(" and self._peek(1) == "*":
+                depth += 1
+                self._advance(2)
+            elif self._peek() == "*" and self._peek(1) == ")":
+                depth -= 1
+                self._advance(2)
+                if depth == 0:
+                    return
+            else:
+                self._advance()
+
+    def _scan_string(self) -> None:
+        mark = self._mark()
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise LexError("unterminated string literal", mark[0], mark[1])
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._peek()
+                mapping = {"n": "\n", "t": "\t", "\\": "\\", '"': '"', "r": "\r"}
+                if esc not in mapping:
+                    raise LexError(f"bad escape \\{esc}", self.line, self.col)
+                chars.append(mapping[esc])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        text = "".join(chars)
+        self._emit(TokenKind.STRING, text, text, mark)
+
+    def _scan_number(self) -> None:
+        mark = self._mark()
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        # A float needs a '.' followed by a digit or end-of-number position;
+        # careful not to eat the '.' of ``1 .fld`` (not valid MiniML anyway).
+        is_float = False
+        if self._peek() == "." and (self._peek(1).isdigit() or not self._peek(1).isalpha()):
+            # "1." and "1.5" are floats; "1..." can't occur.
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        if is_float:
+            self._emit(TokenKind.FLOAT, text, float(text), mark)
+        else:
+            self._emit(TokenKind.INT, text, int(text), mark)
+
+    def _scan_ident(self) -> None:
+        mark = self._mark()
+        start = self.pos
+        while self._peek().isalnum() or self._peek() in ("_", "'"):
+            self._advance()
+        text = self.source[start : self.pos]
+        if text in KEYWORDS:
+            self._emit(TokenKind.KEYWORD, text, text, mark)
+        elif text[0].isupper():
+            # Module-qualified lowercase name: List.map, String.length ...
+            if self._peek() == "." and (self._peek(1).islower() or self._peek(1) == "_"):
+                self._advance()  # the dot
+                sub_start = self.pos
+                while self._peek().isalnum() or self._peek() in ("_", "'"):
+                    self._advance()
+                qualified = text + "." + self.source[sub_start : self.pos]
+                self._emit(TokenKind.LIDENT, qualified, qualified, mark)
+            else:
+                self._emit(TokenKind.UIDENT, text, text, mark)
+        else:
+            self._emit(TokenKind.LIDENT, text, text, mark)
+
+    def _scan_tyvar_or_quote(self) -> None:
+        # 'a style type variables (we do not support char literals to keep
+        # the grammar unambiguous; none of the paper's examples use them).
+        mark = self._mark()
+        self._advance()
+        if self._peek().isalpha():
+            start = self.pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = "'" + self.source[start : self.pos]
+            self._emit(TokenKind.CHAR, text, text, mark)  # CHAR kind reused for tyvars
+        else:
+            raise LexError("stray quote", mark[0], mark[1])
+
+    def run(self) -> List[Token]:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "(" and self._peek(1) == "*":
+                self._skip_comment()
+            elif ch == '"':
+                self._scan_string()
+            elif ch.isdigit():
+                self._scan_number()
+            elif ch.isalpha() or ch == "_" and (self._peek(1).isalnum() or self._peek(1) == "_"):
+                self._scan_ident()
+            elif ch == "'":
+                self._scan_tyvar_or_quote()
+            else:
+                mark = self._mark()
+                for op in OPERATORS:
+                    if self.source.startswith(op, self.pos):
+                        self._advance(len(op))
+                        self._emit(TokenKind.OP, op, op, mark)
+                        break
+                else:
+                    raise LexError(f"unexpected character {ch!r}", self.line, self.col)
+        self.tokens.append(
+            Token(TokenKind.EOF, "", None, Span(self.line, self.col, self.line, self.col, self.pos, self.pos))
+        )
+        return self.tokens
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into a token list ending with an EOF token."""
+    return _Lexer(source).run()

@@ -1,0 +1,708 @@
+"""Recursive-descent parser for MiniML.
+
+The grammar is the Caml fragment the paper's programs use.  Operator
+precedence (loosest to tightest) follows OCaml closely enough that every
+example in the paper parses with the intended shape:
+
+``;`` < ``let/fun/function/match/if/raise`` < ``,`` < ``:=``/``<-`` <
+``||`` < ``&&`` < comparisons < ``@``/``^`` < ``::`` < additive <
+multiplicative < unary < application < field access < atoms.
+
+Curried applications are flattened into one :class:`EApp` node (``f a b c``
+has three argument children), which is the shape the triage algorithm of
+Section 2.4 iterates over.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.tree import Span
+
+from .ast_nodes import (
+    Binding,
+    EAnnot,
+    ETry,
+    DException,
+    DExpr,
+    DLet,
+    DType,
+    EApp,
+    EBinop,
+    ECons,
+    EConst,
+    EConstructor,
+    EFieldGet,
+    EFieldSet,
+    EFun,
+    EFunction,
+    EIf,
+    EList,
+    ELet,
+    EMatch,
+    ERaise,
+    ERecord,
+    ESeq,
+    ETuple,
+    EUnop,
+    EVar,
+    Expr,
+    FieldDecl,
+    MatchCase,
+    Pattern,
+    PConst,
+    PCons,
+    PConstructor,
+    PList,
+    PTuple,
+    PVar,
+    PWild,
+    Program,
+    RecordField,
+    TEArrow,
+    TEName,
+    TETuple,
+    TEVar,
+    TypeExpr,
+    VariantCase,
+)
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+
+class ParseError(Exception):
+    """Raised when the token stream does not match the grammar."""
+
+    def __init__(self, message: str, token: Token):
+        span = token.span
+        super().__init__(f"{span.start_line}:{span.start_col}: {message} (at {token.text!r})")
+        self.message = message
+        self.token = token
+
+
+# Tokens that can begin an atomic expression; used to detect application.
+_ATOM_STARTERS_OP = {"(", "[", "{", "!"}
+
+
+def _is_atom_start(tok: Token) -> bool:
+    if tok.kind in (TokenKind.INT, TokenKind.FLOAT, TokenKind.STRING, TokenKind.LIDENT, TokenKind.UIDENT):
+        return True
+    if tok.kind is TokenKind.KEYWORD and tok.text in ("true", "false", "begin"):
+        return True
+    return tok.kind is TokenKind.OP and tok.text in _ATOM_STARTERS_OP
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, ahead: int = 1) -> Token:
+        index = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        tok = self.tok
+        if tok.kind is not TokenKind.EOF:
+            self.index += 1
+        return tok
+
+    def _expect_op(self, text: str) -> Token:
+        if not self.tok.is_op(text):
+            raise ParseError(f"expected {text!r}", self.tok)
+        return self._next()
+
+    def _expect_kw(self, text: str) -> Token:
+        if not self.tok.is_kw(text):
+            raise ParseError(f"expected keyword {text!r}", self.tok)
+        return self._next()
+
+    def _eat_op(self, text: str) -> bool:
+        if self.tok.is_op(text):
+            self._next()
+            return True
+        return False
+
+    def _eat_kw(self, text: str) -> bool:
+        if self.tok.is_kw(text):
+            self._next()
+            return True
+        return False
+
+    def _span_from(self, start: Token) -> Span:
+        end = self.tokens[max(self.index - 1, 0)].span
+        s = start.span
+        return Span(s.start_line, s.start_col, end.end_line, end.end_col, s.start_offset, end.end_offset)
+
+    def _finish(self, node, start: Token):
+        node.span = self._span_from(start)
+        return node
+
+    # ------------------------------------------------------------------
+    # Programs and declarations
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        start = self.tok
+        decls = []
+        while self.tok.kind is not TokenKind.EOF:
+            while self._eat_op(";;"):
+                pass
+            if self.tok.kind is TokenKind.EOF:
+                break
+            decls.append(self.parse_decl())
+        return self._finish(Program(decls), start)
+
+    def parse_decl(self):
+        start = self.tok
+        if self.tok.is_kw("let"):
+            self._next()
+            rec = self._eat_kw("rec")
+            bindings = self._parse_bindings()
+            if self._eat_kw("in"):
+                # A top-level ``let ... in e`` is an expression statement.
+                body = self.parse_expr()
+                let_expr = self._finish(ELet(rec, bindings, body), start)
+                return self._finish(DExpr(let_expr), start)
+            return self._finish(DLet(rec, bindings), start)
+        if self.tok.is_kw("type"):
+            return self._parse_type_decl()
+        if self.tok.is_kw("exception"):
+            self._next()
+            if self.tok.kind is not TokenKind.UIDENT:
+                raise ParseError("expected exception name", self.tok)
+            name = self._next().text
+            arg = self.parse_type_expr() if self._eat_kw("of") else None
+            return self._finish(DException(name, arg), start)
+        expr = self.parse_expr()
+        return self._finish(DExpr(expr), start)
+
+    def _parse_type_decl(self) -> DType:
+        start = self._expect_kw("type")
+        params: List[str] = []
+        if self.tok.kind is TokenKind.CHAR:  # a type variable like 'a
+            params.append(self._next().text.lstrip("'"))
+        elif self.tok.is_op("("):
+            self._next()
+            while True:
+                if self.tok.kind is not TokenKind.CHAR:
+                    raise ParseError("expected type variable", self.tok)
+                params.append(self._next().text.lstrip("'"))
+                if not self._eat_op(","):
+                    break
+            self._expect_op(")")
+        if self.tok.kind is not TokenKind.LIDENT:
+            raise ParseError("expected type name", self.tok)
+        name = self._next().text
+        self._expect_op("=")
+        if self.tok.is_op("{"):
+            return self._finish(DType(name, params, record_fields=self._parse_record_decl()), start)
+        variants = self._parse_variants()
+        return self._finish(DType(name, params, variants=variants), start)
+
+    def _parse_record_decl(self) -> List[FieldDecl]:
+        self._expect_op("{")
+        fields = []
+        while True:
+            fstart = self.tok
+            mutable = self._eat_kw("mutable")
+            if self.tok.kind is not TokenKind.LIDENT:
+                raise ParseError("expected field name", self.tok)
+            fname = self._next().text
+            self._expect_op(":")
+            ftype = self.parse_type_expr()
+            fields.append(self._finish(FieldDecl(fname, ftype, mutable), fstart))
+            if not self._eat_op(";"):
+                break
+            if self.tok.is_op("}"):
+                break
+        self._expect_op("}")
+        return fields
+
+    def _parse_variants(self) -> List[VariantCase]:
+        self._eat_op("|")
+        variants = []
+        while True:
+            vstart = self.tok
+            if self.tok.kind is not TokenKind.UIDENT:
+                raise ParseError("expected constructor name", self.tok)
+            cname = self._next().text
+            arg = self.parse_type_expr() if self._eat_kw("of") else None
+            variants.append(self._finish(VariantCase(cname, arg), vstart))
+            if not self._eat_op("|"):
+                break
+        return variants
+
+    def _parse_bindings(self) -> List[Binding]:
+        bindings = [self._parse_binding()]
+        while self._eat_kw("and"):
+            bindings.append(self._parse_binding())
+        return bindings
+
+    def _parse_binding(self) -> Binding:
+        start = self.tok
+        # Collect pattern atoms until '='.  One atom: plain binding.
+        # Several atoms whose first is a variable: function-definition sugar.
+        atoms = [self.parse_pattern_atom()]
+        while not self.tok.is_op("=") and _is_pattern_atom_start(self.tok):
+            atoms.append(self.parse_pattern_atom())
+        self._expect_op("=")
+        expr = self.parse_expr()
+        if len(atoms) == 1:
+            # ``let (x, y) = e`` or ``let x = e``; allow full tuple patterns.
+            return self._finish(Binding(atoms[0], expr), start)
+        head = atoms[0]
+        if not isinstance(head, PVar):
+            raise ParseError("function definition must be named by a variable", start)
+        fun = EFun(atoms[1:], expr)
+        fun.span = expr.span
+        return self._finish(
+            Binding(head, fun, fun_name=head.name, n_sugar_params=len(atoms) - 1), start
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing, loosest first)
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_seq()
+
+    def _parse_seq(self) -> Expr:
+        start = self.tok
+        expr = self._parse_control()
+        if self.tok.is_op(";"):
+            self._next()
+            rest = self._parse_seq()  # right-associative, like OCaml
+            return self._finish(ESeq(expr, rest), start)
+        return expr
+
+    def _parse_control(self) -> Expr:
+        tok = self.tok
+        if tok.is_kw("let"):
+            return self._parse_let_expr()
+        if tok.is_kw("fun"):
+            return self._parse_fun()
+        if tok.is_kw("function"):
+            return self._parse_function()
+        if tok.is_kw("match"):
+            return self._parse_match()
+        if tok.is_kw("try"):
+            return self._parse_try()
+        if tok.is_kw("if"):
+            return self._parse_if()
+        return self._parse_tuple_level()
+
+    def _parse_let_expr(self) -> ELet:
+        start = self._expect_kw("let")
+        rec = self._eat_kw("rec")
+        bindings = self._parse_bindings()
+        self._expect_kw("in")
+        body = self.parse_expr()
+        return self._finish(ELet(rec, bindings, body), start)
+
+    def _parse_fun(self) -> EFun:
+        start = self._expect_kw("fun")
+        params = [self.parse_pattern_atom()]
+        while _is_pattern_atom_start(self.tok) and not self.tok.is_op("->"):
+            params.append(self.parse_pattern_atom())
+        self._expect_op("->")
+        body = self.parse_expr()
+        return self._finish(EFun(params, body), start)
+
+    def _parse_function(self) -> EFunction:
+        start = self._expect_kw("function")
+        return self._finish(EFunction(self._parse_cases()), start)
+
+    def _parse_match(self) -> EMatch:
+        start = self._expect_kw("match")
+        scrutinee = self.parse_expr()
+        self._expect_kw("with")
+        return self._finish(EMatch(scrutinee, self._parse_cases()), start)
+
+    def _parse_try(self) -> ETry:
+        start = self._expect_kw("try")
+        body = self.parse_expr()
+        self._expect_kw("with")
+        return self._finish(ETry(body, self._parse_cases()), start)
+
+    def _parse_cases(self) -> List[MatchCase]:
+        self._eat_op("|")
+        cases = []
+        while True:
+            cstart = self.tok
+            pattern = self.parse_pattern()
+            if self.tok.is_kw("when"):
+                raise ParseError("pattern guards ('when') are not supported in MiniML", self.tok)
+            self._expect_op("->")
+            body = self.parse_expr()
+            cases.append(self._finish(MatchCase(pattern, body), cstart))
+            if not self._eat_op("|"):
+                break
+        return cases
+
+    def _parse_if(self) -> EIf:
+        start = self._expect_kw("if")
+        cond = self.parse_expr()
+        self._expect_kw("then")
+        then_branch = self._parse_control()
+        else_branch = self._parse_control() if self._eat_kw("else") else None
+        return self._finish(EIf(cond, then_branch, else_branch), start)
+
+    def _parse_tuple_level(self) -> Expr:
+        start = self.tok
+        first = self._parse_assign_level()
+        if not self.tok.is_op(","):
+            return first
+        items = [first]
+        while self._eat_op(","):
+            items.append(self._parse_assign_level())
+        return self._finish(ETuple(items), start)
+
+    def _parse_assign_level(self) -> Expr:
+        start = self.tok
+        lhs = self._parse_or_level()
+        if self.tok.is_op(":="):
+            self._next()
+            rhs = self._parse_assign_level()
+            return self._finish(EBinop(":=", lhs, rhs), start)
+        if self.tok.is_op("<-"):
+            self._next()
+            rhs = self._parse_assign_level()
+            if isinstance(lhs, EFieldGet):
+                return self._finish(EFieldSet(lhs.record, lhs.field_name, rhs), start)
+            raise ParseError("'<-' requires a record field on the left", start)
+        return lhs
+
+    def _binary_left(self, ops: List[str], next_level) -> Expr:
+        start = self.tok
+        expr = next_level()
+        while self.tok.kind is TokenKind.OP and self.tok.text in ops or (
+            "mod" in ops and self.tok.is_kw("mod")
+        ):
+            op = self._next().text
+            right = next_level()
+            expr = self._finish(EBinop(op, expr, right), start)
+        return expr
+
+    def _binary_right(self, ops: List[str], next_level, this_level) -> Expr:
+        start = self.tok
+        left = next_level()
+        if self.tok.kind is TokenKind.OP and self.tok.text in ops:
+            op = self._next().text
+            right = this_level()
+            return self._finish(EBinop(op, left, right), start)
+        return left
+
+    def _parse_or_level(self) -> Expr:
+        return self._binary_right(["||"], self._parse_and_level, self._parse_or_level)
+
+    def _parse_and_level(self) -> Expr:
+        return self._binary_right(["&&"], self._parse_cmp_level, self._parse_and_level)
+
+    def _parse_cmp_level(self) -> Expr:
+        return self._binary_left(
+            ["=", "==", "!=", "<>", "<", ">", "<=", ">="], self._parse_concat_level
+        )
+
+    def _parse_concat_level(self) -> Expr:
+        return self._binary_right(["@", "^"], self._parse_cons_level, self._parse_concat_level)
+
+    def _parse_cons_level(self) -> Expr:
+        start = self.tok
+        head = self._parse_add_level()
+        if self.tok.is_op("::"):
+            self._next()
+            tail = self._parse_cons_level()
+            return self._finish(ECons(head, tail), start)
+        return head
+
+    def _parse_add_level(self) -> Expr:
+        return self._binary_left(["+", "-", "+.", "-."], self._parse_mul_level)
+
+    def _parse_mul_level(self) -> Expr:
+        return self._binary_left(["*", "/", "*.", "/.", "mod"], self._parse_unary)
+
+    def _parse_unary(self) -> Expr:
+        tok = self.tok
+        if tok.is_op("-"):
+            self._next()
+            operand = self._parse_unary()
+            # Fold negation into integer/float literals for natural printing.
+            if isinstance(operand, EConst) and operand.kind in ("int", "float"):
+                node = EConst(-operand.value, operand.kind)  # type: ignore[operator]
+                return self._finish(node, tok)
+            return self._finish(EUnop("-", operand), tok)
+        return self._parse_app()
+
+    def _parse_app(self) -> Expr:
+        start = self.tok
+        func = self._parse_postfix()
+        args: List[Expr] = []
+        while _is_atom_start(self.tok):
+            args.append(self._parse_postfix())
+        if not args:
+            return func
+        if isinstance(func, EConstructor) and func.arg is None and len(args) == 1:
+            # Constructor application: ``Some x`` / ``For (a, b)``.
+            return self._finish(EConstructor(func.name, args[0]), start)
+        return self._finish(EApp(func, args), start)
+
+    def _parse_postfix(self) -> Expr:
+        start = self.tok
+        expr = self._parse_atom()
+        while self.tok.is_op(".") and self._peek().kind is TokenKind.LIDENT:
+            self._next()
+            field_name = self._next().text
+            expr = self._finish(EFieldGet(expr, field_name), start)
+        return expr
+
+    def _parse_atom(self) -> Expr:
+        tok = self.tok
+        if tok.kind is TokenKind.INT:
+            self._next()
+            return self._finish(EConst(tok.value, "int"), tok)
+        if tok.kind is TokenKind.FLOAT:
+            self._next()
+            return self._finish(EConst(tok.value, "float"), tok)
+        if tok.kind is TokenKind.STRING:
+            self._next()
+            return self._finish(EConst(tok.value, "string"), tok)
+        if tok.is_kw("true") or tok.is_kw("false"):
+            self._next()
+            return self._finish(EConst(tok.text == "true", "bool"), tok)
+        if tok.kind is TokenKind.LIDENT:
+            self._next()
+            return self._finish(EVar(tok.text), tok)
+        if tok.kind is TokenKind.UIDENT:
+            self._next()
+            return self._finish(EConstructor(tok.text), tok)
+        if tok.is_kw("raise"):
+            # ``raise`` behaves like the ordinary function exn -> 'a it is in
+            # OCaml, so it must be usable inside operator expressions
+            # (``1 + raise Foo``) — the search wildcard depends on this.
+            self._next()
+            exn = self._parse_app()
+            return self._finish(ERaise(exn), tok)
+        if tok.is_op("!"):
+            self._next()
+            operand = self._parse_postfix()
+            return self._finish(EUnop("!", operand), tok)
+        if tok.is_op("("):
+            self._next()
+            if self._eat_op(")"):
+                return self._finish(EConst(None, "unit"), tok)
+            inner = self.parse_expr()
+            if self._eat_op(":"):
+                annot_type = self.parse_type_expr()
+                self._expect_op(")")
+                return self._finish(EAnnot(inner, annot_type), tok)
+            self._expect_op(")")
+            inner.span = self._span_from(tok)
+            return inner
+        if tok.is_kw("begin"):
+            self._next()
+            inner = self.parse_expr()
+            self._expect_kw("end")
+            return inner
+        if tok.is_op("["):
+            self._next()
+            if self._eat_op("]"):
+                return self._finish(EList([]), tok)
+            items = [self._parse_tuple_level()]
+            while self._eat_op(";"):
+                if self.tok.is_op("]"):
+                    break
+                items.append(self._parse_tuple_level())
+            self._expect_op("]")
+            return self._finish(EList(items), tok)
+        if tok.is_op("{"):
+            self._next()
+            fields = []
+            while True:
+                fstart = self.tok
+                if self.tok.kind is not TokenKind.LIDENT:
+                    raise ParseError("expected record field name", self.tok)
+                fname = self._next().text
+                self._expect_op("=")
+                fexpr = self._parse_tuple_level()
+                fields.append(self._finish(RecordField(fname, fexpr), fstart))
+                if not self._eat_op(";"):
+                    break
+                if self.tok.is_op("}"):
+                    break
+            self._expect_op("}")
+            return self._finish(ERecord(fields), tok)
+        raise ParseError("expected an expression", tok)
+
+    # ------------------------------------------------------------------
+    # Patterns
+    # ------------------------------------------------------------------
+
+    def parse_pattern(self) -> Pattern:
+        start = self.tok
+        first = self._parse_pattern_cons()
+        if not self.tok.is_op(","):
+            return first
+        items = [first]
+        while self._eat_op(","):
+            items.append(self._parse_pattern_cons())
+        return self._finish(PTuple(items), start)
+
+    def _parse_pattern_cons(self) -> Pattern:
+        start = self.tok
+        head = self._parse_pattern_app()
+        if self.tok.is_op("::"):
+            self._next()
+            tail = self._parse_pattern_cons()
+            return self._finish(PCons(head, tail), start)
+        return head
+
+    def _parse_pattern_app(self) -> Pattern:
+        tok = self.tok
+        if tok.kind is TokenKind.UIDENT:
+            self._next()
+            arg = None
+            if _is_pattern_atom_start(self.tok):
+                arg = self.parse_pattern_atom()
+            return self._finish(PConstructor(tok.text, arg), tok)
+        return self.parse_pattern_atom()
+
+    def parse_pattern_atom(self) -> Pattern:
+        tok = self.tok
+        if tok.is_op("_"):
+            self._next()
+            return self._finish(PWild(), tok)
+        if tok.kind is TokenKind.LIDENT:
+            self._next()
+            return self._finish(PVar(tok.text), tok)
+        if tok.kind is TokenKind.INT:
+            self._next()
+            return self._finish(PConst(tok.value, "int"), tok)
+        if tok.kind is TokenKind.FLOAT:
+            self._next()
+            return self._finish(PConst(tok.value, "float"), tok)
+        if tok.kind is TokenKind.STRING:
+            self._next()
+            return self._finish(PConst(tok.value, "string"), tok)
+        if tok.is_kw("true") or tok.is_kw("false"):
+            self._next()
+            return self._finish(PConst(tok.text == "true", "bool"), tok)
+        if tok.kind is TokenKind.UIDENT:
+            self._next()
+            return self._finish(PConstructor(tok.text), tok)
+        if tok.is_op("-") and self._peek().kind in (TokenKind.INT, TokenKind.FLOAT):
+            self._next()
+            num = self._next()
+            kind = "int" if num.kind is TokenKind.INT else "float"
+            return self._finish(PConst(-num.value, kind), tok)
+        if tok.is_op("("):
+            self._next()
+            if self._eat_op(")"):
+                return self._finish(PConst(None, "unit"), tok)
+            inner = self.parse_pattern()
+            self._expect_op(")")
+            inner.span = self._span_from(tok)
+            return inner
+        if tok.is_op("["):
+            self._next()
+            if self._eat_op("]"):
+                return self._finish(PList([]), tok)
+            items = [self.parse_pattern()]
+            while self._eat_op(";"):
+                if self.tok.is_op("]"):
+                    break
+                items.append(self.parse_pattern())
+            self._expect_op("]")
+            return self._finish(PList(items), tok)
+        raise ParseError("expected a pattern", tok)
+
+    # ------------------------------------------------------------------
+    # Type expressions
+    # ------------------------------------------------------------------
+
+    def parse_type_expr(self) -> TypeExpr:
+        start = self.tok
+        left = self._parse_type_tuple()
+        if self._eat_op("->"):
+            right = self.parse_type_expr()
+            return self._finish(TEArrow(left, right), start)
+        return left
+
+    def _parse_type_tuple(self) -> TypeExpr:
+        start = self.tok
+        first = self._parse_type_app()
+        if not self.tok.is_op("*"):
+            return first
+        items = [first]
+        while self._eat_op("*"):
+            items.append(self._parse_type_app())
+        return self._finish(TETuple(items), start)
+
+    def _parse_type_app(self) -> TypeExpr:
+        start = self.tok
+        base = self._parse_type_atom()
+        # Postfix constructors: ``int list``, ``move list list`` ...
+        while self.tok.kind is TokenKind.LIDENT:
+            name = self._next().text
+            base = self._finish(TEName(name, [base]), start)
+        return base
+
+    def _parse_type_atom(self) -> TypeExpr:
+        tok = self.tok
+        if tok.kind is TokenKind.CHAR:  # a 'a-style type variable
+            self._next()
+            return self._finish(TEVar(tok.text.lstrip("'")), tok)
+        if tok.kind is TokenKind.LIDENT:
+            self._next()
+            return self._finish(TEName(tok.text, []), tok)
+        if tok.is_op("("):
+            self._next()
+            first = self.parse_type_expr()
+            if self.tok.is_op(","):
+                args = [first]
+                while self._eat_op(","):
+                    args.append(self.parse_type_expr())
+                self._expect_op(")")
+                if self.tok.kind is not TokenKind.LIDENT:
+                    raise ParseError("expected type constructor after argument list", self.tok)
+                name = self._next().text
+                return self._finish(TEName(name, args), tok)
+            self._expect_op(")")
+            # Allow ``(move list) list`` style postfix application.
+            while self.tok.kind is TokenKind.LIDENT:
+                name = self._next().text
+                first = self._finish(TEName(name, [first]), tok)
+            return first
+        raise ParseError("expected a type", tok)
+
+
+def _is_pattern_atom_start(tok: Token) -> bool:
+    if tok.kind in (TokenKind.INT, TokenKind.FLOAT, TokenKind.STRING, TokenKind.LIDENT, TokenKind.UIDENT):
+        return True
+    if tok.kind is TokenKind.KEYWORD and tok.text in ("true", "false"):
+        return True
+    return tok.kind is TokenKind.OP and tok.text in ("(", "[", "_")
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole MiniML source file into a :class:`Program`."""
+    return Parser(source).parse_program()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single MiniML expression (convenience for tests/examples)."""
+    parser = Parser(source)
+    expr = parser.parse_expr()
+    if parser.tok.kind is not TokenKind.EOF:
+        raise ParseError("trailing input after expression", parser.tok)
+    return expr

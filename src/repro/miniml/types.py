@@ -1,0 +1,228 @@
+"""Semantic types for the MiniML Hindley-Milner inference engine.
+
+Types use the classic mutable-link representation: a :class:`TVar` either
+links to another type (after unification) or is free, carrying a *level* for
+efficient let-generalization (Rémy-style).  :func:`resolve` follows links one
+step; :func:`prune` path-compresses.
+
+Printing names free variables ``'a, 'b, ...`` in first-appearance order, the
+way OCaml error messages do.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional
+
+_var_counter = itertools.count()
+
+
+class Type:
+    """Base class of semantic types."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type_to_string(self)}>"
+
+
+class TVar(Type):
+    """A unification variable with a binding level for generalization."""
+
+    __slots__ = ("id", "level", "link")
+
+    def __init__(self, level: int):
+        self.id = next(_var_counter)
+        self.level = level
+        self.link: Optional[Type] = None
+
+
+class TCon(Type):
+    """A (possibly parameterized) type constructor: ``int``, ``'a list``,
+    ``move``, ``exn``, ``ref`` ... Arrow and tuple get their own classes."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Optional[List[Type]] = None):
+        self.name = name
+        self.args = args or []
+
+
+class TArrow(Type):
+    """Function type ``param -> result``."""
+
+    __slots__ = ("param", "result")
+
+    def __init__(self, param: Type, result: Type):
+        self.param = param
+        self.result = result
+
+
+class TTuple(Type):
+    """Tuple type ``t1 * t2 * ...`` (arity >= 2)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: List[Type]):
+        self.items = items
+
+
+# Shared nullary constructors.
+INT = TCon("int")
+FLOAT = TCon("float")
+BOOL = TCon("bool")
+STRING = TCon("string")
+UNIT = TCon("unit")
+EXN = TCon("exn")
+
+
+def t_list(elem: Type) -> TCon:
+    return TCon("list", [elem])
+
+
+def t_ref(elem: Type) -> TCon:
+    return TCon("ref", [elem])
+
+
+def t_option(elem: Type) -> TCon:
+    return TCon("option", [elem])
+
+
+def arrows(*types: Type) -> Type:
+    """Build a right-nested curried arrow: ``arrows(a, b, c) = a -> b -> c``."""
+    result = types[-1]
+    for param in reversed(types[:-1]):
+        result = TArrow(param, result)
+    return result
+
+
+def resolve(t: Type) -> Type:
+    """Follow variable links until reaching a non-linked representative."""
+    while isinstance(t, TVar) and t.link is not None:
+        t = t.link
+    return t
+
+
+def prune(t: Type) -> Type:
+    """Like :func:`resolve` but with path compression."""
+    if isinstance(t, TVar) and t.link is not None:
+        t.link = prune(t.link)
+        return t.link
+    return t
+
+
+class Scheme:
+    """A type scheme ``forall vars. body`` (vars are unlinked TVars)."""
+
+    __slots__ = ("vars", "body")
+
+    def __init__(self, vars: List[TVar], body: Type):
+        self.vars = vars
+        self.body = body
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<forall {[v.id for v in self.vars]}. {type_to_string(self.body)}>"
+
+
+def monotype(t: Type) -> Scheme:
+    """A scheme with no quantified variables."""
+    return Scheme([], t)
+
+
+def free_type_vars(t: Type, acc: Optional[List[TVar]] = None) -> List[TVar]:
+    """Collect free (unlinked) variables in first-appearance order."""
+    if acc is None:
+        acc = []
+    t = resolve(t)
+    if isinstance(t, TVar):
+        if t not in acc:
+            acc.append(t)
+    elif isinstance(t, TCon):
+        for arg in t.args:
+            free_type_vars(arg, acc)
+    elif isinstance(t, TArrow):
+        free_type_vars(t.param, acc)
+        free_type_vars(t.result, acc)
+    elif isinstance(t, TTuple):
+        for item in t.items:
+            free_type_vars(item, acc)
+    return acc
+
+
+def instantiate(scheme: Scheme, level: int) -> Type:
+    """Replace quantified variables with fresh variables at ``level``."""
+    if not scheme.vars:
+        return scheme.body
+    mapping: Dict[TVar, TVar] = {v: TVar(level) for v in scheme.vars}
+    return _substitute(scheme.body, mapping)
+
+
+def _substitute(t: Type, mapping: Dict[TVar, TVar]) -> Type:
+    t = resolve(t)
+    if isinstance(t, TVar):
+        return mapping.get(t, t)
+    if isinstance(t, TCon):
+        if not t.args:
+            return t
+        return TCon(t.name, [_substitute(a, mapping) for a in t.args])
+    if isinstance(t, TArrow):
+        return TArrow(_substitute(t.param, mapping), _substitute(t.result, mapping))
+    if isinstance(t, TTuple):
+        return TTuple([_substitute(i, mapping) for i in t.items])
+    return t
+
+
+def generalize(t: Type, level: int) -> Scheme:
+    """Quantify every free variable bound deeper than ``level``."""
+    quantified = [v for v in free_type_vars(t) if v.level > level]
+    return Scheme(quantified, t)
+
+
+# ---------------------------------------------------------------------------
+# Printing
+# ---------------------------------------------------------------------------
+
+_GREEK = "abcdefghijklmnopqrstuvwxyz"
+
+
+class TypePrinter:
+    """Stateful printer so several types in one message share variable names."""
+
+    def __init__(self) -> None:
+        self._names: Dict[int, str] = {}
+
+    def _var_name(self, v: TVar) -> str:
+        if v.id not in self._names:
+            index = len(self._names)
+            suffix = index // 26
+            name = _GREEK[index % 26] + (str(suffix) if suffix else "")
+            self._names[v.id] = "'" + name
+        return self._names[v.id]
+
+    def to_string(self, t: Type, atom: bool = False) -> str:
+        t = resolve(t)
+        if isinstance(t, TVar):
+            return self._var_name(t)
+        if isinstance(t, TCon):
+            if not t.args:
+                return t.name
+            if len(t.args) == 1:
+                return f"{self.to_string(t.args[0], atom=True)} {t.name}"
+            inner = ", ".join(self.to_string(a) for a in t.args)
+            return f"({inner}) {t.name}"
+        if isinstance(t, TArrow):
+            text = f"{self.to_string(t.param, atom=True)} -> {self.to_string(t.result)}"
+            return f"({text})" if atom else text
+        if isinstance(t, TTuple):
+            text = " * ".join(self.to_string(i, atom=True) for i in t.items)
+            return f"({text})" if atom else text
+        raise TypeError(f"unknown type: {t!r}")
+
+
+def type_to_string(t: Type) -> str:
+    """Render one type with fresh variable naming."""
+    return TypePrinter().to_string(t)
+
+
+def types_to_strings(types: Iterable[Type]) -> List[str]:
+    """Render several types sharing one variable-naming scope."""
+    printer = TypePrinter()
+    return [printer.to_string(t) for t in types]

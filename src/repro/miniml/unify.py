@@ -1,0 +1,111 @@
+"""Unification for MiniML types.
+
+Standard destructive unification with occurs check and level adjustment.
+Because the SEMINAL searcher calls the type-checker thousands of times on
+slightly different programs, each check runs in a fresh inference pass over a
+shared immutable AST — so unification state never needs undoing across calls.
+"""
+
+from __future__ import annotations
+
+from .types import TArrow, TCon, TTuple, TVar, Type, resolve, types_to_strings
+
+
+class UnifyError(Exception):
+    """Two types failed to unify; carries both for message rendering."""
+
+    def __init__(self, t1: Type, t2: Type, reason: str = "incompatible"):
+        self.t1 = t1
+        self.t2 = t2
+        self.reason = reason
+        s1, s2 = types_to_strings([t1, t2])
+        super().__init__(f"cannot unify {s1} with {s2} ({reason})")
+
+
+def occurs_in(var: TVar, t: Type) -> bool:
+    """Whether ``var`` occurs inside ``t`` (after link resolution)."""
+    t = resolve(t)
+    if t is var:
+        return True
+    if isinstance(t, TCon):
+        return any(occurs_in(var, a) for a in t.args)
+    if isinstance(t, TArrow):
+        return occurs_in(var, t.param) or occurs_in(var, t.result)
+    if isinstance(t, TTuple):
+        return any(occurs_in(var, i) for i in t.items)
+    return False
+
+
+def _adjust_levels(var: TVar, t: Type) -> None:
+    """Lower levels inside ``t`` to ``var.level`` so generalization stays sound."""
+    t = resolve(t)
+    if isinstance(t, TVar):
+        if t.level > var.level:
+            t.level = var.level
+    elif isinstance(t, TCon):
+        for a in t.args:
+            _adjust_levels(var, a)
+    elif isinstance(t, TArrow):
+        _adjust_levels(var, t.param)
+        _adjust_levels(var, t.result)
+    elif isinstance(t, TTuple):
+        for i in t.items:
+            _adjust_levels(var, i)
+
+
+def unify(t1: Type, t2: Type) -> None:
+    """Make ``t1`` and ``t2`` equal, or raise :class:`UnifyError`."""
+    t1 = resolve(t1)
+    t2 = resolve(t2)
+    if t1 is t2:
+        return
+    if isinstance(t1, TVar):
+        if occurs_in(t1, t2):
+            raise UnifyError(t1, t2, "occurs check: the type would be cyclic")
+        _adjust_levels(t1, t2)
+        t1.link = t2
+        return
+    if isinstance(t2, TVar):
+        unify(t2, t1)
+        return
+    if isinstance(t1, TCon) and isinstance(t2, TCon):
+        if t1.name != t2.name or len(t1.args) != len(t2.args):
+            raise UnifyError(t1, t2)
+        for a, b in zip(t1.args, t2.args):
+            _unify_child(a, b, t1, t2)
+        return
+    if isinstance(t1, TArrow) and isinstance(t2, TArrow):
+        _unify_child(t1.param, t2.param, t1, t2)
+        _unify_child(t1.result, t2.result, t1, t2)
+        return
+    if isinstance(t1, TTuple) and isinstance(t2, TTuple):
+        if len(t1.items) != len(t2.items):
+            raise UnifyError(t1, t2, f"tuple arity {len(t1.items)} vs {len(t2.items)}")
+        for a, b in zip(t1.items, t2.items):
+            _unify_child(a, b, t1, t2)
+        return
+    raise UnifyError(t1, t2)
+
+
+def _unify_child(a: Type, b: Type, parent1: Type, parent2: Type) -> None:
+    """Unify children but report the outermost mismatching pair, OCaml-style."""
+    try:
+        unify(a, b)
+    except UnifyError as err:
+        # Keep the original innermost pair available, but present the
+        # outer types: OCaml reports "int list vs string list", not
+        # "int vs string", and so do we.
+        raise UnifyError(parent1, parent2, err.reason) from err
+
+
+def unifiable(t1: Type, t2: Type) -> bool:
+    """Non-destructive-looking convenience: try to unify, report success.
+
+    Note: a *successful* unification does mutate links; callers use this only
+    on freshly instantiated types inside one checking pass.
+    """
+    try:
+        unify(t1, t2)
+        return True
+    except UnifyError:
+        return False

@@ -1,0 +1,215 @@
+"""Generic abstract-syntax-tree infrastructure shared by every language front end.
+
+The SEMINAL search procedure (``repro.core``) is language agnostic: it only
+needs to walk an AST, address subtrees by *path*, and rebuild a tree with one
+subtree replaced.  Both substrates (``repro.miniml`` and
+``repro.cpptemplates``) derive their node classes from :class:`Node`, which
+gives them:
+
+* automatic child discovery (any dataclass field holding a ``Node`` or a
+  list/tuple of ``Node`` is a child),
+* purely functional subtree replacement (:func:`replace_at`),
+* source spans and the ``synthetic`` flag used to render the paper's
+  ``[[...]]`` wildcard without the type-checker ever knowing about it.
+
+Paths
+-----
+A path is a tuple of steps.  Each step is either a field name (``"body"``)
+for a direct child, or a ``(field, index)`` pair for a child stored inside a
+list field.  The empty tuple addresses the root.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from typing import Any, Iterator, Optional, Sequence, Tuple, Union
+
+PathStep = Union[str, Tuple[str, int]]
+Path = Tuple[PathStep, ...]
+
+
+@dataclass(eq=False)
+class Span:
+    """A half-open region of source text, 1-based line/column for display."""
+
+    start_line: int = 0
+    start_col: int = 0
+    end_line: int = 0
+    end_col: int = 0
+    start_offset: int = 0
+    end_offset: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.start_line}:{self.start_col}-{self.end_line}:{self.end_col})"
+
+    def covers(self, other: "Span") -> bool:
+        """Whether this span textually encloses ``other``."""
+        return (
+            self.start_offset <= other.start_offset
+            and other.end_offset <= self.end_offset
+        )
+
+
+class Node:
+    """Base class for all AST nodes of every mini-language.
+
+    Concrete nodes are ``@dataclass(eq=False)`` subclasses; equality is
+    object identity so nodes can key dictionaries during search.  Structural
+    equality, when needed, goes through :func:`structurally_equal`.
+
+    Attributes set outside the dataclass machinery (class-level defaults so
+    subclasses need not repeat them):
+
+    ``span``
+        Source location, filled in by parsers; ``None`` for synthesized nodes.
+    ``synthetic``
+        True for nodes the *searcher* created (the ``raise Foo`` wildcard and
+        the ``adapt`` wrapper).  The type-checker ignores this flag entirely;
+        only message rendering consults it, preserving the paper's
+        "no change to the type-checker" property.
+    """
+
+    span: Optional[Span] = None
+    synthetic: bool = False
+
+    def child_items(self) -> Iterator[Tuple[PathStep, "Node"]]:
+        """Yield ``(step, child)`` for every direct AST child, in field order."""
+        for f in fields(self):  # type: ignore[arg-type]
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield f.name, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Node):
+                        yield (f.name, i), item
+
+    def children(self) -> list["Node"]:
+        """All direct AST children, in field order."""
+        return [child for _, child in self.child_items()]
+
+    def with_child(self, step: PathStep, new_child: "Node") -> "Node":
+        """Return a shallow copy of this node with one child replaced."""
+        if isinstance(step, str):
+            return dataclasses.replace(self, **{step: new_child})  # type: ignore[type-var]
+        field_name, index = step
+        seq = list(getattr(self, field_name))
+        seq[index] = new_child
+        value: Any = tuple(seq) if isinstance(getattr(self, field_name), tuple) else seq
+        return dataclasses.replace(self, **{field_name: value})  # type: ignore[type-var]
+
+
+def get_at(root: Node, path: Path) -> Node:
+    """Return the node addressed by ``path`` (the root for the empty path)."""
+    node = root
+    for step in path:
+        if isinstance(step, str):
+            node = getattr(node, step)
+        else:
+            field_name, index = step
+            node = getattr(node, field_name)[index]
+        if not isinstance(node, Node):
+            raise KeyError(f"path step {step!r} does not address a Node")
+    return node
+
+
+def replace_at(root: Node, path: Path, new_node: Node) -> Node:
+    """Return a new tree equal to ``root`` with the subtree at ``path`` replaced.
+
+    The original tree is never mutated: nodes along the path are shallow
+    copied, everything off the path is shared.  This is what lets the searcher
+    cheaply try thousands of candidate programs.
+    """
+    if not path:
+        return new_node
+    step, rest = path[0], path[1:]
+    child = get_at(root, (step,))
+    return root.with_child(step, replace_at(child, rest, new_node))
+
+
+def walk(root: Node, path: Path = ()) -> Iterator[Tuple[Path, Node]]:
+    """Pre-order traversal yielding ``(path, node)`` for every node."""
+    yield path, root
+    for step, child in root.child_items():
+        yield from walk(child, path + (step,))
+
+
+def find_path(root: Node, target: Node) -> Optional[Path]:
+    """Locate ``target`` (by identity) inside ``root``; ``None`` if absent."""
+    for path, node in walk(root):
+        if node is target:
+            return path
+    return None
+
+
+def node_size(root: Node) -> int:
+    """Number of nodes in the subtree — the ranker's notion of change size."""
+    return sum(1 for _ in walk(root))
+
+
+def node_depth(root: Node) -> int:
+    """Height of the subtree (a leaf has depth 1)."""
+    children = root.children()
+    if not children:
+        return 1
+    return 1 + max(node_depth(c) for c in children)
+
+
+def structurally_equal(a: Node, b: Node) -> bool:
+    """Deep structural equality ignoring spans and the ``synthetic`` flag."""
+    if type(a) is not type(b):
+        return False
+    for f in fields(a):  # type: ignore[arg-type]
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, Node) or isinstance(vb, Node):
+            if not (isinstance(va, Node) and isinstance(vb, Node)):
+                return False
+            if not structurally_equal(va, vb):
+                return False
+        elif isinstance(va, (list, tuple)) and isinstance(vb, (list, tuple)):
+            if len(va) != len(vb):
+                return False
+            for xa, xb in zip(va, vb):
+                if isinstance(xa, Node) and isinstance(xb, Node):
+                    if not structurally_equal(xa, xb):
+                        return False
+                elif isinstance(xa, Node) or isinstance(xb, Node):
+                    return False
+                elif xa != xb:
+                    return False
+        elif va != vb:
+            return False
+    return True
+
+
+def copy_tree(root: Node) -> Node:
+    """Deep copy of an AST (spans shared, node objects fresh)."""
+    replacements = {}
+    for step, child in root.child_items():
+        replacements[step] = copy_tree(child)
+    node = root
+    for step, child in replacements.items():
+        node = node.with_child(step, child)
+    if node is root:  # leaf: force a fresh object
+        node = dataclasses.replace(root)  # type: ignore[type-var]
+        node.span = root.span
+        node.synthetic = root.synthetic
+    return node
+
+
+def mark_synthetic(node: Node) -> Node:
+    """Flag a node (in place) as searcher-created and return it."""
+    node.synthetic = True
+    return node
+
+
+def spanned(node: Node, span: Optional[Span]) -> Node:
+    """Attach a span (in place) and return the node, for parser convenience."""
+    node.span = span
+    return node
+
+
+def ancestor_paths(path: Path) -> Iterator[Path]:
+    """Yield every proper prefix of ``path``, longest first (excluding itself)."""
+    for i in range(len(path) - 1, -1, -1):
+        yield path[:i]

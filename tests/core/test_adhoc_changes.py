@@ -1,0 +1,63 @@
+"""Tests for the ad-hoc conversion/print changes (Section 2.2's
+"special cases are encouraged rather than discouraged")."""
+
+import pytest
+
+from repro.core import explain
+from repro.core.enumerator import MiniMLEnumerator
+from repro.miniml import parse_expr, typecheck_program
+from repro.miniml.pretty import pretty
+
+
+def rules_for(src):
+    enum = MiniMLEnumerator()
+    return {(cn.change.rule, pretty(cn.change.replacement)) for cn in enum.changes(parse_expr(src), ())}
+
+
+class TestCatalog:
+    def test_string_concat_conversion_offered(self):
+        rendered = rules_for('"n = " ^ n')
+        assert ("wrap-conversion", '"n = " ^ string_of_int n') in rendered
+
+    def test_both_sides_offered(self):
+        rendered = {r for r, _ in rules_for("a ^ b")}
+        assert "wrap-conversion" in rendered
+
+    def test_arith_parse_conversion_offered(self):
+        rendered = rules_for("total + input")
+        assert ("wrap-conversion", "total + int_of_string input") in rendered
+
+    def test_print_family_swaps(self):
+        rendered = rules_for("print_string n")
+        assert ("swap-print-fn", "print_int n") in rendered
+        assert ("swap-print-fn", "print_endline n") in rendered
+
+    def test_non_print_call_not_swapped(self):
+        rendered = {r for r, _ in rules_for("foo n")}
+        assert "swap-print-fn" not in rendered
+
+
+class TestEndToEnd:
+    def test_string_of_int_fix_found_and_ranked_first(self):
+        result = explain('let msg = "answer = " ^ 42')
+        best = result.best
+        assert best is not None
+        assert best.change.rule == "wrap-conversion"
+        assert pretty(best.change.replacement) == '"answer = " ^ string_of_int 42'
+
+    def test_print_int_fix(self):
+        result = explain("let u = print_string 42")
+        rules = {s.change.rule for s in result.suggestions}
+        assert "swap-print-fn" in rules
+        best = result.best
+        assert pretty(best.change.replacement) == "print_int 42"
+
+    def test_int_of_string_fix(self):
+        result = explain('let total n = n + "5"')
+        rules = {s.change.rule for s in result.suggestions}
+        assert "wrap-conversion" in rules
+
+    def test_all_fix_programs_typecheck(self):
+        for src in ['let msg = "x" ^ 1', "let u = print_string 3"]:
+            for s in explain(src).suggestions:
+                assert typecheck_program(s.program).ok

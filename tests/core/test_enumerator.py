@@ -1,0 +1,191 @@
+"""Tests for the constructive-change catalog (paper Figure 3)."""
+
+import pytest
+
+from repro.core.changes import KIND_CONSTRUCTIVE
+from repro.core.enumerator import (
+    MiniMLEnumerator,
+    adapt_expr,
+    wildcard_expr,
+    wildcard_for,
+    wildcard_pattern,
+)
+from repro.miniml import parse_expr, parse_program, typecheck_program
+from repro.miniml.ast_nodes import EFun, EMatch, ERaise, PWild
+from repro.miniml.pretty import WILDCARD_TEXT, pretty, pretty_expr
+from repro.tree import replace_at
+
+
+def rules_for(src, node=None):
+    e = node if node is not None else parse_expr(src)
+    enum = MiniMLEnumerator()
+    return {(cn.change.rule, pretty(cn.change.replacement)) for cn in enum.changes(e, ())}
+
+
+def rule_set(src):
+    return {r for r, _ in rules_for(src)}
+
+
+class TestWildcards:
+    def test_expr_wildcard_is_raise_foo(self):
+        w = wildcard_expr()
+        assert isinstance(w, ERaise)
+        assert w.synthetic
+
+    def test_expr_wildcard_prints_as_hole(self):
+        assert pretty_expr(wildcard_expr()) == WILDCARD_TEXT
+
+    def test_expr_wildcard_typechecks_anywhere(self):
+        prog = parse_program("let x = 1 + 2")
+        target_path = (("decls", 0), ("bindings", 0), "expr")
+        fixed = replace_at(prog, target_path, wildcard_expr())
+        assert typecheck_program(fixed).ok
+
+    def test_pattern_wildcard(self):
+        w = wildcard_pattern()
+        assert isinstance(w, PWild) and w.synthetic
+
+    def test_wildcard_for_dispatch(self):
+        assert isinstance(wildcard_for(parse_expr("1")), ERaise)
+        prog = parse_program("let f x = x")
+        pattern = prog.decls[0].bindings[0].expr.params[0]
+        assert isinstance(wildcard_for(pattern), PWild)
+        assert wildcard_for(prog.decls[0]) is None
+
+    def test_adapt_wrapper_typechecks_when_inner_ok(self):
+        # if (adapt (f x)) then ... : adapt discards the context constraint.
+        prog = parse_program("let g f x = if f x then 1 else 2")
+        cond_path = (("decls", 0), ("bindings", 0), "expr", "body", "cond")
+        cond = prog.decls[0].bindings[0].expr.body.cond
+        adapted = replace_at(prog, cond_path, adapt_expr(cond))
+        assert typecheck_program(adapted).ok
+
+    def test_adapt_prints_as_its_argument(self):
+        assert pretty_expr(adapt_expr(parse_expr("f x"))) == "f x"
+
+
+class TestApplicationChanges:
+    """Every Figure 3 application change must appear in the catalog."""
+
+    def test_drop_arg(self):
+        assert ("drop-arg", "f a1 a3") in rules_for("f a1 a2 a3")
+
+    def test_insert_arg(self):
+        assert ("insert-arg", f"f a1 {WILDCARD_TEXT} a2 a3") in rules_for("f a1 a2 a3")
+
+    def test_permutations_are_probe_gated(self):
+        enum = MiniMLEnumerator()
+        e = parse_expr("f a1 a2 a3")
+        probes = [cn for cn in enum.changes(e, ()) if cn.change.is_probe]
+        assert len(probes) == 1
+        followups = probes[0].on_success()
+        rendered = {pretty(cn.change.replacement) for cn in followups}
+        assert "f a3 a2 a1" in rendered
+        assert len(followups) == 5  # 3! - identity
+
+    def test_two_arg_swap_not_gated(self):
+        assert ("permute-args", "f b a") in rules_for("f a b")
+
+    def test_nest_call(self):
+        assert ("nest-call", "f (a1 a2 a3)") in rules_for("f a1 a2 a3")
+
+    def test_tuple_args(self):
+        assert ("tuple-args", "f (a1, a2, a3)") in rules_for("f a1 a2 a3")
+
+    def test_untuple_args(self):
+        assert ("untuple-args", "f a1 a2 a3") in rules_for("f (a1, a2, a3)")
+
+
+class TestFunctionChanges:
+    def test_curry_params(self):
+        assert ("curry-params", "fun x y -> x + y") in rules_for("fun (x, y) -> x + y")
+
+    def test_tuple_params(self):
+        assert ("tuple-params", "fun (x, y) -> x + y") in rules_for("fun x y -> x + y")
+
+    def test_add_param(self):
+        assert "add-param" in rule_set("fun x -> x")
+
+    def test_drop_param_needs_two(self):
+        assert "drop-param" not in rule_set("fun x -> x")
+        assert "drop-param" in rule_set("fun x y -> x")
+
+
+class TestOperatorChanges:
+    def test_eq_alternatives(self):
+        rendered = rules_for("a = b")
+        assert ("swap-operator", "a == b") in rendered
+        assert ("swap-operator", "a := b") in rendered
+
+    def test_plus_to_float_plus(self):
+        assert ("swap-operator", "a +. b") in rules_for("a + b")
+
+    def test_plus_to_concat(self):
+        assert ("swap-operator", "a ^ b") in rules_for("a + b")
+
+    def test_swap_operands(self):
+        assert ("swap-operands", "b - a") in rules_for("a - b")
+
+    def test_refupdate_to_fieldset(self):
+        # Figure 3: e1.fld := e2  =>  e1.fld <- e2
+        assert ("refupdate-to-fieldset", "r.fld <- v") in rules_for("r.fld := v")
+
+    def test_fieldset_to_refupdate(self):
+        assert ("fieldset-to-refupdate", "r.fld := v") in rules_for("r.fld <- v")
+
+
+class TestLiteralChanges:
+    def test_list_of_tuple_to_list(self):
+        # Figure 3 / Section 5.3: [e1, e2, e3] => [e1; e2; e3]
+        assert ("list-of-tuple-to-list", "[1; 2; 3]") in rules_for("[1, 2, 3]")
+
+    def test_tuple_permutation_probe(self):
+        enum = MiniMLEnumerator()
+        e = parse_expr("(a, b, c)")
+        probes = [cn for cn in enum.changes(e, ()) if cn.change.is_probe]
+        assert len(probes) == 1
+
+    def test_cons_swap(self):
+        assert ("swap-cons", "xs :: x") in rules_for("x :: xs")
+
+
+class TestControlChanges:
+    def test_make_rec(self):
+        prog = parse_program("let f x = f (x - 1)")
+        enum = MiniMLEnumerator()
+        rules = {cn.change.rule for cn in enum.changes(prog.decls[0], ())}
+        assert "make-rec" in rules
+
+    def test_make_rec_expr_level(self):
+        assert "make-rec" in rule_set("let f x = f x in f 1")
+
+    def test_add_else(self):
+        assert "add-else" in rule_set("if c then 1")
+
+    def test_drop_case(self):
+        assert "drop-case" in rule_set("match x with 0 -> a | 1 -> b")
+
+    def test_reparen_match_present_for_nested(self):
+        src = "match x with 0 -> (match y with 1 -> a | 2 -> b) | _ -> c"
+        assert "reparen-match" in rule_set(src)
+
+    def test_reparen_match_absent_without_nesting(self):
+        assert "reparen-match" not in rule_set("match x with 0 -> a | _ -> c")
+
+    def test_qualify_name(self):
+        assert ("qualify-name", "List.map") in rules_for("map")
+
+
+class TestDisabledRules:
+    def test_disabling_removes_rule(self):
+        enum = MiniMLEnumerator(disabled_rules=["permute-args"])
+        e = parse_expr("f a b")
+        rules = {cn.change.rule for cn in enum.changes(e, ())}
+        assert "permute-args" not in rules
+        assert "drop-arg" in rules
+
+    def test_all_changes_are_constructive_kind(self):
+        enum = MiniMLEnumerator()
+        for src in ["f a b", "fun (x, y) -> x", "a + b", "[1, 2]", "(a, b)"]:
+            for cn in enum.changes(parse_expr(src), ()):
+                assert cn.change.kind == KIND_CONSTRUCTIVE

@@ -1,0 +1,104 @@
+"""Tests for message rendering (the paper's Figure 2/8/9-style output)."""
+
+import pytest
+
+from repro.core import explain
+from repro.core.messages import (
+    MAX_CONTEXT_CHARS,
+    context_text,
+    render_report,
+    render_suggestion,
+    replacement_type,
+)
+from repro.miniml.pretty import WILDCARD_TEXT
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return explain(
+        """
+let map2 f aList bList =
+  List.map (fun (a, b) -> f a b) (List.combine aList bList)
+let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]
+"""
+    )
+
+
+class TestSuggestionRendering:
+    def test_try_replacing_form(self, fig2):
+        message = render_suggestion(fig2.best)
+        assert message.startswith("Try replacing ")
+        assert " with " in message
+        assert "within context" in message
+
+    def test_type_reported(self, fig2):
+        assert "of type int -> int -> int" in render_suggestion(fig2.best)
+
+    def test_context_is_whole_declaration_when_short(self, fig2):
+        assert context_text(fig2.best).startswith("let lst = ")
+
+    def test_removal_prints_wildcard(self):
+        result = explain("let x = 1 + true")
+        removals = [s for s in result.suggestions if s.kind == "remove"]
+        assert removals
+        assert WILDCARD_TEXT in render_suggestion(removals[0])
+
+    def test_removal_reports_hole_type(self):
+        result = explain("let f b = if b then 1 else true")
+        removals = [s for s in result.suggestions if s.kind == "remove"]
+        texts = [render_suggestion(s) for s in removals]
+        assert any("of type" in t for t in texts)
+
+    def test_adaptation_rendering(self):
+        result = explain("let g f x = if f x x then 1 else 2")
+        adapts = [s for s in result.suggestions if s.kind == "adapt"]
+        if adapts:
+            message = render_suggestion(adapts[0])
+            assert "type-checks by itself" in message
+
+
+class TestContextFallback:
+    def test_long_declaration_falls_back_to_small_context(self):
+        # A declaration whose rendering exceeds the context budget.
+        items = " + ".join(f"x{i}" for i in range(40))
+        src = f"let f {' '.join('x%d' % i for i in range(40))} = {items} + true"
+        result = explain(src)
+        assert result.best is not None
+        ctx = context_text(result.best)
+        assert len(ctx) <= max(MAX_CONTEXT_CHARS, len(ctx))  # never crashes
+        assert "true" in ctx or WILDCARD_TEXT in ctx
+
+
+class TestReplacementType:
+    def test_memoized(self, fig2):
+        first = replacement_type(fig2.best)
+        assert first == "int -> int -> int"
+        assert fig2.best.new_type == first
+        assert replacement_type(fig2.best) is fig2.best.new_type
+
+
+class TestReport:
+    def test_report_limits_suggestions(self, fig2):
+        report = render_report(fig2.suggestions, limit=2)
+        assert report.count("Suggestion") == 2
+
+    def test_report_without_suggestions_shows_checker(self):
+        report = render_report([], checker_message="Unbound value x")
+        assert "Unbound value x" in report
+
+    def test_report_empty(self):
+        assert render_report([], None) == "No suggestion found."
+
+    def test_explain_render_roundtrip(self, fig2):
+        text = fig2.render(3)
+        assert "Suggestion 1:" in text
+
+
+class TestTriageRendering:
+    def test_triage_preamble_and_epilogue(self):
+        result = explain('let f a = (a + true) + (4 + "hi") + (a + false)')
+        triaged = [s for s in result.suggestions if s.triaged]
+        assert triaged
+        message = render_suggestion(triaged[0])
+        assert "several type errors" in message
+        assert WILDCARD_TEXT in message

@@ -1,0 +1,101 @@
+"""Tests for the type-checker oracle wrapper."""
+
+import pytest
+
+from repro.core.oracle import BudgetExceeded, Oracle
+from repro.miniml import parse_program
+
+
+@pytest.fixture
+def good():
+    return parse_program("let x = 1")
+
+
+@pytest.fixture
+def bad():
+    return parse_program("let x = 1 + true")
+
+
+class TestBasics:
+    def test_passes_well_typed(self, good):
+        assert Oracle().passes(good)
+
+    def test_rejects_ill_typed(self, bad):
+        assert not Oracle().passes(bad)
+
+    def test_check_returns_error_object(self, bad):
+        result = Oracle().check(bad)
+        assert not result.ok
+        assert result.error is not None
+
+    def test_call_counting(self, good, bad):
+        oracle = Oracle()
+        oracle.passes(good)
+        oracle.passes(bad)
+        oracle.passes(good)
+        assert oracle.calls == 3
+
+    def test_reset(self, good):
+        oracle = Oracle()
+        oracle.passes(good)
+        oracle.reset()
+        assert oracle.calls == 0
+
+
+class TestBudget:
+    def test_budget_enforced(self, good):
+        oracle = Oracle(max_calls=2)
+        oracle.passes(good)
+        oracle.passes(good)
+        with pytest.raises(BudgetExceeded):
+            oracle.passes(good)
+
+    def test_budget_none_is_unlimited(self, good):
+        oracle = Oracle(max_calls=None)
+        for _ in range(10):
+            oracle.passes(good)
+        assert oracle.calls == 10
+
+
+class TestCache:
+    def test_cache_hits_counted(self, good):
+        oracle = Oracle(cache=True)
+        oracle.passes(good)
+        oracle.passes(good)
+        assert oracle.calls == 1
+        assert oracle.cache_hits == 1
+
+    def test_cache_keyed_on_text(self):
+        oracle = Oracle(cache=True)
+        # Same source text parsed twice: distinct ASTs, one oracle call.
+        oracle.passes(parse_program("let x = 1"))
+        oracle.passes(parse_program("let x = 1"))
+        assert oracle.calls == 1
+
+    def test_cache_distinguishes_programs(self, good, bad):
+        oracle = Oracle(cache=True)
+        assert oracle.passes(good)
+        assert not oracle.passes(bad)
+        assert oracle.calls == 2
+
+    def test_no_cache_by_default(self, good):
+        oracle = Oracle()
+        oracle.passes(good)
+        oracle.passes(good)
+        assert oracle.calls == 2
+
+
+class TestCustomChecker:
+    def test_pluggable_typecheck(self, good):
+        """The oracle is language-agnostic: any callable works."""
+        from repro.miniml.infer import CheckResult
+
+        calls = []
+
+        def fake(program):
+            calls.append(program)
+            return CheckResult(ok=True)
+
+        oracle = Oracle(typecheck=fake)
+        assert oracle.passes(good)
+        assert calls == [good]

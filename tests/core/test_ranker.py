@@ -1,0 +1,137 @@
+"""Tests for the ranking heuristics (Sections 2.2-2.4)."""
+
+from repro.core.changes import (
+    KIND_ADAPT,
+    KIND_CONSTRUCTIVE,
+    KIND_REMOVE,
+    Change,
+    Suggestion,
+)
+from repro.core.enumerator import wildcard_expr
+from repro.core.ranker import dedupe, rank, rank_key
+from repro.miniml import parse_expr, parse_program
+
+
+def make(kind, original_src, replacement_src=None, path=(), triaged=False, removed=0,
+         rule=""):
+    original = parse_expr(original_src)
+    replacement = wildcard_expr() if replacement_src is None else parse_expr(replacement_src)
+    change = Change(
+        path=path,
+        original=original,
+        replacement=replacement,
+        kind=kind,
+        description="test",
+        rule=rule,
+    )
+    program = parse_program("let x = 1")
+    return Suggestion(
+        change=change,
+        program=program,
+        triaged=triaged,
+        removed_paths=[((("decls", i),)) for i in range(removed)],
+    )
+
+
+class TestKindOrdering:
+    def test_constructive_beats_adapt_beats_removal(self):
+        removal = make(KIND_REMOVE, "f x")
+        adapt = make(KIND_ADAPT, "f x", "f x")
+        constructive = make(KIND_CONSTRUCTIVE, "f x", "f x y")
+        ranked = rank([removal, adapt, constructive])
+        assert [s.kind for s in ranked] == [KIND_CONSTRUCTIVE, KIND_ADAPT, KIND_REMOVE]
+
+    def test_triaged_always_last(self):
+        triaged_constructive = make(KIND_CONSTRUCTIVE, "f x", "f y", triaged=True)
+        plain_removal = make(KIND_REMOVE, "f x")
+        ranked = rank([triaged_constructive, plain_removal])
+        assert ranked[0] is plain_removal
+
+
+class TestSizePreferences:
+    def test_smaller_constructive_change_first(self):
+        small = make(KIND_CONSTRUCTIVE, "x", "y")
+        big = make(KIND_CONSTRUCTIVE, "f (g (h x))", "f (g (h y))")
+        assert rank([big, small])[0] is small
+
+    def test_larger_adaptation_first(self):
+        # Section 2.3's inversion: prefer adapting bigger expressions.
+        # Real adaptation suggestions wrap (and reuse) the original node.
+        from repro.core.enumerator import adapt_expr
+
+        small = make(KIND_ADAPT, "x", "x")
+        small.change.replacement = adapt_expr(small.change.original)
+        big = make(KIND_ADAPT, "f (g (h x))", "f (g (h x))")
+        big.change.replacement = adapt_expr(big.change.original)
+        assert rank([small, big])[0] is big
+
+    def test_fewer_removed_siblings_first(self):
+        lots = make(KIND_CONSTRUCTIVE, "x", "y", triaged=True, removed=3)
+        few = make(KIND_CONSTRUCTIVE, "x", "y", triaged=True, removed=1)
+        assert rank([lots, few])[0] is few
+
+
+class TestCodePreservation:
+    def test_swap_beats_drop(self):
+        # Swapping reuses both argument subtrees; dropping loses one.
+        swap = make(KIND_CONSTRUCTIVE, "f a b", "f b a", rule="permute-args")
+        drop = make(KIND_CONSTRUCTIVE, "f a b", "f a", rule="drop-arg")
+        # simulate subtree reuse: swap's replacement shares children
+        e = parse_expr("f a b")
+        from repro.miniml.ast_nodes import EApp
+
+        swap.change.original = e
+        swap.change.replacement = EApp(e.func, [e.args[1], e.args[0]])
+        drop.change.original = e
+        drop.change.replacement = EApp(e.func, [e.args[0]])
+        assert rank([drop, swap])[0] is swap
+
+    def test_rule_priority_breaks_ties(self):
+        e = parse_expr("f a b")
+        from repro.miniml.ast_nodes import EApp, ETuple
+
+        swap = make(KIND_CONSTRUCTIVE, "f a b", "f b a", rule="permute-args")
+        swap.change.original = e
+        swap.change.replacement = EApp(e.func, [e.args[1], e.args[0]])
+        tup = make(KIND_CONSTRUCTIVE, "f a b", "f (a, b)", rule="tuple-args")
+        tup.change.original = e
+        tup.change.replacement = EApp(e.func, [ETuple(list(e.args))])
+        assert rank([tup, swap])[0] is swap
+
+
+class TestDepthAndPosition:
+    def test_deeper_changes_first(self):
+        shallow = make(KIND_CONSTRUCTIVE, "x", "y", path=((("decls", 0),)))
+        deep = make(
+            KIND_CONSTRUCTIVE, "x", "y",
+            path=(("decls", 0), ("bindings", 0), "expr", ("args", 0)),
+        )
+        assert rank([shallow, deep])[0] is deep
+
+    def test_right_argument_preferred(self):
+        # "a heuristic for preferring the expression on the right in a
+        # function application"
+        left = make(KIND_REMOVE, "x", path=(("args", 0),))
+        right = make(KIND_REMOVE, "x", path=(("args", 1),))
+        assert rank([left, right])[0] is right
+
+
+class TestDedupe:
+    def test_identical_suggestions_merged(self):
+        a = make(KIND_REMOVE, "f x", path=("body",))
+        b = make(KIND_REMOVE, "f x", path=("body",))
+        assert len(dedupe([a, b])) == 1
+
+    def test_different_paths_kept(self):
+        a = make(KIND_REMOVE, "f x", path=("body",))
+        b = make(KIND_REMOVE, "f x", path=("cond",))
+        assert len(dedupe([a, b])) == 2
+
+    def test_rank_key_is_total(self):
+        suggestions = [
+            make(KIND_REMOVE, "x"),
+            make(KIND_ADAPT, "x", "x"),
+            make(KIND_CONSTRUCTIVE, "x", "y", triaged=True),
+        ]
+        keys = [rank_key(s) for s in suggestions]
+        assert sorted(keys)  # comparable without TypeError

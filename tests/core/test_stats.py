@@ -1,0 +1,78 @@
+"""Tests for the search-phase telemetry (SearchStats)."""
+
+import pytest
+
+from repro.core import SearchConfig, Searcher, SearchStats, explain
+from repro.miniml import parse_program
+
+FIG2 = """
+let map2 f aList bList =
+  List.map (fun (a, b) -> f a b) (List.combine aList bList)
+let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]
+"""
+
+MULTI = 'let f a = (a + true) + (4 + "hi") + (a + false)'
+
+
+class TestAccounting:
+    def test_phases_sum_to_oracle_calls(self):
+        result = explain(FIG2)
+        stats = result.stats
+        # +1 for the initial whole-program check the phases don't count.
+        accounted = (
+            stats.prefix_tests
+            + stats.removal_tests
+            + stats.constructive_tests
+            + stats.adaptation_tests
+            + stats.triage_tests
+        )
+        assert accounted + 1 == result.oracle_calls
+
+    def test_multi_error_spends_on_triage(self):
+        result = explain(MULTI)
+        assert result.stats.triage_tests > 0
+
+    def test_single_error_spends_nothing_on_triage(self):
+        result = explain("let x = 1 + true")
+        assert result.stats.triage_tests == 0
+
+    def test_rule_successes_recorded(self):
+        result = explain(FIG2)
+        assert result.stats.rule_successes.get("curry-params") == 1
+
+    def test_stats_reset_between_searches(self):
+        searcher = Searcher(config=SearchConfig())
+        program = parse_program(MULTI)
+        first = searcher.search_program(program)
+        second = searcher.search_program(program)
+        assert first.stats.triage_tests == second.stats.triage_tests
+
+    def test_well_typed_program_stats_empty(self):
+        result = explain("let x = 1")
+        assert result.stats is not None
+        assert result.stats.constructive_tests == 0
+
+
+class TestSummary:
+    def test_summary_mentions_phases(self):
+        stats = SearchStats(prefix_tests=2, removal_tests=5, constructive_tests=7)
+        text = stats.summary()
+        assert "prefix=2" in text
+        assert "removal=5" in text
+        assert "constructive=7" in text
+
+    def test_summary_lists_winning_rules(self):
+        stats = SearchStats()
+        stats.record_success("curry-params")
+        stats.record_success("curry-params")
+        stats.record_success("")
+        text = stats.summary()
+        assert "curry-paramsx2" in text
+        assert "(removal/adapt)x1" in text
+
+    def test_phase_breakdown_matches_design_expectations(self):
+        # Fig. 2's budget is dominated by constructive attempts — the
+        # quantity Section 2.2's lazy collections exist to control.
+        result = explain(FIG2)
+        stats = result.stats
+        assert stats.constructive_tests >= stats.removal_tests

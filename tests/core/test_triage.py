@@ -1,0 +1,164 @@
+"""Tests for triage mode (Section 2.4): multiple independent type errors."""
+
+import pytest
+
+from repro.core import KIND_REMOVE, explain
+from repro.miniml import parse_program, typecheck_program
+from repro.miniml.pretty import pretty
+
+MULTI_LET = """
+let f a b =
+  let x = 3 + true in
+  let y = a + b in
+  let z = 4 + "hi" in
+  y + 1
+"""
+
+FIG4 = """
+let g x y =
+  match (x, y) with
+    (0, []) -> []
+  | (n, []) -> n
+  | (_, 5) -> 5 + "hi"
+let h = g 3 [1]
+"""
+
+PRINT = """
+let f x =
+  match x with
+    0 -> print "zero"
+  | 1 -> print "one"
+  | _ -> print "other"
+"""
+
+
+class TestTriageTriggers:
+    def test_multi_error_produces_triaged_suggestions(self):
+        result = explain(MULTI_LET)
+        assert any(s.triaged for s in result.suggestions)
+
+    def test_wholesale_removal_suppressed_when_triage_succeeds(self):
+        result = explain(MULTI_LET)
+        whole_removals = [
+            s
+            for s in result.suggestions
+            if s.kind == KIND_REMOVE and "let x = " in pretty(s.change.original)
+        ]
+        assert not whole_removals
+
+    def test_single_error_not_triaged(self):
+        result = explain("let x = [1; 2] + 3")
+        assert all(not s.triaged for s in result.suggestions)
+
+    def test_triage_disabled(self):
+        result = explain(MULTI_LET, enable_triage=False)
+        assert all(not s.triaged for s in result.suggestions)
+        # Without triage the best we can do is remove the whole body —
+        # the terrible suggestion the paper's Section 2.4 opens with.
+        assert result.best is not None
+        assert result.best.kind == KIND_REMOVE
+
+
+class TestTriageIsolation:
+    def test_both_errors_found(self):
+        result = explain(MULTI_LET)
+        texts = {pretty(s.change.original) for s in result.suggestions if s.triaged}
+        # One suggestion should isolate each bad operand.
+        assert any("true" in t for t in texts)
+        assert any("hi" in t for t in texts)
+
+    def test_removed_paths_recorded(self):
+        result = explain(MULTI_LET)
+        triaged = [s for s in result.suggestions if s.triaged]
+        assert all(s.removed_paths for s in triaged)
+
+    def test_triaged_ranked_after_untriaged(self):
+        src = 'let f a = (a + true) + (4 + "hi")'
+        result = explain(src)
+        flags = [s.triaged for s in result.suggestions]
+        # once the first triaged suggestion appears, no untriaged follows
+        if True in flags:
+            first = flags.index(True)
+            assert all(flags[first:])
+
+
+class TestMatchPhases:
+    def test_fig4_pattern_isolated(self):
+        result = explain(FIG4)
+        assert result.suggestions, "expected triage to find pattern suggestions"
+        top = result.suggestions[0]
+        assert top.triaged
+        # The paper isolates the third pattern (the bad ``5`` against a list).
+        assert "5" in pretty(top.change.original)
+
+    def test_fig4_message_mentions_triage(self):
+        message = explain(FIG4).render_best()
+        assert "several type errors" in message
+
+    def test_scrutinee_phase(self):
+        # Error in the scrutinee AND in an arm: phase 1 must focus on the
+        # scrutinee and not descend into patterns.
+        src = """
+let f a =
+  match 3 + "bad" with
+    0 -> 1 + true
+  | _ -> 2
+"""
+        result = explain(src)
+        assert result.suggestions
+        texts = [pretty(s.change.original) for s in result.suggestions]
+        assert any('"bad"' in t for t in texts)
+
+    def test_body_phase(self):
+        # Patterns fine; two arm bodies broken independently.
+        src = """
+let f x =
+  match x with
+    0 -> 1 + true
+  | 1 -> 2 + "s"
+  | _ -> 3
+"""
+        result = explain(src)
+        triaged = [s for s in result.suggestions if s.triaged]
+        texts = {pretty(s.change.original) for s in triaged}
+        assert any("true" in t for t in texts)
+        assert any('"s"' in t for t in texts)
+
+
+class TestPrintScenario:
+    """Section 3.3's print/print_string story, end to end."""
+
+    def test_checker_finds_unbound(self):
+        result = explain(PRINT)
+        assert "Unbound value print" in result.checker_message
+
+    def test_without_triage_result_is_terrible(self):
+        result = explain(PRINT, enable_triage=False)
+        # Only the whole match (or whole arms) can be removed.
+        assert result.best is None or result.best.kind == KIND_REMOVE
+
+    def test_with_triage_unbound_detected(self):
+        result = explain(PRINT)
+        assert any(s.unbound_variable == "print" for s in result.suggestions)
+
+
+class TestTriagedProgramsValid:
+    @pytest.mark.parametrize("src", [MULTI_LET, FIG4, PRINT])
+    def test_suggestion_programs_typecheck(self, src):
+        result = explain(src)
+        for s in result.suggestions:
+            assert typecheck_program(s.program).ok
+
+
+class TestNestedTriage:
+    def test_depth_limit_respected(self):
+        # Many errors nested deeply: search must terminate and stay bounded.
+        src = """
+let f a =
+  let g1 = (1 + true) + (2 + "a") in
+  let g2 = (3 + false) + (4 + "b") in
+  g1 + g2 + a
+"""
+        result = explain(src, max_oracle_calls=20000)
+        assert not result.ok
+        assert result.oracle_calls < 20000

@@ -1,0 +1,94 @@
+"""Tests for corpus generation and programmer profiles."""
+
+import random
+
+import pytest
+
+from repro.corpus.generator import Corpus, generate_corpus
+from repro.corpus.profiles import Profile, default_profiles
+from repro.miniml import typecheck_program
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(scale=0.3, seed=123)
+
+
+class TestProfiles:
+    def test_default_cohort_size(self):
+        assert len(default_profiles()) == 10  # the paper's 10 participants
+
+    def test_profiles_deterministic(self):
+        a = default_profiles(seed=5)
+        b = default_profiles(seed=5)
+        assert [p.recompile_p for p in a] == [p.recompile_p for p in b]
+
+    def test_learning_reduces_problem_count(self):
+        profile = default_profiles()[0]
+        rng = random.Random(0)
+        early = sum(profile.problems_for_assignment(0, rng) for _ in range(50))
+        late = sum(profile.problems_for_assignment(4, rng) for _ in range(50))
+        assert late < early
+
+    def test_class_sizes_geometric(self):
+        profile = default_profiles()[0]
+        rng = random.Random(0)
+        sizes = [profile.class_size(rng) for _ in range(300)]
+        assert min(sizes) == 1
+        assert max(sizes) > 2  # a real tail exists
+
+    def test_pick_families_count(self):
+        profile = default_profiles()[0]
+        rng = random.Random(0)
+        for _ in range(20):
+            families = profile.pick_families(rng)
+            assert 1 <= len(families) <= 3
+
+
+class TestGeneratedCorpus:
+    def test_every_file_ill_typed(self, corpus):
+        for f in corpus.representatives:
+            assert not typecheck_program(f.program).ok
+
+    def test_representatives_are_class_firsts(self, corpus):
+        for f in corpus.files:
+            assert f.is_representative == (f.sequence_index == 0)
+
+    def test_class_members_share_problem(self, corpus):
+        by_class = {}
+        for f in corpus.files:
+            by_class.setdefault(f.class_id, []).append(f)
+        for members in by_class.values():
+            programs = {id(m.mutated) for m in members}
+            assert len(programs) == 1  # same MutatedProgram object
+
+    def test_quotienting_reduces_file_count(self, corpus):
+        assert len(corpus.representatives) < len(corpus.files)
+
+    def test_class_sizes_sum_to_file_count(self, corpus):
+        assert sum(corpus.class_sizes) == len(corpus.files)
+
+    def test_all_programmers_and_assignments_present(self):
+        full = generate_corpus(scale=1.0, seed=9)
+        assert len(full.by_programmer()) == 10
+        assert len(full.by_assignment()) == 5
+
+    def test_timestamps_increase(self, corpus):
+        stamps = [f.timestamp for f in corpus.files]
+        assert stamps == sorted(stamps)
+
+    def test_deterministic_for_seed(self):
+        a = generate_corpus(scale=0.2, seed=4)
+        b = generate_corpus(scale=0.2, seed=4)
+        assert len(a.files) == len(b.files)
+        assert [f.class_id for f in a.files] == [f.class_id for f in b.files]
+
+    def test_scale_controls_size(self):
+        small = generate_corpus(scale=0.2, seed=4)
+        large = generate_corpus(scale=1.0, seed=4)
+        assert len(large.files) > len(small.files)
+
+    def test_multi_error_files_exist(self):
+        full = generate_corpus(scale=1.0, seed=9)
+        multi = [f for f in full.representatives if f.mutated.is_multi_error]
+        assert multi, "study needs multi-error files to exercise triage"

@@ -1,0 +1,113 @@
+"""Tests for ground-truth message grading."""
+
+import random
+
+import pytest
+
+from repro.core import explain
+from repro.corpus.grading import (
+    Grade,
+    grade_checker,
+    grade_seminal,
+    grade_suggestion,
+)
+from repro.corpus.mutations import apply_mutation
+from repro.corpus.seeds import ASSIGNMENTS
+from repro.miniml import parse_program, typecheck_program
+
+HW1 = parse_program(ASSIGNMENTS["hw1"])
+
+
+def mutate(family, seed=3, program=HW1):
+    for s in range(seed, seed + 30):
+        result = apply_mutation(program, "hw1", family, random.Random(s))
+        if result is not None:
+            return result
+    raise AssertionError(f"could not apply {family}")
+
+
+class TestGradeScore:
+    def test_scores(self):
+        assert Grade(True, True).score == 2
+        assert Grade(True, False).score == 1
+        assert Grade(False, False).score == 0
+        assert Grade(False, True).score == 0  # accuracy needs location
+
+
+class TestCheckerGrading:
+    def test_wrong_literal_is_transparent(self):
+        mutated = mutate("wrong-literal")
+        error = typecheck_program(mutated.program).error
+        grade = grade_checker(mutated, error)
+        # A mismatch message at the bad literal fully explains the fault.
+        assert grade.score == 2
+
+    def test_unbound_name_is_transparent(self):
+        mutated = mutate("unbound-name")
+        error = typecheck_program(mutated.program).error
+        assert grade_checker(mutated, error).score == 2
+
+    def test_swap_args_not_accurate(self):
+        # Fig. 8: the checker's message is at a fine location but does not
+        # describe argument order.
+        mutated = mutate("swap-args")
+        error = typecheck_program(mutated.program).error
+        grade = grade_checker(mutated, error)
+        assert not grade.accurate
+
+
+class TestSeminalGrading:
+    def test_exact_inverse_scores_two(self):
+        mutated = mutate("swap-args")
+        result = explain(mutated.program)
+        grade = grade_seminal(mutated, result)
+        assert grade.score == 2
+
+    def test_fixing_rule_credit(self):
+        mutated = mutate("list-commas")
+        result = explain(mutated.program)
+        best = result.best
+        assert best is not None
+        grade = grade_suggestion(mutated, best)
+        assert grade.score == 2
+
+    def test_no_suggestion_scores_zero(self):
+        mutated = mutate("wrong-literal")
+        empty = explain(mutated.program, max_oracle_calls=2)
+        grade = grade_seminal(mutated, empty)
+        assert grade.score == 0
+
+    def test_forgot_rec_graded(self):
+        mutated = mutate("forgot-rec")
+        result = explain(mutated.program)
+        assert grade_seminal(mutated, result).score == 2
+
+    def test_unbound_detection_credited(self):
+        mutated = mutate("unbound-name")
+        result = explain(mutated.program)
+        grade = grade_seminal(mutated, result)
+        assert grade.location
+
+
+class TestLocationSlack:
+    def test_whole_program_blame_not_a_good_location(self):
+        from repro.core.changes import Change, Suggestion, KIND_REMOVE
+        from repro.core.enumerator import wildcard_expr
+
+        mutated = mutate("wrong-literal")
+        # A fake suggestion blaming the whole first declaration.
+        decl = mutated.program.decls[0]
+        sugg = Suggestion(
+            change=Change(
+                path=((("decls", 0),)),
+                original=decl,
+                replacement=wildcard_expr(),
+                kind=KIND_REMOVE,
+                description="",
+            ),
+            program=mutated.program,
+        )
+        # Either the fault is inside decl 0 (unlikely to be within slack for
+        # a 1-node literal) or the location is plainly wrong.
+        grade = grade_suggestion(mutated, sugg)
+        assert grade.score <= 1

@@ -1,0 +1,138 @@
+"""Tests for the student-error injectors."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.mutations import (
+    FIXING_RULES,
+    MUTATORS,
+    apply_mutation,
+    apply_mutations,
+    family_names,
+)
+from repro.corpus.seeds import ASSIGNMENTS
+from repro.miniml import parse_program, typecheck_program
+from repro.tree import get_at, structurally_equal
+
+
+HW1 = parse_program(ASSIGNMENTS["hw1"])
+HW2 = parse_program(ASSIGNMENTS["hw2"])
+HW4 = parse_program(ASSIGNMENTS["hw4"])
+
+
+class TestSingleMutations:
+    @pytest.mark.parametrize("family", family_names())
+    def test_mutation_produces_ill_typed_program(self, family):
+        rng = random.Random(3)
+        applied = False
+        for seed in [HW1, HW2, HW4]:
+            result = apply_mutation(seed, "seed", family, rng)
+            if result is None:
+                continue
+            applied = True
+            assert not typecheck_program(result.program).ok
+        assert applied, f"{family} applied to no seed"
+
+    def test_ground_truth_original_matches_seed(self):
+        rng = random.Random(5)
+        result = apply_mutation(HW1, "hw1", "swap-args", rng)
+        assert result is not None
+        mutation = result.mutations[0]
+        pristine = get_at(HW1, mutation.path)
+        assert structurally_equal(pristine, mutation.original)
+
+    def test_mutated_node_installed(self):
+        rng = random.Random(5)
+        result = apply_mutation(HW1, "hw1", "swap-args", rng)
+        installed = get_at(result.program, result.mutations[0].path)
+        assert structurally_equal(installed, result.mutations[0].mutated)
+
+    def test_original_program_untouched(self):
+        rng = random.Random(5)
+        before = typecheck_program(HW1).ok
+        apply_mutation(HW1, "hw1", "missing-arg", rng)
+        assert typecheck_program(HW1).ok == before is True
+
+    def test_avoid_paths_respected(self):
+        rng = random.Random(5)
+        first = apply_mutation(HW1, "hw1", "swap-args", rng)
+        second = apply_mutation(
+            first.program, "hw1", "swap-args", rng, avoid_paths=[first.mutations[0].path]
+        )
+        if second is not None:
+            assert second.mutations[0].path != first.mutations[0].path
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            apply_mutation(HW1, "hw1", "not-a-family", random.Random(0))
+
+
+class TestMultiMutations:
+    def test_multi_error_program(self):
+        rng = random.Random(11)
+        result = apply_mutations(HW2, "hw2", ["wrong-literal", "unbound-name"], rng)
+        assert result is not None
+        assert len(result.mutations) >= 1
+        assert not typecheck_program(result.program).ok
+
+    def test_multi_errors_prefer_same_declaration(self):
+        hits = 0
+        trials = 12
+        for i in range(trials):
+            rng = random.Random(100 + i)
+            result = apply_mutations(
+                HW2, "hw2", ["wrong-literal", "operator-confusion"], rng
+            )
+            if result is None or len(result.mutations) < 2:
+                continue
+            decls = {m.path[0] for m in result.mutations if m.path}
+            if len(decls) == 1:
+                hits += 1
+        assert hits >= trials // 3  # strong same-decl bias
+
+    def test_is_multi_error_flag(self):
+        rng = random.Random(11)
+        result = apply_mutations(HW2, "hw2", ["wrong-literal", "unbound-name"], rng)
+        assert result.is_multi_error == (len(result.mutations) > 1)
+
+    def test_families_property(self):
+        rng = random.Random(11)
+        result = apply_mutations(HW2, "hw2", ["wrong-literal"], rng)
+        assert result.families == [m.family for m in result.mutations]
+
+
+class TestFixingRules:
+    def test_every_family_has_entry(self):
+        for family in family_names():
+            assert family in FIXING_RULES
+
+    def test_fixing_rules_reference_real_rules(self):
+        from repro.core.enumerator import MiniMLEnumerator
+        import repro.core.enumerator as enum_mod
+        import inspect
+
+        source = inspect.getsource(enum_mod)
+        for family, rules in FIXING_RULES.items():
+            for rule in rules:
+                assert f'"{rule}"' in source, f"{rule} not in enumerator"
+
+
+class TestMutationDeterminism:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_seeded_rng_is_deterministic(self, seed):
+        a = apply_mutation(HW1, "hw1", "swap-args", random.Random(seed))
+        b = apply_mutation(HW1, "hw1", "swap-args", random.Random(seed))
+        if a is None:
+            assert b is None
+        else:
+            assert a.mutations[0].path == b.mutations[0].path
+
+    @given(st.sampled_from(family_names()), st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_mutations_always_ill_typed(self, family, seed):
+        result = apply_mutation(HW1, "hw1", family, random.Random(seed))
+        if result is not None:
+            assert not typecheck_program(result.program).ok

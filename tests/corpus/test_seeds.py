@@ -1,0 +1,37 @@
+"""Tests for the homework seed programs."""
+
+import pytest
+
+from repro.corpus.seeds import ASSIGNMENTS, assignment_names, assignment_source
+from repro.miniml import parse_program, typecheck_source
+from repro.tree import node_size
+
+
+class TestSeeds:
+    def test_five_assignments(self):
+        # The paper's study covers 5 homework assignments.
+        assert len(ASSIGNMENTS) == 5
+
+    @pytest.mark.parametrize("name", list(ASSIGNMENTS))
+    def test_seed_typechecks(self, name):
+        result = typecheck_source(ASSIGNMENTS[name])
+        assert result.ok, result.error.render() if result.error else ""
+
+    @pytest.mark.parametrize("name", list(ASSIGNMENTS))
+    def test_seed_is_substantial(self, name):
+        """Seeds must be big enough for interesting search (not toys)."""
+        program = parse_program(ASSIGNMENTS[name])
+        assert len(program.decls) >= 6
+        assert node_size(program) >= 120
+
+    def test_assignment_names_ordered(self):
+        assert assignment_names() == ["hw1", "hw2", "hw3", "hw4", "hw5"]
+
+    def test_assignment_source_lookup(self):
+        assert "map2" in assignment_source("hw1")
+
+    def test_genres_cover_paper_domains(self):
+        # hw3 is the Logo-like mover domain of the paper's Figure 9.
+        assert "move" in assignment_source("hw3")
+        assert "tree" in assignment_source("hw5")
+        assert "mutable" in assignment_source("hw4")

@@ -1,0 +1,174 @@
+"""Tests for the MiniCpp parser."""
+
+import pytest
+
+from repro.cpptemplates import (
+    CBinop,
+    CCall,
+    CLit,
+    CMember,
+    CName,
+    CTemplateId,
+    CppParseError,
+    DeclStmt,
+    ExprStmt,
+    IfStmt,
+    ReturnStmt,
+    parse_cpp,
+)
+from repro.cpptemplates.ast_nodes import CUnop
+from repro.cpptemplates.types import (
+    INT,
+    LONG,
+    TClass,
+    TFunc,
+    TParam,
+    TPtr,
+    TRef,
+    VOID,
+)
+
+
+def first_fn(src):
+    return parse_cpp(src).functions[0]
+
+
+class TestTopLevel:
+    def test_simple_function(self):
+        fn = first_fn("void f() { }")
+        assert fn.name == "f"
+        assert fn.ret_type == VOID
+        assert not fn.is_template
+
+    def test_preprocessor_and_using_skipped(self):
+        src = "#include <vector>\nusing namespace std;\nvoid f() { }"
+        unit = parse_cpp(src)
+        assert len(unit.functions) == 1
+
+    def test_template_function(self):
+        fn = first_fn("template <class A, class B> B g(A x) { return x; }")
+        assert fn.template_params == ["A", "B"]
+        assert fn.ret_type == TParam("B")
+
+    def test_multiple_functions(self):
+        unit = parse_cpp("void a() { }\nvoid b() { }")
+        assert [f.name for f in unit.functions] == ["a", "b"]
+
+    def test_line_numbers(self):
+        unit = parse_cpp("#include <x>\n\nvoid f() {\n    int x = 1;\n}")
+        fn = unit.functions[0]
+        assert fn.span.start_line == 3
+        assert fn.body.stmts[0].span.start_line == 4
+
+
+class TestTypes:
+    def test_vector_ref_param(self):
+        fn = first_fn("void f(vector<long>& v) { }")
+        assert fn.params[0].param_type == TRef(TClass("vector", [LONG]))
+
+    def test_long_int_two_words(self):
+        fn = first_fn("long int f() { return 1; }")
+        assert fn.ret_type == LONG
+
+    def test_const_stripped(self):
+        fn = first_fn("void f(const vector<int>& v) { }")
+        assert fn.params[0].param_type == TRef(TClass("vector", [INT]))
+
+    def test_pointer_type(self):
+        fn = first_fn("void f(long* p) { }")
+        assert fn.params[0].param_type == TPtr(LONG)
+
+    def test_function_pointer_param(self):
+        fn = first_fn("void f(long (*fp)(long)) { }")
+        assert fn.params[0].param_type == TFunc(LONG, [LONG])
+        assert fn.params[0].name == "fp"
+
+    def test_nested_template_type(self):
+        fn = first_fn("void f(vector<vector<long> >& v) { }")
+        inner = TClass("vector", [LONG])
+        assert fn.params[0].param_type == TRef(TClass("vector", [inner]))
+
+
+class TestStatements:
+    def test_declaration(self):
+        fn = first_fn("void f() { int x = 1; }")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, DeclStmt)
+        assert stmt.decl_type == INT
+
+    def test_return(self):
+        fn = first_fn("int f() { return 1 + 2; }")
+        assert isinstance(fn.body.stmts[0], ReturnStmt)
+
+    def test_if_else(self):
+        fn = first_fn("void f(int x) { if (x > 0) { return; } else { x; } }")
+        stmt = fn.body.stmts[0]
+        assert isinstance(stmt, IfStmt)
+        assert stmt.else_block is not None
+
+    def test_expression_statement(self):
+        fn = first_fn("void f(int x) { x + 1; }")
+        assert isinstance(fn.body.stmts[0], ExprStmt)
+
+    def test_for_infinite_loop(self):
+        fn = first_fn("template <class A, class B> B magicFun(A x) { for (;;); }")
+        assert fn.is_template
+
+
+class TestExpressions:
+    def expr(self, text, params="int x, vector<long>& v"):
+        fn = first_fn(f"void f({params}) {{ {text}; }}")
+        return fn.body.stmts[0].expr
+
+    def test_call(self):
+        e = self.expr("g(1, 2)")
+        assert isinstance(e, CCall) and len(e.args) == 2
+
+    def test_member_call(self):
+        e = self.expr("v.begin()")
+        assert isinstance(e, CCall)
+        assert isinstance(e.func, CMember)
+        assert not e.func.arrow
+
+    def test_arrow_member(self):
+        e = self.expr("p->size()", params="vector<long>* p")
+        assert e.func.arrow
+
+    def test_template_id_constructor(self):
+        e = self.expr("multiplies<long>()")
+        assert isinstance(e, CCall)
+        assert isinstance(e.func, CTemplateId)
+        assert e.func.type_args == [LONG]
+
+    def test_less_than_not_template(self):
+        e = self.expr("x < 3")
+        assert isinstance(e, CBinop) and e.op == "<"
+
+    def test_unary_deref(self):
+        e = self.expr("*p", params="long* p")
+        assert isinstance(e, CUnop) and e.op == "*"
+
+    def test_nested_calls(self):
+        e = self.expr("compose1(bind1st(multiplies<long>(), 5), labs)")
+        assert isinstance(e, CCall)
+        assert isinstance(e.args[0], CCall)
+
+    def test_qualified_names_collapse(self):
+        e = self.expr("std::labs(5)")
+        assert isinstance(e.func, CName) and e.func.name == "labs"
+
+    def test_precedence(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "void f( {",
+        "void f() { int = 3; }",
+        "template <int N> void f() { }",
+        "void f() { return 1 }",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(CppParseError):
+            parse_cpp(bad)

@@ -1,0 +1,102 @@
+"""Tests for the MiniCpp concrete-syntax printer."""
+
+import pytest
+
+from repro.cpptemplates import parse_cpp
+from repro.cpptemplates.pretty import (
+    pretty_cpp,
+    pretty_cpp_expr,
+    pretty_cpp_function,
+    pretty_cpp_stmt,
+)
+
+
+def expr_of(text, params="int x, vector<long>& v, long* p"):
+    unit = parse_cpp(f"void f({params}) {{ {text}; }}")
+    return unit.functions[0].body.stmts[0].expr
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("1 + 2 * 3", "1 + 2 * 3"),
+            ("(1 + 2) * 3", "(1 + 2) * 3"),
+            ("g(1, 2)", "g(1, 2)"),
+            ("v.begin()", "v.begin()"),
+            ("p->size()", "p->size()"),
+            ("*p", "*p"),
+            ("multiplies<long>()", "multiplies<long>()"),
+            ("compose1(bind1st(multiplies<long>(), 5), labs)",
+             "compose1(bind1st(multiplies<long>(), 5), labs)"),
+            ("x < 3", "x < 3"),
+            ("v[0]", "v[0]"),
+            ('"hi"', '"hi"'),
+            ("true", "true"),
+            ("!x", "!x"),
+        ],
+    )
+    def test_roundtrip_text(self, src, expected):
+        assert pretty_cpp_expr(expr_of(src)) == expected
+
+    def test_nested_template_space(self):
+        e = expr_of("unary_compose<vector<long>, vector<long> >()",
+                    params="int x")
+        # closing '>>' must be split
+        assert "> >" in pretty_cpp_expr(e) or ">" in pretty_cpp_expr(e)
+
+
+class TestStatements:
+    def test_declaration(self):
+        unit = parse_cpp("void f() { long x = labs(5); }")
+        assert pretty_cpp_stmt(unit.functions[0].body.stmts[0]) == "long x = labs(5);"
+
+    def test_return(self):
+        unit = parse_cpp("int f() { return 1 + 2; }")
+        assert pretty_cpp_stmt(unit.functions[0].body.stmts[0]) == "return 1 + 2;"
+
+    def test_if(self):
+        unit = parse_cpp("void f(int x) { if (x > 0) { return; } }")
+        text = pretty_cpp_stmt(unit.functions[0].body.stmts[0])
+        assert text.startswith("if (x > 0) {")
+        assert "return;" in text
+
+
+class TestFunctions:
+    def test_plain_function(self):
+        unit = parse_cpp("void f(vector<long>& v) { v.size(); }")
+        text = pretty_cpp_function(unit.functions[0])
+        assert text.startswith("void f(vector<long>& v) {")
+        assert "v.size();" in text
+
+    def test_template_function(self):
+        unit = parse_cpp("template <class A, class B> B g(A x) { return x; }")
+        text = pretty_cpp_function(unit.functions[0])
+        assert text.startswith("template <class A, class B>")
+        assert "B g(A x)" in text
+
+    def test_function_pointer_param(self):
+        unit = parse_cpp("long apply(long (*fn)(long), long x) { return fn(x); }")
+        text = pretty_cpp_function(unit.functions[0])
+        assert "long (*)(long) fn" in text or "(*fn)" in text
+
+    def test_translation_unit(self):
+        unit = parse_cpp("void a() { }\nvoid b() { }")
+        text = pretty_cpp(unit)
+        assert "void a()" in text and "void b()" in text
+
+
+class TestReparse:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "void f(vector<long>& v) { long n = *v.begin(); }",
+            "int f(int x) { if (x > 0) { return x; } else { return 0 - x; } }",
+            "void f(vector<long>& v, vector<long>& o) { transform(v.begin(), v.end(), o.begin(), bind1st(multiplies<long>(), 5)); }",
+        ],
+    )
+    def test_printed_function_reparses(self, src):
+        unit = parse_cpp(src)
+        printed = pretty_cpp(unit)
+        reparsed = parse_cpp(printed)
+        assert len(reparsed.functions) == len(unit.functions)

@@ -1,0 +1,151 @@
+"""Tests for SEMINAL-for-C++ (Section 4.2)."""
+
+import pytest
+
+from repro.cpptemplates import explain_cpp, parse_cpp
+from repro.cpptemplates.pretty import pretty_cpp
+
+FIG10 = """
+#include <algorithm>
+#include <vector>
+using namespace std;
+
+void myFun(vector<long>& inv, vector<long>& outv) {
+    transform(inv.begin(), inv.end(), outv.begin(),
+              compose1(bind1st(multiplies<long>(), 5), labs));
+}
+"""
+
+
+class TestWellTyped:
+    def test_compiling_program_short_circuits(self):
+        result = explain_cpp("void f() { int x = 1; }")
+        assert result.ok
+        assert result.suggestions == []
+        assert "compiles" in result.render_best()
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return explain_cpp(FIG10)
+
+    def test_best_is_ptr_fun_wrap(self, result):
+        best = result.best
+        assert best is not None
+        assert best.change.rule == "wrap-ptr-fun"
+        assert pretty_cpp(best.change.original) == "labs"
+        assert pretty_cpp(best.change.replacement) == "ptr_fun(labs)"
+
+    def test_best_fixes_everything(self, result):
+        assert result.best.fixes_everything
+
+    def test_message_mentions_ptr_fun(self, result):
+        assert "ptr_fun(labs)" in result.render_best()
+
+    def test_suggestion_program_compiles(self, result):
+        from repro.cpptemplates import typecheck_cpp
+
+        assert typecheck_cpp(result.best.program).ok
+
+    def test_call_count_is_modest(self, result):
+        assert result.checker_calls < 100
+
+
+class TestUnwrap:
+    # The reverse confusion: a functor where a raw pointer is needed.
+    SRC = """
+long twice(long (*fn)(long), long x) {
+    return fn(x);
+}
+void client(vector<long>& v) {
+    long r = twice(ptr_fun(labs), 5);
+}
+"""
+
+    def test_unwrap_suggested(self):
+        result = explain_cpp(self.SRC)
+        assert not result.ok
+        rules = [s.change.rule for s in result.suggestions]
+        assert "unwrap-ptr-fun" in rules
+        best = result.best
+        assert best.change.rule == "unwrap-ptr-fun"
+        assert pretty_cpp(best.change.replacement) == "labs"
+
+
+class TestDotArrow:
+    def test_arrow_to_dot(self):
+        src = "void f(vector<long>& v) { int n = v->size(); }"
+        result = explain_cpp(src)
+        best = result.best
+        assert best is not None
+        assert best.change.rule == "dot-arrow-swap"
+        assert "v.size" in pretty_cpp(best.change.replacement)
+
+    def test_dot_to_arrow(self):
+        src = "void f(vector<long>* v) { int n = v.size(); }"
+        result = explain_cpp(src)
+        assert result.best.change.rule == "dot-arrow-swap"
+
+
+class TestArgumentSurgery:
+    def test_swap_args(self):
+        src = (
+            "long sub(long a, double b) { return a; }\n"
+            "void f() { long r = sub(1.5, 2); }\n"
+        )
+        result = explain_cpp(src)
+        assert result.best is not None
+        assert result.best.change.rule == "permute-args"
+
+    def test_statement_removal_fallback(self):
+        # Two unrelated statements; one is hopeless — removal isolates it.
+        src = 'void f() { int a = "bad"; int b = 2; }'
+        result = explain_cpp(src)
+        rules = [s.change.rule for s in result.suggestions]
+        assert "remove-stmt" in rules
+
+    def test_success_requires_no_new_errors(self):
+        # Every reported suggestion must strictly shrink the error multiset.
+        result = explain_cpp(FIG10)
+        for s in result.suggestions:
+            assert s.errors_after < s.errors_before
+
+
+class TestHoisting:
+    def test_hoist_isolates_bad_argument(self):
+        # The call constrains its argument; hoisting removes the constraint
+        # but keeps the argument checked — the Section 4.2 removal analogue.
+        src = (
+            "void takes_vec(vector<long>& v) { }\n"
+            "void f(vector<long>& v) { takes_vec(undeclared_thing); }\n"
+        )
+        result = explain_cpp(src)
+        rules = {s.change.rule for s in result.suggestions}
+        # Hoisting alone cannot fix an undeclared name; removal can.
+        assert "remove-stmt" in rules
+
+
+class TestErrorSetComparison:
+    def test_improves(self):
+        from repro.cpptemplates.search import _improves
+
+        assert _improves({"a": 2, "b": 1}, {"a": 1})
+        assert not _improves({"a": 1}, {"a": 1})        # no elimination
+        assert not _improves({"a": 2}, {"a": 1, "c": 1})  # new error
+        assert _improves({"a": 1}, {})
+
+    def test_multi_error_partial_fix_reported(self):
+        src = (
+            'void f(vector<long>& v) {\n'
+            '    transform(v.begin(), v.end(), v.begin(),\n'
+            '              compose1(bind1st(multiplies<long>(), 5), labs));\n'
+            '    int bad = "other";\n'
+            '}\n'
+        )
+        result = explain_cpp(src)
+        best = result.best
+        assert best is not None
+        assert best.change.rule == "wrap-ptr-fun"
+        assert not best.fixes_everything
+        assert "other error" in best.render()

@@ -1,0 +1,103 @@
+"""Tests for the extended mini-STL (bind2nd, count_if, accumulate) and the
+paper's magicFun observation."""
+
+import pytest
+
+from repro.cpptemplates import explain_cpp, typecheck_cpp_source
+
+
+class TestBind2nd:
+    def test_well_typed(self):
+        src = """
+void f(vector<long>& v, vector<long>& out) {
+    transform(v.begin(), v.end(), out.begin(), bind2nd(multiplies<long>(), 2));
+}
+"""
+        assert typecheck_cpp_source(src).ok
+
+    def test_second_argument_type_checked(self):
+        src = 'void f() { bind2nd(multiplies<long>(), "bad"); }'
+        result = typecheck_cpp_source(src)
+        assert not result.ok
+        assert "cannot convert" in result.errors[0].message
+
+    def test_binder2nd_rejects_non_class(self):
+        src = "void f() { bind2nd(labs, 2); }"
+        result = typecheck_cpp_source(src)
+        assert not result.ok
+        assert "is not a class, struct, or union type" in result.render()
+
+
+class TestCountIf:
+    def test_well_typed(self):
+        src = """
+void f(vector<long>& v) {
+    int n = count_if(v.begin(), v.end(), bind2nd(multiplies<long>(), 2));
+}
+"""
+        assert typecheck_cpp_source(src).ok
+
+    def test_function_pointer_predicate_needs_ptr_fun_sometimes(self):
+        # count_if accepts raw function pointers directly (they are callable).
+        src = """
+void f(vector<long>& v) {
+    int n = count_if(v.begin(), v.end(), labs);
+}
+"""
+        assert typecheck_cpp_source(src).ok
+
+    def test_wrong_predicate(self):
+        src = """
+void f(vector<long>& v) {
+    int n = count_if(v.begin(), v.end(), multiplies<long>());
+}
+"""
+        result = typecheck_cpp_source(src)
+        assert not result.ok
+        assert "no match for call to" in result.render()
+
+
+class TestAccumulate:
+    def test_well_typed(self):
+        src = "void f(vector<long>& v) { long t = accumulate(v.begin(), v.end(), 0); }"
+        assert typecheck_cpp_source(src).ok
+
+    def test_element_mismatch(self):
+        src = 'void f(vector<long>& v) { string t = accumulate(v.begin(), v.end(), "x"); }'
+        result = typecheck_cpp_source(src)
+        assert not result.ok
+
+
+class TestMagicFun:
+    """Section 4.2: the paper's magicFun trick, and why it often fails.
+
+    "C++, for deep reasons involving ambiguity and overloading, does not
+    have full inference. So in many contexts, magicFun(0) ... will not
+    type-check because an appropriate return type cannot be resolved."
+    """
+
+    MAGIC = "template <class A, class B> B magicFun(A x) { for (;;); }\n"
+
+    def test_magic_fun_declaration_parses_and_checks(self):
+        assert typecheck_cpp_source(self.MAGIC).ok
+
+    def test_return_type_cannot_be_deduced(self):
+        src = self.MAGIC + "void f() { magicFun(0); }"
+        result = typecheck_cpp_source(src)
+        assert not result.ok
+        assert "no matching function" in result.errors[0].message
+        assert "cannot deduce template parameter B" in result.errors[0].message
+
+
+class TestSearchWithExtendedStl:
+    def test_ptr_fun_unnecessary_gets_unwrapped(self):
+        # count_if takes the raw pointer; wrapping was the mistake... the
+        # searcher should find that raw labs also works if the wrap breaks
+        # something downstream. Here: a user function needing the pointer.
+        src = """
+long apply_fn(long (*fn)(long), long x) { return fn(x); }
+void f() { long r = apply_fn(ptr_fun(labs), 7); }
+"""
+        result = explain_cpp(src)
+        assert result.best is not None
+        assert result.best.change.rule == "unwrap-ptr-fun"

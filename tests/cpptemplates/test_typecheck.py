@@ -1,0 +1,208 @@
+"""Tests for the MiniCpp checker and its gcc-style diagnostics."""
+
+import pytest
+
+from repro.cpptemplates import typecheck_cpp_source
+from repro.cpptemplates.types import (
+    DOUBLE,
+    INT,
+    LONG,
+    TClass,
+    TFunc,
+    TParam,
+    TPtr,
+    cpp_type_name,
+    deduce,
+    DeductionError,
+    substitute,
+)
+
+
+def check(src):
+    return typecheck_cpp_source(src)
+
+
+FIG10 = """
+#include <algorithm>
+#include <vector>
+#include <functional>
+#include <ext/functional>
+#include <cmath>
+using namespace std;
+using namespace __gnu_cxx;
+
+void myFun(vector<long>& inv, vector<long>& outv) {
+    transform(inv.begin(), inv.end(), outv.begin(),
+              compose1(bind1st(multiplies<long>(), 5), labs));
+}
+"""
+
+
+class TestWellTyped:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "void f() { }",
+            "int f() { return 1; }",
+            "long f() { return labs(5); }",
+            "void f(vector<long>& v) { v.push_back(1); }",
+            "void f(vector<long>& v) { long n = *v.begin(); }",
+            "void f(vector<long>& v) { int n = v.size(); }",
+            "void f(int x) { if (x > 0) { return; } }",
+            "void f() { double d = sqrt(2.0); }",
+            # The paper's fixed client:
+            FIG10.replace("labs));", "ptr_fun(labs)));"),
+            # A user template, instantiated correctly:
+            "template <class T> T id(T x) { return x; }\nvoid g() { int y = id(3); }",
+            # bind1st produces a working unary functor:
+            """
+void f(vector<long>& v, vector<long>& out) {
+    transform(v.begin(), v.end(), out.begin(), bind1st(multiplies<long>(), 5));
+}
+""",
+        ],
+    )
+    def test_accepts(self, src):
+        result = check(src)
+        assert result.ok, result.render()
+
+
+class TestMonomorphicErrors:
+    def test_undeclared_name(self):
+        result = check("void f() { int x = y; }")
+        assert not result.ok
+        assert "undeclared" in result.errors[0].message
+
+    def test_bad_initialization(self):
+        result = check('void f() { int x = "hello"; }')
+        assert "cannot convert" in result.errors[0].message
+
+    def test_return_type_mismatch(self):
+        result = check('int f() { return "s"; }')
+        assert "cannot convert" in result.errors[0].message
+
+    def test_void_return_with_value(self):
+        result = check("void f() { return 3; }")
+        assert "returning 'void'" in result.errors[0].message
+
+    def test_arrow_on_object(self):
+        result = check("void f(vector<long>& v) { v->size(); }")
+        assert "maybe you meant to use `.'" in result.errors[0].message
+
+    def test_dot_on_pointer(self):
+        result = check("void f(vector<long>* v) { v.size(); }")
+        assert "maybe you meant to use `->'" in result.errors[0].message
+
+    def test_wrong_argument_count(self):
+        result = check("void f() { labs(1, 2); }")
+        assert "wrong number of arguments" in result.errors[0].message
+
+    def test_cascading_errors_collected(self):
+        result = check('void f() { int a = "x"; int b = "y"; }')
+        assert len(result.errors) == 2
+
+    def test_widening_allowed(self):
+        assert check("void f() { long x = 1; double d = x; }").ok
+
+    def test_narrowing_rejected(self):
+        result = check("void f(double d) { int x = d; }")
+        assert not result.ok
+
+
+class TestTemplateInstantiation:
+    def test_template_body_unchecked_until_instantiated(self):
+        # The body misuses T, but with no call there is no error.
+        src = "template <class T> void g(T x) { x.nonexistent(); }"
+        assert check(src).ok
+
+    def test_instantiation_error_carries_chain(self):
+        src = (
+            "template <class T> void g(T x) { int y = x; }\n"
+            'void f() { g("hello"); }'
+        )
+        result = check(src)
+        assert not result.ok
+        error = result.errors[0]
+        assert any("In instantiation of `g<std::string>'" in n for n in error.notes)
+        assert error.client_line == 2  # the client call site
+
+    def test_deduction_failure(self):
+        src = (
+            "template <class T> T pick(vector<T>& v) { return v.front(); }\n"
+            "void f(int x) { pick(x); }"
+        )
+        result = check(src)
+        assert "no matching function" in result.errors[0].message
+
+    def test_conflicting_deduction(self):
+        src = (
+            "template <class T> T both(T a, T b) { return a; }\n"
+            'void f() { both(1, "s"); }'
+        )
+        result = check(src)
+        assert "no matching function" in result.errors[0].message
+
+
+class TestFigure11:
+    """The paper's C++ case study: the error chain for Figure 10."""
+
+    def test_client_is_ill_typed(self):
+        result = check(FIG10)
+        assert not result.ok
+
+    def test_not_a_class_struct_union(self):
+        rendered = check(FIG10).render("tester2.cpp")
+        assert "`long int ()(long int)' is not a class, struct, or union type" in rendered
+
+    def test_invalidly_declared_field(self):
+        rendered = check(FIG10).render("tester2.cpp")
+        assert "_M_fn2' invalidly declared function type" in rendered
+
+    def test_cascading_no_match_for_call(self):
+        rendered = check(FIG10).render("tester2.cpp")
+        assert "no match for call to" in rendered
+        assert "(long int&)" in rendered
+
+    def test_errors_located_in_headers_not_client(self):
+        result = check(FIG10)
+        assert all("functional" in e.message or "stl_algo" in e.message
+                   for e in result.errors)
+
+    def test_instantiated_from_here_points_at_client(self):
+        rendered = check(FIG10).render("tester2.cpp")
+        assert "tester2.cpp" in rendered
+        assert "instantiated from here" in rendered
+
+    def test_ptr_fun_fixes_everything(self):
+        fixed = FIG10.replace("labs));", "ptr_fun(labs)));")
+        assert check(fixed).ok
+
+
+class TestTypeHelpers:
+    def test_gcc_spelling(self):
+        assert cpp_type_name(LONG) == "long int"
+        assert cpp_type_name(TFunc(LONG, [LONG])) == "long int ()(long int)"
+        assert cpp_type_name(TClass("vector", [LONG])) == "vector<long int>"
+
+    def test_nested_template_space(self):
+        t = TClass("vector", [TClass("vector", [LONG])])
+        assert cpp_type_name(t) == "vector<vector<long int> >"
+
+    def test_deduce_simple(self):
+        bindings = {}
+        deduce(TParam("T"), LONG, bindings)
+        assert bindings == {"T": LONG}
+
+    def test_deduce_through_class(self):
+        bindings = {}
+        deduce(TClass("vector", [TParam("T")]), TClass("vector", [INT]), bindings)
+        assert bindings["T"] == INT
+
+    def test_deduce_conflict(self):
+        bindings = {"T": INT}
+        with pytest.raises(DeductionError):
+            deduce(TParam("T"), DOUBLE, bindings)
+
+    def test_substitute(self):
+        t = substitute(TPtr(TParam("T")), {"T": LONG})
+        assert t == TPtr(LONG)

@@ -1,0 +1,91 @@
+"""Tests for the Section 3.2 category logic and aggregation."""
+
+import pytest
+
+from repro.corpus.grading import FileGrades, Grade
+from repro.evaluation.categories import Category, CategoryCounts, categorize
+
+
+def grades(checker, seminal, no_triage):
+    def g(score):
+        if score == 2:
+            return Grade(True, True)
+        if score == 1:
+            return Grade(True, False)
+        return Grade(False, False)
+
+    return FileGrades(checker=g(checker), seminal=g(seminal), seminal_no_triage=g(no_triage))
+
+
+class TestCategorize:
+    def test_tie_no_triage(self):
+        assert categorize(grades(2, 2, 2)) is Category.TIE_NO_TRIAGE
+
+    def test_tie_triage_needed(self):
+        assert categorize(grades(2, 2, 0)) is Category.TIE_TRIAGE_NEEDED
+
+    def test_better_no_triage(self):
+        assert categorize(grades(1, 2, 2)) is Category.BETTER_NO_TRIAGE
+
+    def test_better_triage_needed(self):
+        assert categorize(grades(1, 2, 1)) is Category.BETTER_TRIAGE_NEEDED
+
+    def test_checker_better(self):
+        assert categorize(grades(2, 1, 1)) is Category.CHECKER_BETTER
+
+    def test_both_zero_is_tie(self):
+        # "ties where both approaches produce a bad message" still category 1.
+        assert categorize(grades(0, 0, 0)) is Category.TIE_NO_TRIAGE
+
+    def test_triage_cannot_hurt_categorization(self):
+        # If triage made the message worse than no-triage, it is still
+        # compared on the full system's score.
+        assert categorize(grades(1, 0, 1)) is Category.CHECKER_BETTER
+
+
+class TestCategoryCounts:
+    @pytest.fixture
+    def counts(self):
+        cats = (
+            [Category.TIE_NO_TRIAGE] * 50
+            + [Category.TIE_TRIAGE_NEEDED] * 9
+            + [Category.BETTER_NO_TRIAGE] * 13
+            + [Category.BETTER_TRIAGE_NEEDED] * 6
+            + [Category.CHECKER_BETTER] * 17
+        )
+        return CategoryCounts.tally(cats)
+
+    def test_total(self, counts):
+        assert counts.total == 95
+
+    def test_ours_better(self, counts):
+        assert counts.ours_better == pytest.approx(19 / 95)
+
+    def test_checker_better(self, counts):
+        assert counts.checker_better == pytest.approx(17 / 95)
+
+    def test_no_worse(self, counts):
+        assert counts.no_worse == pytest.approx(78 / 95)
+
+    def test_triage_boosts(self, counts):
+        assert counts.triage_win_boost == pytest.approx(6 / 13)
+        assert counts.triage_tie_boost == pytest.approx(9 / 50)
+
+    def test_triage_helped(self, counts):
+        assert counts.triage_helped == pytest.approx(15 / 95)
+
+    def test_as_row_order(self, counts):
+        assert counts.as_row() == [50, 9, 13, 6, 17]
+
+    def test_empty_counts_safe(self):
+        empty = CategoryCounts.tally([])
+        assert empty.total == 0
+        assert empty.ours_better == 0.0
+        assert empty.triage_win_boost == 0.0
+
+    def test_infinite_boost_when_only_cat4(self):
+        counts = CategoryCounts.tally([Category.BETTER_TRIAGE_NEEDED])
+        assert counts.triage_win_boost == float("inf")
+
+    def test_labels(self):
+        assert "triage" in Category.TIE_TRIAGE_NEEDED.label

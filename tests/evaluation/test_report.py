@@ -1,0 +1,55 @@
+"""Tests for the auto-generated paper-vs-measured report."""
+
+import pytest
+
+from repro.evaluation.report import (
+    PAPER_VALUES,
+    ReportData,
+    collect,
+    generate_report,
+    headline_table,
+    timing_table,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return collect(scale=0.1, seed=3, timing_files=6)
+
+
+class TestCollect:
+    def test_collect_shapes(self, data):
+        assert data.corpus.representatives
+        assert data.study.outcomes
+        assert set(data.timing.curves) == {
+            "full tool",
+            "no reparen-match change",
+            "no triage",
+        }
+
+
+class TestTables:
+    def test_headline_table_rows(self, data):
+        table = headline_table(data.study)
+        assert table.count("\n") == len(PAPER_VALUES) + 1
+        assert "ours better" in table
+        assert "19%" in table  # the paper column
+
+    def test_timing_table(self, data):
+        table = timing_table(data.timing)
+        assert "full tool" in table
+        assert "ms" in table
+
+
+class TestReport:
+    def test_report_structure(self, data):
+        report = generate_report(data)
+        assert report.startswith("# Measured results")
+        assert "Figure 5(a)" in report
+        assert "Figure 6" in report
+        assert "Figure 7" in report
+        assert "paper: 2122 / 1075" in report
+
+    def test_report_is_markdown_with_code_fences(self, data):
+        report = generate_report(data)
+        assert report.count("```") == 2

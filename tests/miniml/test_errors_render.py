@@ -1,0 +1,116 @@
+"""Tests for error-object rendering and metadata."""
+
+import pytest
+
+from repro.miniml import parse_program, typecheck_source
+from repro.miniml.errors import (
+    ConstructorArityError,
+    DuplicateBindingError,
+    MiniMLTypeError,
+    NotAFunctionError,
+    PatternMismatchError,
+    TypeMismatchError,
+    UnboundConstructorError,
+    UnboundFieldError,
+    UnboundVariableError,
+)
+from repro.miniml.types import INT, STRING, arrows
+
+
+class TestRendering:
+    def test_mismatch_includes_both_types(self):
+        error = typecheck_source("let x = 1 + true").error
+        text = error.render()
+        assert "bool" in text and "int" in text
+        assert "Line 1" in text
+
+    def test_mismatch_quotes_expression(self):
+        error = typecheck_source("let f x = (x + 1) && true").error
+        assert "x + 1" in error.message
+
+    def test_unbound_value(self):
+        error = typecheck_source("let x = nope").error
+        assert error.render().endswith("Unbound value nope")
+
+    def test_unbound_constructor(self):
+        error = typecheck_source("let x = Nope 3").error
+        assert "Unbound constructor Nope" in error.message
+
+    def test_unbound_field(self):
+        error = typecheck_source("let x = {bogus = 1}").error
+        assert "Unbound record field bogus" in error.message
+
+    def test_not_a_function_message(self):
+        error = typecheck_source("let x = 3 4").error
+        assert "It is not a function; it cannot be applied" in error.message
+
+    def test_constructor_arity(self):
+        error = typecheck_source("let x = None 1").error
+        assert "expects 0 argument(s)" in error.message
+
+    def test_pattern_mismatch(self):
+        error = typecheck_source("let m = match 1 with true -> 0 | _ -> 1").error
+        assert "This pattern matches values of type bool" in error.message
+
+    def test_duplicate_binding(self):
+        error = typecheck_source("let f (a, a) = a").error
+        assert "bound several times" in error.message
+
+    def test_render_without_span(self):
+        error = MiniMLTypeError("synthetic message", node=None)
+        assert error.render() == "synthetic message"
+
+    def test_types_rendered_eagerly(self):
+        # The strings must be snapshot at construction (types are mutable).
+        from repro.miniml.ast_nodes import EVar
+
+        error = TypeMismatchError(EVar("x"), INT, arrows(STRING, STRING))
+        assert error.actual_str == "int"
+        assert error.expected_str == "string -> string"
+
+
+class TestKinds:
+    @pytest.mark.parametrize(
+        "src,kind",
+        [
+            ("let x = 1 + true", "mismatch"),
+            ("let x = nope", "unbound"),
+            ("let x = Nope", "unbound-constructor"),
+            ("let x = 3 4", "not-a-function"),
+            ("let m = match 1 with true -> 0", "pattern-mismatch"),
+            ("let f (a, a) = a", "duplicate-binding"),
+            ("type t = A of missing", "unknown-type"),
+        ],
+    )
+    def test_error_kind_tags(self, src, kind):
+        assert typecheck_source(src).error.kind == kind
+
+    def test_kinds_are_unique_per_class(self):
+        kinds = {
+            cls.kind
+            for cls in (
+                TypeMismatchError,
+                PatternMismatchError,
+                UnboundVariableError,
+                UnboundConstructorError,
+                UnboundFieldError,
+                NotAFunctionError,
+                ConstructorArityError,
+                DuplicateBindingError,
+            )
+        }
+        assert len(kinds) == 8
+
+
+class TestSpans:
+    def test_error_span_is_inside_source(self):
+        src = "let outer = 1\nlet x = [1; true; 3]"
+        error = typecheck_source(src).error
+        assert error.span.start_line == 2
+        text = src.splitlines()[1]
+        assert "true" in text[error.span.start_col - 1 : error.span.end_col + 4]
+
+    def test_first_error_wins(self):
+        src = "let a = 1 + true\nlet b = 2 + false"
+        error = typecheck_source(src).error
+        assert error.span.start_line == 1

@@ -1,0 +1,274 @@
+"""Tests for the MiniML interpreter, including runtime type soundness."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.corpus.seeds import ASSIGNMENTS
+from repro.miniml import typecheck_source
+from repro.miniml.eval import (
+    Interpreter,
+    MatchFailure,
+    MiniMLException,
+    RuntimeTypeError,
+    VConst,
+    VConstructor,
+    VList,
+    VTuple,
+    eval_expr_source,
+    render_value,
+    run_source,
+    values_equal,
+)
+
+
+def result_of(src):
+    return render_value(eval_expr_source(src))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("1 + 2 * 3", "7"),
+            ("(1 + 2) * 3", "9"),
+            ("10 - 3 - 4", "3"),
+            ("7 / 2", "3"),
+            ("-7 / 2", "-3"),  # OCaml truncates toward zero
+            ("7 mod 2", "1"),
+            ("-7 mod 2", "-1"),
+            ("1.5 +. 2.25", "3.75"),
+            ("3.0 *. 2.0", "6.0"),
+            ('"foo" ^ "bar"', '"foobar"'),
+            ("[1; 2] @ [3]", "[1; 2; 3]"),
+            ("-3", "-3"),
+            ("abs (-3)", "3"),
+            ("max 2 5", "5"),
+            ('min "b" "a"', '"a"'),
+        ],
+    )
+    def test_expr(self, src, expected):
+        assert result_of(src) == expected
+
+    def test_division_by_zero_raises_minml_exception(self):
+        with pytest.raises(MiniMLException):
+            eval_expr_source("1 / 0")
+
+    def test_mod_by_zero(self):
+        with pytest.raises(MiniMLException):
+            eval_expr_source("1 mod 0")
+
+
+class TestBooleansAndComparison:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("1 = 1", "true"),
+            ("[1; 2] = [1; 2]", "true"),
+            ("(1, true) = (1, false)", "false"),
+            ("1 < 2", "true"),
+            ('"abc" < "abd"', "true"),
+            ("true && false", "false"),
+            ("true || false", "true"),
+            ("not true", "false"),
+            ("compare 3 3", "0"),
+        ],
+    )
+    def test_expr(self, src, expected):
+        assert result_of(src) == expected
+
+    def test_and_short_circuits(self):
+        # The right side would raise; && must not evaluate it.
+        assert result_of("false && (1 / 0 = 0)") == "false"
+
+    def test_or_short_circuits(self):
+        assert result_of("true || (1 / 0 = 0)") == "true"
+
+
+class TestFunctions:
+    def test_closure_capture(self):
+        assert result_of("let a = 10 in let f x = x + a in let a = 0 in f 5") == "15"
+
+    def test_curried_partial_application(self):
+        assert result_of("let add a b = a + b in let inc = add 1 in inc 41") == "42"
+
+    def test_recursion(self):
+        assert result_of("let rec fact n = if n = 0 then 1 else n * fact (n - 1) in fact 6") == "720"
+
+    def test_mutual_recursion(self):
+        src = (
+            "let rec even n = if n = 0 then true else odd (n - 1) "
+            "and odd n = if n = 0 then false else even (n - 1) in even 10"
+        )
+        assert result_of(src) == "true"
+
+    def test_function_cases(self):
+        assert result_of("(function [] -> 0 | x :: _ -> x) [7; 8]") == "7"
+
+    def test_tuple_parameter(self):
+        assert result_of("(fun (x, y) -> x + y) (3, 4)") == "7"
+
+    def test_higher_order(self):
+        assert result_of("List.fold_left (fun acc x -> acc + x) 0 [1;2;3;4]") == "10"
+
+
+class TestDataAndMatching:
+    def test_constructors(self):
+        assert result_of("Some (1 + 1)") == "Some 2"
+
+    def test_match_constructor(self):
+        assert result_of("match Some 3 with Some n -> n | None -> 0") == "3"
+
+    def test_match_cons(self):
+        assert result_of("match [1;2;3] with x :: _ -> x | [] -> 0") == "1"
+
+    def test_match_failure(self):
+        with pytest.raises(MatchFailure):
+            eval_expr_source("match [] with x :: _ -> x")
+
+    def test_nested_patterns(self):
+        assert result_of("match (1, [2; 3]) with (a, b :: _) -> a + b | _ -> 0") == "3"
+
+    def test_records(self):
+        src = "let p = {x = 1; y = 2} in p.x + p.y"
+        assert result_of(src) == "3"
+
+    def test_mutable_field(self):
+        src = "let p = {x = 1; y = 2} in p.y <- 40; p.x + p.y"
+        assert result_of(src) == "41"
+
+    def test_refs(self):
+        assert result_of("let r = ref 1 in r := !r + 41; !r") == "42"
+
+    def test_incr(self):
+        assert result_of("let r = ref 0 in incr r; incr r; !r") == "2"
+
+
+class TestExceptions:
+    def test_raise_and_catch(self):
+        assert result_of("try raise Not_found with Not_found -> 9") == "9"
+
+    def test_uncaught_propagates(self):
+        with pytest.raises(MiniMLException):
+            eval_expr_source("raise (Failure \"boom\")")
+
+    def test_handler_pattern_selective(self):
+        src = 'try failwith "x" with Not_found -> 1 | Failure _ -> 2'
+        assert result_of(src) == "2"
+
+    def test_try_body_value_passes_through(self):
+        assert result_of("try 5 with Not_found -> 0") == "5"
+
+    def test_list_find_not_found(self):
+        assert result_of("try List.find (fun n -> n > 9) [1] with Not_found -> -1") == "-1"
+
+
+class TestOutput:
+    def test_print_capture(self):
+        _, out = run_source('let u = print_string "a"; print_int 3; print_newline ()')
+        assert out == "a3\n"
+
+    def test_print_endline(self):
+        _, out = run_source('let u = print_endline "line"')
+        assert out == "line\n"
+
+
+class TestSeedsRun:
+    """The corpus seeds are real programs: they run and print."""
+
+    EXPECTED = {
+        "hw1": "bob, alice15\n",
+        "hw2": "42 size=5\n",
+        "hw3": "3\n",
+        "hw4": "bob3\n",
+        "hw5": "60\n",
+    }
+
+    @pytest.mark.parametrize("name", list(ASSIGNMENTS))
+    def test_seed_runs(self, name):
+        _, out = run_source(ASSIGNMENTS[name])
+        assert out == self.EXPECTED[name]
+
+
+class TestDivergenceGuard:
+    def test_fuel_limits_infinite_loops(self):
+        with pytest.raises(RuntimeTypeError):
+            eval_expr_source("let rec loop x = loop x in loop 0", max_steps=10_000)
+
+
+class TestValueHelpers:
+    def test_values_equal_structural(self):
+        a = VList([VConst(1, "int"), VConst(2, "int")])
+        b = VList([VConst(1, "int"), VConst(2, "int")])
+        assert values_equal(a, b)
+
+    def test_functional_values_not_comparable(self):
+        with pytest.raises(RuntimeTypeError):
+            eval_expr_source("(fun x -> x) = (fun y -> y)")
+
+    def test_render_forms(self):
+        assert render_value(VTuple([VConst(1, "int"), VConst(True, "bool")])) == "(1, true)"
+        assert render_value(VConstructor("None")) == "None"
+
+
+# ---------------------------------------------------------------------------
+# Runtime type soundness: well-typed programs never hit RuntimeTypeError.
+# ---------------------------------------------------------------------------
+
+_WELL_TYPED_SNIPPETS = [
+    "let x = List.map (fun n -> n * n) [1;2;3]",
+    "let x = List.fold_left (fun a b -> a ^ b) \"\" [\"x\"; \"y\"]",
+    "let rec f n = if n <= 0 then [] else n :: f (n - 1)\nlet x = f 5",
+    "let x = try List.hd [] with Failure _ -> 0",
+    "let r = ref []\nlet u = r := [1; 2]\nlet n = List.length !r",
+    "let x = (fun (a, b) -> a) (1, \"s\")",
+    "type t = A | B of int\nlet f v = match v with A -> 0 | B n -> n\nlet x = f (B 3)",
+    "let x = List.sort compare [3; 1; 2]",
+    "let x = String.concat \",\" (List.map string_of_int [1;2])",
+]
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("src", _WELL_TYPED_SNIPPETS)
+    def test_well_typed_runs_without_runtime_type_error(self, src):
+        assert typecheck_source(src).ok
+        try:
+            run_source(src, max_steps=200_000)
+        except MiniMLException:
+            pass  # MiniML-level exceptions are fine; RuntimeTypeError is not
+        except MatchFailure:
+            pass  # inexhaustive matches are not type errors
+
+    @given(st.sampled_from(list(ASSIGNMENTS)), st.integers(0, 2000))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_mutated_seeds_never_hit_runtime_type_error_when_well_typed(self, name, seed):
+        """Apply a mutation; if the result happens to still type-check (the
+        injector filters these out for the corpus, but we generate raw ones
+        here), running it must not hit RuntimeTypeError."""
+        import random
+
+        from repro.corpus.mutations import MUTATORS, family_names
+        from repro.miniml import parse_program
+        from repro.tree import replace_at
+
+        rng = random.Random(seed)
+        program = parse_program(ASSIGNMENTS[name])
+        family = rng.choice(family_names())
+        candidates = MUTATORS[family](program, rng)
+        if not candidates:
+            return
+        path, replacement, _ = rng.choice(candidates)
+        mutated = replace_at(program, path, replacement)
+        if not typecheck_source(  # only run the still-well-typed ones
+            __import__("repro.miniml.pretty", fromlist=["pretty_program"]).pretty_program(mutated)
+        ).ok:
+            return
+        interpreter = Interpreter(max_steps=100_000)
+        try:
+            interpreter.run_program(mutated)
+        except (MiniMLException, MatchFailure):
+            pass
+        except RuntimeTypeError as err:
+            if "step budget" in str(err):
+                pass  # divergence is not a type error
+            else:
+                raise

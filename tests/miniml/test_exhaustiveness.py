@@ -1,0 +1,124 @@
+"""Tests for the pattern-match exhaustiveness/redundancy analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.seeds import ASSIGNMENTS
+from repro.miniml.exhaustiveness import match_warnings_source
+
+
+def kinds(src):
+    return [w.kind for w in match_warnings_source(src)]
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let f x = match x with 0 -> 1 | _ -> 2",
+            "let f x = match x with true -> 1 | false -> 0",
+            "let f x = match x with [] -> 0 | h :: t -> h",
+            "let f x = match x with [] -> 0 | [x] -> x | _ :: _ -> 1",
+            "let f p = match p with (a, b) -> a + b",
+            "let f x = match x with Some n -> n | None -> 0",
+            "type t = A | B of int\nlet f v = match v with A -> 0 | B n -> n",
+            "let f u = match u with () -> 1",
+            "let f x = match x with n -> n",
+            # nested completeness
+            "let f x = match x with (true, _) -> 1 | (false, _) -> 0",
+        ],
+    )
+    def test_no_warnings(self, src):
+        assert kinds(src) == []
+
+
+class TestNonExhaustive:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let f x = match x with 0 -> 1 | 1 -> 2",
+            'let f s = match s with "a" -> 1',
+            "let f x = match x with true -> 1",
+            "let f x = match x with [] -> 0",
+            "let f x = match x with h :: t -> h",
+            "let f x = match x with Some n -> n",
+            "type t = A | B of int\nlet f v = match v with B n -> n",
+            "let f x = match x with (0, _) -> 1",
+            # nested: misses (false, false)
+            "let f p = match p with (true, _) -> 1 | (_, true) -> 2",
+        ],
+    )
+    def test_warns(self, src):
+        assert "non-exhaustive" in kinds(src)
+
+
+class TestUnused:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let f x = match x with _ -> 1 | 0 -> 2",
+            "let f x = match x with n -> n | 0 -> 2",
+            "let f x = match x with 0 -> 1 | 0 -> 2 | _ -> 3",
+            "let f x = match x with Some _ -> 1 | Some 3 -> 2 | None -> 0",
+            "let f x = match x with [] -> 0 | h :: t -> h | [x] -> x",
+            "let f x = match x with true -> 1 | false -> 0 | _ -> 2",
+        ],
+    )
+    def test_warns(self, src):
+        assert "unused-case" in kinds(src)
+
+    def test_unused_points_at_the_case(self):
+        warnings = match_warnings_source("let f x = match x with _ -> 1 | 0 -> 2")
+        (w,) = warnings
+        assert w.span is not None
+        assert "unused" in w.render()
+
+
+class TestTryHandlers:
+    def test_try_not_required_exhaustive(self):
+        assert kinds("let g x = try x with Not_found -> 0") == []
+
+    def test_try_unused_arm_still_flagged(self):
+        src = "let g x = try x with _ -> 0 | Not_found -> 1"
+        assert "unused-case" in kinds(src)
+
+
+class TestFunctionSugar:
+    def test_function_checked(self):
+        assert "non-exhaustive" in kinds("let f = function 0 -> 1")
+
+    def test_function_complete(self):
+        assert kinds("let f = function [] -> 0 | _ :: _ -> 1") == []
+
+
+class TestSeeds:
+    @pytest.mark.parametrize("name", list(ASSIGNMENTS))
+    def test_seeds_warning_clean(self, name):
+        """The homework seeds model good student code: no match warnings."""
+        assert match_warnings_source(ASSIGNMENTS[name]) == []
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=5, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_literal_matches_never_exhaustive_without_wildcard(self, literals):
+        arms = " | ".join(f"{n} -> {n}" for n in literals)
+        src = f"let f x = match x with {arms}"
+        assert "non-exhaustive" in kinds(src)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=5, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_adding_wildcard_restores_exhaustiveness(self, literals):
+        arms = " | ".join(f"{n} -> {n}" for n in literals)
+        src = f"let f x = match x with {arms} | _ -> 0"
+        assert "non-exhaustive" not in kinds(src)
+
+    @given(st.integers(0, 5), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_duplicate_literal_arm_is_unused(self, a, b):
+        src = f"let f x = match x with {a} -> 1 | {b} -> 2 | _ -> 3"
+        warnings = kinds(src)
+        if a == b:
+            assert "unused-case" in warnings
+        else:
+            assert warnings == []

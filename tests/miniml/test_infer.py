@@ -1,0 +1,308 @@
+"""Tests for the MiniML type-checker: acceptance, rejection, error fidelity.
+
+The "paper examples" class pins down the exact conventional-checker messages
+the paper quotes (Figures 2, 8, 9) — these are the baselines SEMINAL is
+evaluated against, so their wording and location must not drift.
+"""
+
+import pytest
+
+from repro.miniml import (
+    parse_program,
+    typecheck_source,
+)
+from repro.miniml.ast_nodes import EApp, EBinop, EVar
+from repro.miniml.errors import (
+    ConstructorArityError,
+    DuplicateBindingError,
+    NotAFunctionError,
+    PatternMismatchError,
+    RecordFieldError,
+    TypeMismatchError,
+    UnboundConstructorError,
+    UnboundFieldError,
+    UnboundVariableError,
+    UnknownTypeError,
+)
+from repro.miniml.infer import typecheck_program
+from repro.miniml.types import type_to_string
+
+
+def check(src):
+    return typecheck_source(src)
+
+
+def scheme_str(result, name):
+    scheme = result.top_level[name]
+    return type_to_string(scheme.body)
+
+
+class TestWellTyped:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let x = 1",
+            "let x = 1 + 2 * 3",
+            'let s = "a" ^ "b"',
+            "let f = fun x -> x + 1",
+            "let f x y = x + y",
+            "let rec fact n = if n = 0 then 1 else n * fact (n - 1)",
+            "let l = [1; 2; 3]",
+            "let l = 1 :: 2 :: []",
+            "let p = (1, true, \"s\")",
+            "let o = Some 3",
+            "let n = None",
+            "let f = function [] -> 0 | x :: _ -> x",
+            "let m x = match x with 0 -> true | _ -> false\nlet y = m 3",
+            "let r = ref 0\nlet u = r := !r + 1",
+            "let x = if true then 1 else 2",
+            "let u = if true then print_string \"hi\"",
+            "let f g l = List.map g l",
+            "let pairs = List.combine [1] [true]",
+            "let id x = x\nlet a = id 1\nlet b = id true",
+            "let apply f x = f x",
+            "let twice f x = f (f x)",
+            "let x = let y = 3 in y + 1",
+            "let f = fun (a, b) -> a + b\nlet s = f (1, 2)",
+            'let u = print_string "x"; print_newline ()',
+            "let h = List.fold_left (fun acc x -> acc + x) 0 [1;2;3]",
+            "let e = raise Not_found",
+            'let e = raise (Failure "bad")',
+            "let x = 1.5 +. 2.5",
+            "let c = compare 1 2",
+            "let neg = -5",
+        ],
+    )
+    def test_accepts(self, src):
+        result = check(src)
+        assert result.ok, result.error.render() if result.error else ""
+
+    def test_polymorphic_scheme(self):
+        result = check("let id x = x")
+        assert scheme_str(result, "id") == "'a -> 'a"
+
+    def test_map_scheme(self):
+        result = check("let rec map f l = match l with [] -> [] | h :: t -> f h :: map f t")
+        assert scheme_str(result, "map") == "('a -> 'b) -> 'a list -> 'b list"
+
+    def test_tuple_pattern_binding(self):
+        result = check("let (a, b) = (1, true)")
+        assert scheme_str(result, "a") == "int"
+        assert scheme_str(result, "b") == "bool"
+
+    def test_value_restriction_blocks_generalization(self):
+        # ``let r = ref []`` must stay monomorphic.
+        result = check("let r = ref []\nlet u = r := [1]\nlet v = r := [true]")
+        assert not result.ok
+
+    def test_value_restriction_allows_eta_expanded(self):
+        result = check("let f = fun x -> x\nlet a = f 1\nlet b = f true")
+        assert result.ok
+
+    def test_shadowing(self):
+        result = check("let x = 1\nlet x = true\nlet y = x && false")
+        assert result.ok
+
+    def test_mutual_recursion(self):
+        src = (
+            "let rec even n = if n = 0 then true else odd (n - 1) "
+            "and odd n = if n = 0 then false else even (n - 1)"
+        )
+        result = check(src)
+        assert result.ok
+        assert scheme_str(result, "even") == "int -> bool"
+
+    def test_user_variant(self):
+        src = """
+type shape = Circle of int | Square of int | Point
+let area s = match s with Circle r -> r * r * 3 | Square w -> w * w | Point -> 0
+let a = area (Circle 2)
+"""
+        result = check(src)
+        assert result.ok
+        assert scheme_str(result, "area") == "shape -> int"
+
+    def test_parameterized_variant(self):
+        src = """
+type 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+let rec size t = match t with Leaf -> 0 | Node (l, _, r) -> 1 + size l + size r
+"""
+        result = check(src)
+        assert result.ok
+        assert scheme_str(result, "size") == "'a tree -> int"
+
+    def test_recursive_variant(self):
+        src = "type move = For of int * (move list) | Stop\nlet m = For (1, [Stop])"
+        assert check(src).ok
+
+    def test_records(self):
+        src = """
+type point = {x : int; mutable y : int}
+let p = {x = 1; y = 2}
+let gx = p.x
+let set = p.y <- 3
+"""
+        result = check(src)
+        assert result.ok
+        assert scheme_str(result, "gx") == "int"
+
+    def test_exception_decl_and_raise(self):
+        src = 'exception Bad of string\nlet f () = raise (Bad "oops")'
+        assert check(src).ok
+
+    def test_raise_fits_any_context(self):
+        # This is the property the searcher exploits for its wildcard.
+        assert check("let x = 1 + raise Foo").ok
+        assert check("let f = List.map (raise Foo) (raise Foo)").ok
+        assert check("let x = if raise Foo then raise Foo else raise Foo").ok
+
+    def test_adapt_function_registered(self):
+        assert check("let x = 1 + __seminal_adapt \"str\"").ok
+
+
+class TestIllTyped:
+    @pytest.mark.parametrize(
+        "src,error_type",
+        [
+            ("let x = 1 + true", TypeMismatchError),
+            ('let x = "a" + 2', TypeMismatchError),
+            ("let x = 1.5 + 2", TypeMismatchError),
+            ("let l = [1; true]", TypeMismatchError),
+            ("let l = 1 :: [true]", TypeMismatchError),
+            ("let x = if 1 then 2 else 3", TypeMismatchError),
+            ("let x = if true then 1 else false", TypeMismatchError),
+            ("let f = fun x -> x + 1\nlet y = f true", TypeMismatchError),
+            ("let x = undefined_thing", UnboundVariableError),
+            ("let x = Nonexistent", UnboundConstructorError),
+            ("let x = 3 4", NotAFunctionError),
+            ("let f x = x + 1\nlet y = f 1 2", NotAFunctionError),
+            ("let x = Some", ConstructorArityError),
+            ("let x = None 3", ConstructorArityError),
+            ("let m = match 3 with true -> 1 | _ -> 2", PatternMismatchError),
+            ("let m = match [1] with (a, b) -> a", PatternMismatchError),
+            ("let f (x, x) = x", DuplicateBindingError),
+            ("let x = {nofield = 3}", UnboundFieldError),
+            ("let x = p.nofield", UnboundFieldError),
+            ("type t = A of nosuchtype", UnknownTypeError),
+            ("type t = A of int list list list litt", UnknownTypeError),
+            ("let u = 1 := 2", TypeMismatchError),
+            ("let m = match (1, 2) with (a, b, c) -> a", PatternMismatchError),
+        ],
+    )
+    def test_rejects(self, src, error_type):
+        result = check(src)
+        assert not result.ok
+        assert isinstance(result.error, error_type), result.error
+
+    def test_record_missing_field(self):
+        src = "type p = {x : int; y : int}\nlet v = {x = 1}"
+        result = check(src)
+        assert isinstance(result.error, RecordFieldError)
+
+    def test_immutable_field_update(self):
+        src = "type p = {x : int}\nlet v = {x = 1}\nlet u = v.x <- 2"
+        result = check(src)
+        assert isinstance(result.error, RecordFieldError)
+
+    def test_let_rec_non_variable_pattern(self):
+        result = check("let rec (a, b) = (1, 2)")
+        assert not result.ok
+
+    def test_occurs_check_self_application(self):
+        result = check("let f x = x x")
+        assert not result.ok
+
+    def test_error_has_span(self):
+        result = check("let x = 1 + true")
+        assert result.error.span is not None
+        assert result.error.span.start_line == 1
+
+
+class TestPaperExamples:
+    """The conventional-checker baselines quoted in the paper."""
+
+    FIG2 = """
+let map2 f aList bList =
+  List.map (fun (a, b) -> f a b) (List.combine aList bList)
+let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]
+let ans = List.filter (fun x -> x == 0) lst
+"""
+
+    def test_figure2_message_and_location(self):
+        result = check(self.FIG2)
+        assert not result.ok
+        err = result.error
+        # Paper: "The expression x+y has type int but is here used with
+        # type 'a -> 'b" — reported at the addition, NOT at the real bug.
+        assert isinstance(err, TypeMismatchError)
+        assert err.actual_str == "int"
+        assert err.expected_str == "'a -> 'b"
+        assert isinstance(err.node, EBinop)
+        assert err.node.op == "+"
+
+    FIG8 = """
+let add str lst = if List.mem str lst then lst else str :: lst
+let s = "hello"
+let vList1 = [["a"]; ["b"]]
+let r = add vList1 s
+"""
+
+    def test_figure8_message_and_location(self):
+        result = check(self.FIG8)
+        err = result.error
+        assert isinstance(err, TypeMismatchError)
+        # Paper: "The expression s has type string but is here used with
+        # type string list list" (with vList1 : string list list the types
+        # shift one list level; with string list they are as quoted).
+        assert isinstance(err.node, EVar)
+        assert err.node.name == "s"
+        assert err.actual_str == "string"
+
+    FIG9 = """
+type move = For of int * (move list) | Ahead of int | Turn of int
+let rec loop movelist x y dir acc =
+  match movelist with
+    [] -> acc
+  | For (moves, lst) :: tl ->
+      let rec finalLst index searchLst =
+        if index = (moves - 1) then []
+        else (List.nth searchLst) :: (finalLst (index + 1) searchLst)
+      in loop (finalLst 0 lst) x y dir acc
+  | Ahead n :: tl -> loop tl (x + n) y dir acc
+  | Turn n :: tl -> loop tl x y (dir + n) acc
+"""
+
+    def test_figure9_message_and_location(self):
+        result = check(self.FIG9)
+        err = result.error
+        assert isinstance(err, TypeMismatchError)
+        # Paper: "The expression (finalLst 0 lst) has type (int -> move) list
+        # but is here used with type move list"
+        assert err.actual_str == "(int -> move) list"
+        assert err.expected_str == "move list"
+        assert isinstance(err.node, EApp)
+
+    def test_print_vs_print_string_unbound(self):
+        # Section 3.3 scenario: the checker finds the unbound variable.
+        src = """
+let f x = match x with 0 -> print "zero" | _ -> print "other"
+"""
+        result = check(src)
+        assert isinstance(result.error, UnboundVariableError)
+        assert result.error.name == "print"
+
+    def test_multiple_errors_reports_first(self):
+        # Section 2.4 example: 3 + true then 4 + "hi"; checker reports first.
+        src = 'let x = 3 + true\nlet y = 4 + "hi"'
+        result = check(src)
+        assert result.error.span.start_line == 1
+
+
+class TestCheckResult:
+    def test_bool_protocol(self):
+        assert check("let x = 1")
+        assert not check("let x = 1 + true")
+
+    def test_top_level_only_on_success(self):
+        result = check("let x = 1 + true")
+        assert result.top_level == {}

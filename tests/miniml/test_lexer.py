@@ -1,0 +1,133 @@
+"""Tests for the MiniML lexer."""
+
+import pytest
+
+from repro.miniml.lexer import LexError, tokenize
+from repro.miniml.tokens import TokenKind
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)][:-1]  # drop EOF
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)][:-1]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_integers(self):
+        toks = tokenize("42 0 123")
+        assert [t.value for t in toks[:-1]] == [42, 0, 123]
+        assert all(t.kind is TokenKind.INT for t in toks[:-1])
+
+    def test_floats(self):
+        toks = tokenize("3.14 2. 0.5")
+        assert [t.value for t in toks[:-1]] == [3.14, 2.0, 0.5]
+        assert all(t.kind is TokenKind.FLOAT for t in toks[:-1])
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r'"hello" "a\nb" "say \"hi\""')
+        assert [t.value for t in toks[:-1]] == ["hello", "a\nb", 'say "hi"']
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestIdentifiers:
+    def test_lowercase_ident(self):
+        (tok,) = tokenize("foo_bar'")[:-1]
+        assert tok.kind is TokenKind.LIDENT
+        assert tok.text == "foo_bar'"
+
+    def test_uppercase_ident(self):
+        (tok,) = tokenize("Some")[:-1]
+        assert tok.kind is TokenKind.UIDENT
+
+    def test_module_qualified(self):
+        (tok,) = tokenize("List.map")[:-1]
+        assert tok.kind is TokenKind.LIDENT
+        assert tok.text == "List.map"
+
+    def test_module_alone_is_uident(self):
+        toks = texts("List + x")
+        assert toks == ["List", "+", "x"]
+
+    def test_keywords(self):
+        assert all(t.kind is TokenKind.KEYWORD for t in tokenize("let rec in fun match")[:-1])
+
+    def test_underscore_alone_is_op(self):
+        (tok,) = tokenize("_")[:-1]
+        assert tok.kind is TokenKind.OP
+
+    def test_underscore_prefixed_ident(self):
+        (tok,) = tokenize("_foo")[:-1]
+        assert tok.kind is TokenKind.LIDENT
+
+
+class TestOperators:
+    def test_multichar_operators_greedy(self):
+        assert texts("-> <- := :: ;; == != <> <= >= && ||") == [
+            "->", "<-", ":=", "::", ";;", "==", "!=", "<>", "<=", ">=", "&&", "||",
+        ]
+
+    def test_float_operators(self):
+        assert texts("+. -. *. /.") == ["+.", "-.", "*.", "/."]
+
+    def test_cons_vs_colon(self):
+        assert texts("x :: y : z") == ["x", "::", "y", ":", "z"]
+
+    def test_semicolons(self):
+        assert texts("[1; 2]") == ["[", "1", ";", "2", "]"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("x ~ y")
+
+
+class TestComments:
+    def test_simple_comment(self):
+        assert texts("1 (* hi mom *) 2") == ["1", "2"]
+
+    def test_nested_comment(self):
+        assert texts("1 (* outer (* inner *) still *) 2") == ["1", "2"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("1 (* oops")
+
+    def test_comment_with_string_like_content(self):
+        assert texts('(* "not a string *) x') == ["x"]
+
+
+class TestTypeVariables:
+    def test_tyvar(self):
+        (tok,) = tokenize("'a")[:-1]
+        assert tok.kind is TokenKind.CHAR
+        assert tok.text == "'a"
+
+    def test_stray_quote(self):
+        with pytest.raises(LexError):
+            tokenize("' +")
+
+
+class TestSpans:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("let x =\n  42")
+        let_tok, x_tok, eq_tok, int_tok = toks[:-1]
+        assert (let_tok.span.start_line, let_tok.span.start_col) == (1, 1)
+        assert (x_tok.span.start_line, x_tok.span.start_col) == (1, 5)
+        assert (int_tok.span.start_line, int_tok.span.start_col) == (2, 3)
+
+    def test_offsets_are_half_open(self):
+        (tok,) = tokenize("abc")[:-1]
+        assert (tok.span.start_offset, tok.span.end_offset) == (0, 3)

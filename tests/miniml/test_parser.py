@@ -1,0 +1,394 @@
+"""Tests for the MiniML parser: shapes, precedence, declarations, errors."""
+
+import pytest
+
+from repro.miniml import parse_expr, parse_program
+from repro.miniml.ast_nodes import (
+    Binding,
+    DException,
+    DExpr,
+    DLet,
+    DType,
+    EApp,
+    EBinop,
+    ECons,
+    EConst,
+    EConstructor,
+    EFieldGet,
+    EFieldSet,
+    EFun,
+    EFunction,
+    EIf,
+    EList,
+    ELet,
+    EMatch,
+    ERaise,
+    ERecord,
+    ESeq,
+    ETuple,
+    EUnop,
+    EVar,
+    PCons,
+    PConst,
+    PConstructor,
+    PList,
+    PTuple,
+    PVar,
+    PWild,
+)
+from repro.miniml.parser import ParseError
+
+
+class TestAtoms:
+    def test_int(self):
+        e = parse_expr("42")
+        assert isinstance(e, EConst) and e.kind == "int" and e.value == 42
+
+    def test_negative_int_folds(self):
+        e = parse_expr("-3")
+        assert isinstance(e, EConst) and e.value == -3
+
+    def test_unit(self):
+        e = parse_expr("()")
+        assert isinstance(e, EConst) and e.kind == "unit"
+
+    def test_bools(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+
+    def test_string(self):
+        e = parse_expr('"hi"')
+        assert e.kind == "string" and e.value == "hi"
+
+    def test_var(self):
+        assert isinstance(parse_expr("foo"), EVar)
+
+    def test_qualified_var(self):
+        e = parse_expr("List.map")
+        assert isinstance(e, EVar) and e.name == "List.map"
+
+    def test_parenthesized(self):
+        e = parse_expr("((42))")
+        assert isinstance(e, EConst)
+
+    def test_begin_end(self):
+        e = parse_expr("begin 1 + 2 end")
+        assert isinstance(e, EBinop)
+
+
+class TestApplication:
+    def test_flat_nary_application(self):
+        e = parse_expr("f a b c")
+        assert isinstance(e, EApp)
+        assert isinstance(e.func, EVar)
+        assert len(e.args) == 3
+
+    def test_nested_application_parens(self):
+        e = parse_expr("f (g a) b")
+        assert isinstance(e.args[0], EApp)
+
+    def test_application_binds_tighter_than_plus(self):
+        e = parse_expr("f x + 1")
+        assert isinstance(e, EBinop) and e.op == "+"
+        assert isinstance(e.left, EApp)
+
+    def test_constructor_application(self):
+        e = parse_expr("Some 1")
+        assert isinstance(e, EConstructor) and e.name == "Some"
+        assert isinstance(e.arg, EConst)
+
+    def test_constructor_with_tuple_arg(self):
+        e = parse_expr("For (1, lst)")
+        assert isinstance(e, EConstructor)
+        assert isinstance(e.arg, ETuple)
+
+    def test_nullary_constructor(self):
+        e = parse_expr("None")
+        assert isinstance(e, EConstructor) and e.arg is None
+
+
+class TestOperatorPrecedence:
+    def test_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_add_left_assoc(self):
+        e = parse_expr("1 - 2 - 3")
+        assert e.op == "-" and isinstance(e.left, EBinop)
+
+    def test_comparison_looser_than_add(self):
+        e = parse_expr("a + 1 = b")
+        assert e.op == "="
+
+    def test_cons_right_assoc(self):
+        e = parse_expr("1 :: 2 :: []")
+        assert isinstance(e, ECons) and isinstance(e.tail, ECons)
+
+    def test_cons_tighter_than_comma(self):
+        e = parse_expr("1, 2 :: []")
+        assert isinstance(e, ETuple)
+        assert isinstance(e.items[1], ECons)
+
+    def test_and_tighter_than_or(self):
+        e = parse_expr("a || b && c")
+        assert e.op == "||" and e.right.op == "&&"
+
+    def test_assign_low_precedence(self):
+        e = parse_expr("r := 1 + 2")
+        assert e.op == ":=" and isinstance(e.right, EBinop)
+
+    def test_tuple_loosest(self):
+        e = parse_expr("1 + 2, 3")
+        assert isinstance(e, ETuple)
+
+    def test_seq_looser_than_tuple(self):
+        e = parse_expr("f x; g y")
+        assert isinstance(e, ESeq)
+
+    def test_deref(self):
+        e = parse_expr("!r + 1")
+        assert e.op == "+" and isinstance(e.left, EUnop)
+
+    def test_unary_minus_on_var(self):
+        e = parse_expr("- x")
+        assert isinstance(e, EUnop) and e.op == "-"
+
+    def test_string_concat_right(self):
+        e = parse_expr('"a" ^ "b" ^ "c"')
+        assert e.op == "^" and isinstance(e.right, EBinop)
+
+    def test_mod_keyword_operator(self):
+        e = parse_expr("a mod 2")
+        assert isinstance(e, EBinop) and e.op == "mod"
+
+
+class TestDataLiterals:
+    def test_list_semicolons(self):
+        e = parse_expr("[1; 2; 3]")
+        assert isinstance(e, EList) and len(e.items) == 3
+
+    def test_list_of_one_tuple_pitfall(self):
+        # The paper's parsing pitfall: [1,2,3] is a 1-element list of a tuple.
+        e = parse_expr("[1, 2, 3]")
+        assert isinstance(e, EList) and len(e.items) == 1
+        assert isinstance(e.items[0], ETuple)
+
+    def test_empty_list(self):
+        assert parse_expr("[]").items == []
+
+    def test_trailing_semicolon_in_list(self):
+        e = parse_expr("[1; 2;]")
+        assert len(e.items) == 2
+
+    def test_record_literal(self):
+        e = parse_expr("{x = 1; y = 2}")
+        assert isinstance(e, ERecord)
+        assert [f.name for f in e.fields] == ["x", "y"]
+
+    def test_field_get(self):
+        e = parse_expr("p.x")
+        assert isinstance(e, EFieldGet) and e.field_name == "x"
+
+    def test_field_set(self):
+        e = parse_expr("p.x <- 3")
+        assert isinstance(e, EFieldSet)
+
+    def test_field_set_requires_field(self):
+        with pytest.raises(ParseError):
+            parse_expr("x <- 3")
+
+
+class TestControl:
+    def test_if_then_else(self):
+        e = parse_expr("if a then b else c")
+        assert isinstance(e, EIf) and e.else_branch is not None
+
+    def test_if_without_else(self):
+        e = parse_expr("if a then b")
+        assert e.else_branch is None
+
+    def test_fun_multi_params(self):
+        e = parse_expr("fun x y -> x + y")
+        assert isinstance(e, EFun) and len(e.params) == 2
+
+    def test_fun_tuple_param(self):
+        e = parse_expr("fun (x, y) -> x + y")
+        assert len(e.params) == 1
+        assert isinstance(e.params[0], PTuple)
+
+    def test_function_cases(self):
+        e = parse_expr("function [] -> 0 | x :: _ -> x")
+        assert isinstance(e, EFunction) and len(e.cases) == 2
+
+    def test_match(self):
+        e = parse_expr("match x with 0 -> a | _ -> b")
+        assert isinstance(e, EMatch) and len(e.cases) == 2
+
+    def test_match_leading_bar(self):
+        e = parse_expr("match x with | 0 -> a | _ -> b")
+        assert len(e.cases) == 2
+
+    def test_let_in(self):
+        e = parse_expr("let x = 1 in x + 1")
+        assert isinstance(e, ELet) and not e.rec
+
+    def test_let_rec_in(self):
+        e = parse_expr("let rec f x = f x in f")
+        assert e.rec
+
+    def test_let_and(self):
+        e = parse_expr("let x = 1 and y = 2 in x + y")
+        assert len(e.bindings) == 2
+
+    def test_let_function_sugar(self):
+        e = parse_expr("let f x y = x + y in f")
+        binding = e.bindings[0]
+        assert isinstance(binding, Binding)
+        assert binding.fun_name == "f"
+        assert isinstance(binding.expr, EFun)
+        assert len(binding.expr.params) == 2
+
+    def test_raise(self):
+        e = parse_expr("raise Foo")
+        assert isinstance(e, ERaise)
+
+    def test_guards_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("match x with n when n > 0 -> 1 | _ -> 0")
+
+
+class TestPatterns:
+    def parse_pattern(self, src):
+        e = parse_expr(f"match x with {src} -> 0")
+        return e.cases[0].pattern
+
+    def test_wildcard(self):
+        assert isinstance(self.parse_pattern("_"), PWild)
+
+    def test_var(self):
+        assert isinstance(self.parse_pattern("v"), PVar)
+
+    def test_tuple_no_parens(self):
+        p = self.parse_pattern("a, b")
+        assert isinstance(p, PTuple)
+
+    def test_cons(self):
+        p = self.parse_pattern("h :: t")
+        assert isinstance(p, PCons)
+
+    def test_cons_right_assoc(self):
+        p = self.parse_pattern("a :: b :: t")
+        assert isinstance(p.tail, PCons)
+
+    def test_list_pattern(self):
+        p = self.parse_pattern("[1; 2]")
+        assert isinstance(p, PList) and len(p.items) == 2
+
+    def test_constructor_pattern(self):
+        p = self.parse_pattern("Some v")
+        assert isinstance(p, PConstructor) and isinstance(p.arg, PVar)
+
+    def test_constructor_tuple_pattern(self):
+        p = self.parse_pattern("For (n, lst)")
+        assert isinstance(p.arg, PTuple)
+
+    def test_constructor_cons_pattern(self):
+        # Fig. 9 shape: For (moves, lst) :: tl
+        p = self.parse_pattern("For (moves, lst) :: tl")
+        assert isinstance(p, PCons)
+        assert isinstance(p.head, PConstructor)
+
+    def test_negative_literal_pattern(self):
+        p = self.parse_pattern("-1")
+        assert isinstance(p, PConst) and p.value == -1
+
+
+class TestDeclarations:
+    def test_top_level_lets(self):
+        prog = parse_program("let x = 1\nlet y = 2")
+        assert len(prog.decls) == 2
+        assert all(isinstance(d, DLet) for d in prog.decls)
+
+    def test_double_semicolon_separators(self):
+        prog = parse_program("let x = 1;;\nlet y = 2;;")
+        assert len(prog.decls) == 2
+
+    def test_variant_type_decl(self):
+        prog = parse_program("type move = For of int * (move list) | Stop")
+        decl = prog.decls[0]
+        assert isinstance(decl, DType)
+        assert [v.name for v in decl.variants] == ["For", "Stop"]
+        assert decl.variants[1].arg is None
+
+    def test_parameterized_type(self):
+        prog = parse_program("type 'a tree = Leaf | Node of 'a tree * 'a * 'a tree")
+        assert prog.decls[0].params == ["a"]
+
+    def test_two_param_type(self):
+        prog = parse_program("type ('a, 'b) pair = Pair of 'a * 'b")
+        assert prog.decls[0].params == ["a", "b"]
+
+    def test_record_type_decl(self):
+        prog = parse_program("type point = {x : int; mutable y : int}")
+        decl = prog.decls[0]
+        assert [f.name for f in decl.record_fields] == ["x", "y"]
+        assert decl.record_fields[1].mutable
+
+    def test_exception_decl(self):
+        prog = parse_program("exception Bad of string")
+        assert isinstance(prog.decls[0], DException)
+
+    def test_top_level_expr(self):
+        prog = parse_program("print_string \"hi\"")
+        assert isinstance(prog.decls[0], DExpr)
+
+    def test_top_level_let_in_is_expr(self):
+        prog = parse_program("let x = 1 in x + 1")
+        assert isinstance(prog.decls[0], DExpr)
+
+    def test_let_tuple_pattern(self):
+        prog = parse_program("let (a, b) = (1, 2)")
+        assert isinstance(prog.decls[0].bindings[0].pattern, PTuple)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "let = 3",
+            "fun -> x",
+            "match x with",
+            "if then 1 else 2",
+            "f (",
+            "[1; 2",
+            "type t =",
+            "let (x + 1) = 2",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse_program(bad)
+
+    def test_trailing_garbage_in_expr(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + 2 )")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse_program("let x = in 3")
+        assert exc_info.value.token.span.start_line == 1
+
+
+class TestSpans:
+    def test_expression_span_covers_text(self):
+        prog = parse_program("let x = 1 + 2")
+        rhs = prog.decls[0].bindings[0].expr
+        assert rhs.span.start_line == 1
+        src = "let x = 1 + 2"
+        assert src[rhs.span.start_offset : rhs.span.end_offset] == "1 + 2"
+
+    def test_nested_spans_nest(self):
+        prog = parse_program("let y = f (a + b) c")
+        rhs = prog.decls[0].bindings[0].expr
+        inner = rhs.args[0]
+        assert rhs.span.covers(inner.span)

@@ -1,0 +1,186 @@
+"""Tests for the pretty-printer, including parse/print round-trip properties.
+
+Round-tripping matters because SEMINAL's error messages quote rewritten
+programs in concrete syntax: a suggestion that prints with the wrong
+precedence would describe a different program than the one that type-checked.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.miniml import parse_expr, parse_program
+from repro.miniml.ast_nodes import (
+    EApp,
+    EBinop,
+    EConst,
+    ECons,
+    EConstructor,
+    EFun,
+    EIf,
+    EList,
+    ETuple,
+    EVar,
+    PVar,
+)
+from repro.miniml.pretty import (
+    WILDCARD_TEXT,
+    pretty_decl,
+    pretty_expr,
+    pretty_pattern,
+    pretty_program,
+)
+from repro.tree import mark_synthetic, structurally_equal
+
+
+def roundtrip(src: str) -> str:
+    return pretty_expr(parse_expr(src))
+
+
+class TestExpressionPrinting:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("1 + 2 * 3", "1 + 2 * 3"),
+            ("(1 + 2) * 3", "(1 + 2) * 3"),
+            ("f a b", "f a b"),
+            ("f (g a)", "f (g a)"),
+            ("f (a + 1)", "f (a + 1)"),
+            ("fun x y -> x + y", "fun x y -> x + y"),
+            ("fun (x, y) -> x + y", "fun (x, y) -> x + y"),
+            ("[1; 2; 3]", "[1; 2; 3]"),
+            ("[1, 2, 3]", "[1, 2, 3]"),
+            ("(1, 2)", "1, 2"),
+            ("f (1, 2)", "f (1, 2)"),
+            ("1 :: 2 :: []", "1 :: 2 :: []"),
+            ("if a then b else c", "if a then b else c"),
+            ('"hi\\n"', '"hi\\n"'),
+            ("let x = 1 in x", "let x = 1 in x"),
+            ("let f x = x in f", "let f x = x in f"),
+            ("match x with 0 -> a | _ -> b", "match x with 0 -> a | _ -> b"),
+            ("r := !r + 1", "r := !r + 1"),
+            ("a; b; c", "a; b; c"),
+            ("raise Foo", "raise Foo"),
+            ("Some (1, 2)", "Some (1, 2)"),
+            ("p.x <- 3", "p.x <- 3"),
+            ("{x = 1; y = 2}", "{x = 1; y = 2}"),
+            ("f a.fld", "f a.fld"),
+            ("1 - (2 - 3)", "1 - (2 - 3)"),
+            ("a = b && c = d", "a = b && c = d"),
+            ("(a && b) = c", "(a && b) = c"),
+            ("- x", "-x"),
+            ("function [] -> 0 | _ -> 1", "function [] -> 0 | _ -> 1"),
+        ],
+    )
+    def test_expected_rendering(self, src, expected):
+        assert roundtrip(src) == expected
+
+    def test_negative_literal(self):
+        assert pretty_expr(EConst(-3, "int")) == "-3"
+
+    def test_negative_literal_in_application(self):
+        e = EApp(EVar("f"), [EConst(-3, "int")])
+        assert pretty_expr(e) == "f (-3)"
+
+    def test_float_keeps_point(self):
+        assert pretty_expr(EConst(2.0, "float")) == "2.0"
+
+
+class TestWildcardAndAdapt:
+    def test_synthetic_prints_as_hole(self):
+        e = parse_expr("raise Foo")
+        mark_synthetic(e)
+        assert pretty_expr(e) == WILDCARD_TEXT
+
+    def test_hole_inside_context(self):
+        e = parse_expr("f (raise Foo) y")
+        mark_synthetic(e.args[0])
+        assert pretty_expr(e) == f"f {WILDCARD_TEXT} y"
+
+    def test_adapt_application_prints_argument(self):
+        e = parse_expr("__seminal_adapt (f x)")
+        assert pretty_expr(e) == "f x"
+
+
+class TestDeclarationPrinting:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let x = 1",
+            "let rec f x = f x",
+            "let f x y = x + y",
+            "let (a, b) = (1, 2)",
+            "type move = For of int * move list | Stop",
+            "type 'a tree = Leaf | Node of 'a tree * 'a * 'a tree",
+            "type point = {x : int; mutable y : int}",
+            "exception Bad of string",
+            "let x = 1 and y = 2",
+        ],
+    )
+    def test_decl_roundtrip(self, src):
+        prog = parse_program(src)
+        printed = pretty_program(prog)
+        reparsed = parse_program(printed)
+        assert structurally_equal(prog, reparsed), printed
+
+    def test_program_multiple_decls(self):
+        src = "let x = 1\nlet y = x + 1\nlet z = y * 2"
+        printed = pretty_program(parse_program(src))
+        assert printed.count("\n") == 3
+
+
+# ---------------------------------------------------------------------------
+# Property: pretty-printing then re-parsing yields the same tree.
+# ---------------------------------------------------------------------------
+
+_idents = st.sampled_from(["x", "y", "z", "f", "g", "lst", "acc"])
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth >= 4:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return EConst(draw(st.integers(0, 99)), "int")
+        if choice == 1:
+            return EVar(draw(_idents))
+        return EConst(draw(st.booleans()), "bool")
+    choice = draw(st.integers(0, 9))
+    sub = lambda: draw(exprs(depth=depth + 1))  # noqa: E731
+    if choice == 0:
+        return EConst(draw(st.integers(0, 99)), "int")
+    if choice == 1:
+        return EVar(draw(_idents))
+    if choice == 2:
+        op = draw(st.sampled_from(["+", "-", "*", "=", "<", "&&", "||", "^", "@"]))
+        return EBinop(op, sub(), sub())
+    if choice == 3:
+        n = draw(st.integers(1, 3))
+        return EApp(EVar(draw(_idents)), [sub() for _ in range(n)])
+    if choice == 4:
+        n = draw(st.integers(0, 3))
+        return EList([sub() for _ in range(n)])
+    if choice == 5:
+        n = draw(st.integers(2, 3))
+        return ETuple([sub() for _ in range(n)])
+    if choice == 6:
+        return EIf(sub(), sub(), sub())
+    if choice == 7:
+        params = [PVar(draw(_idents))]
+        return EFun(params, sub())
+    if choice == 8:
+        return ECons(sub(), sub())
+    return EConstructor("Some", sub())
+
+
+class TestRoundTripProperty:
+    @given(exprs())
+    @settings(max_examples=300, deadline=None)
+    def test_print_parse_roundtrip(self, e):
+        printed = pretty_expr(e)
+        reparsed = parse_expr(printed)
+        assert structurally_equal(e, reparsed), printed
+
+    @given(exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_printing_total(self, e):
+        assert isinstance(pretty_expr(e), str)

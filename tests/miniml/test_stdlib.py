@@ -1,0 +1,192 @@
+"""Coverage tests for the standard environment: every binding is usable
+correctly and rejects a characteristic misuse."""
+
+import pytest
+
+from repro.miniml import typecheck_source
+from repro.miniml.stdlib import OPERATOR_SCHEMES, default_env, operator_scheme
+from repro.miniml.types import type_to_string
+
+
+def ok(src):
+    result = typecheck_source(src)
+    assert result.ok, result.error.render() if result.error else ""
+
+
+def bad(src):
+    assert not typecheck_source(src).ok
+
+
+class TestListModule:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let x = List.length [1;2]",
+            "let x = List.hd [1]",
+            "let x = List.tl [1;2]",
+            "let x = List.nth [1;2] 0",
+            "let x = List.rev [true]",
+            "let x = List.append [1] [2]",
+            "let x = List.concat [[1]; [2]]",
+            "let x = List.flatten [[1]; [2]]",
+            "let x = List.map string_of_int [1]",
+            "let x = List.mapi (fun i v -> i + v) [1]",
+            "let x = List.iter print_int [1]",
+            "let x = List.fold_left (+) 0 [1]" if False else "let x = List.fold_left (fun a b -> a + b) 0 [1]",
+            "let x = List.fold_right (fun a b -> a + b) [1] 0",
+            "let x = List.mem 1 [1]",
+            "let x = List.filter (fun n -> n > 0) [1]",
+            "let x = List.exists (fun n -> n > 0) [1]",
+            "let x = List.for_all (fun n -> n > 0) [1]",
+            "let x = List.find (fun n -> n > 0) [1]",
+            "let x = List.combine [1] [true]",
+            "let x = List.split [(1, true)]",
+            'let x = List.assoc "k" [("k", 1)]',
+            'let x = List.mem_assoc "k" [("k", 1)]',
+            "let x = List.sort compare [3; 1]",
+            "let x = List.rev_append [1] [2]",
+            "let x = List.init 3 (fun i -> i * i)",
+            "let x = List.partition (fun n -> n > 0) [1; -1]",
+        ],
+    )
+    def test_good_uses(self, src):
+        ok(src)
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let x = List.length 3",
+            "let x = List.nth [1] true",
+            "let x = List.map 3 [1]",
+            "let x = List.mem 1 [true]",
+            'let x = List.assoc 1 [("k", 1)]',
+        ],
+    )
+    def test_bad_uses(self, src):
+        bad(src)
+
+
+class TestStringsAndIO:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            'let x = String.length "ab"',
+            'let x = String.sub "abc" 0 2',
+            'let x = String.concat "," ["a"; "b"]',
+            'let x = String.uppercase "a"',
+            'let x = String.make 3 "a"',
+            "let x = string_of_int 3",
+            'let x = int_of_string "3"',
+            "let x = string_of_float 1.5",
+            "let x = string_of_bool true",
+            'let u = print_endline "x"',
+            "let u = print_newline ()",
+        ],
+    )
+    def test_good_uses(self, src):
+        ok(src)
+
+    def test_print_string_wants_string(self):
+        bad("let u = print_string 3")
+
+
+class TestRefsAndMisc:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let r = ref 0\nlet u = incr r",
+            "let r = ref 0\nlet u = decr r",
+            "let x = fst (1, true)",
+            "let x = snd (1, true)",
+            "let u = ignore [1;2;3]",
+            "let x = abs (-3)",
+            "let x = succ 1",
+            "let x = pred 1",
+            "let x = max 1 2",
+            'let x = min "a" "b"',
+            "let x = not true",
+            "let x = float_of_int 3",
+            "let x = int_of_float 3.5",
+            'let x = failwith "die"',
+            'let x = invalid_arg "die"',
+            "let x = exit 0",
+            "let h = Hashtbl.create 16\nlet u = Hashtbl.add h \"k\" 1\nlet v = Hashtbl.find h \"k\"",
+            "let h = Hashtbl.create 16\nlet u = Hashtbl.add h 1 true\nlet m = Hashtbl.mem h 1",
+        ],
+    )
+    def test_good_uses(self, src):
+        ok(src)
+
+    def test_incr_wants_int_ref(self):
+        bad('let r = ref "s"\nlet u = incr r')
+
+    def test_fst_wants_pair(self):
+        bad("let x = fst (1, 2, 3)")
+
+
+class TestOperators:
+    def test_every_operator_has_scheme(self):
+        for op in OPERATOR_SCHEMES:
+            assert operator_scheme(op) is not None
+
+    def test_unknown_operator(self):
+        assert operator_scheme("<=>") is None
+
+    def test_schemes_are_fresh_per_call(self):
+        a = operator_scheme("=")
+        b = operator_scheme("=")
+        assert a is not b
+        assert a.vars[0] is not b.vars[0]
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "let x = 1 + 2",
+            "let x = 1.5 *. 2.0",
+            'let x = "a" ^ "b"',
+            "let x = [1] @ [2]",
+            "let x = 1 = 1",
+            'let x = "a" < "b"',
+            "let x = true && false",
+            "let x = 5 mod 2",
+            "let r = ref 1\nlet u = r := 2",
+        ],
+    )
+    def test_operator_uses(self, src):
+        ok(src)
+
+
+class TestEnvironment:
+    def test_fork_isolates_type_tables(self):
+        base = default_env()
+        fork = base.fork()
+        fork.type_arities["custom"] = 0
+        assert "custom" not in base.type_arities
+
+    def test_fork_sees_base_values(self):
+        base = default_env()
+        fork = base.fork()
+        assert fork.lookup("List.map") is not None
+
+    def test_child_chain_lookup(self):
+        base = default_env()
+        child = base.child()
+        from repro.miniml.types import INT
+        from repro.miniml.stdlib import TypeEnv
+        from repro.miniml.types import monotype
+
+        child.bind("x", monotype(INT))
+        grandchild = child.child()
+        assert grandchild.lookup("x") is not None
+        assert base.lookup("x") is None
+
+    def test_builtin_exceptions_present(self):
+        env = default_env()
+        for name in ("Foo", "Not_found", "Failure", "Invalid_argument", "Exit"):
+            assert env.lookup_ctor(name) is not None
+
+    def test_adapt_scheme_shape(self):
+        env = default_env()
+        scheme = env.lookup("__seminal_adapt")
+        assert scheme is not None
+        assert len(scheme.vars) == 2

@@ -1,0 +1,135 @@
+"""Tests for ``try ... with`` and type annotations ``(e : t)``."""
+
+import pytest
+
+from repro.core import explain
+from repro.miniml import parse_expr, parse_program, pretty_expr, typecheck_source
+from repro.miniml.ast_nodes import EAnnot, EMatch, ETry
+from repro.miniml.errors import PatternMismatchError, TypeMismatchError
+from repro.miniml.infer import is_syntactic_value
+from repro.miniml.parser import ParseError
+from repro.tree import structurally_equal
+
+
+class TestParsing:
+    def test_try_with(self):
+        e = parse_expr("try f x with Not_found -> 0")
+        assert isinstance(e, ETry)
+        assert len(e.cases) == 1
+
+    def test_try_multiple_handlers(self):
+        e = parse_expr('try f x with Not_found -> 0 | Failure msg -> 1')
+        assert len(e.cases) == 2
+
+    def test_annotation(self):
+        e = parse_expr("(x : int)")
+        assert isinstance(e, EAnnot)
+
+    def test_annotation_on_compound(self):
+        e = parse_expr("(f x + 1 : int)")
+        assert isinstance(e, EAnnot)
+
+    def test_annotation_with_tyvar(self):
+        e = parse_expr("(x : 'a list)")
+        assert isinstance(e, EAnnot)
+
+    def test_plain_parens_still_work(self):
+        e = parse_expr("(x)")
+        assert not isinstance(e, EAnnot)
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "try f x with Not_found -> 0",
+            "try f x with Not_found -> 0 | Failure m -> 1",
+            "(x : int)",
+            "(f x : int list)",
+            "(g : int -> bool)",
+        ],
+    )
+    def test_roundtrip(self, src):
+        e = parse_expr(src)
+        assert structurally_equal(e, parse_expr(pretty_expr(e)))
+
+
+class TestTyping:
+    def test_try_well_typed(self):
+        assert typecheck_source(
+            "let f g x = try g x with Not_found -> 0"
+        ).ok
+
+    def test_try_handler_patterns_are_exceptions(self):
+        result = typecheck_source("let f x = try x + 1 with 3 -> 0")
+        assert isinstance(result.error, PatternMismatchError)
+
+    def test_try_branches_share_type(self):
+        result = typecheck_source('let f x = try x + 1 with Not_found -> "s"')
+        assert isinstance(result.error, TypeMismatchError)
+
+    def test_try_body_checked_against_context(self):
+        result = typecheck_source('let f x = 1 + (try "s" with Not_found -> "t")')
+        assert not result.ok
+
+    def test_user_exception_handler(self):
+        src = 'exception Boom of string\nlet f g = try g () with Boom msg -> String.length msg'
+        assert typecheck_source(src).ok
+
+    def test_annotation_accepts_match(self):
+        assert typecheck_source("let x = (3 : int)").ok
+
+    def test_annotation_rejects_mismatch(self):
+        result = typecheck_source("let x = (3 : string)")
+        assert isinstance(result.error, TypeMismatchError)
+
+    def test_annotation_guides_inference(self):
+        assert typecheck_source("let f = (fun x -> x : int -> int)\nlet y = f 3").ok
+
+    def test_annotation_with_tyvars(self):
+        assert typecheck_source("let empty = ([] : 'a list)").ok
+
+    def test_annotation_unknown_type_rejected(self):
+        result = typecheck_source("let x = (3 : nosuch)")
+        assert not result.ok
+
+    def test_annotated_value_still_generalizes(self):
+        src = "let id = (fun x -> x : 'a -> 'a)\nlet a = id 1\nlet b = id true"
+        assert typecheck_source(src).ok
+
+    def test_value_restriction_on_annot(self):
+        e = parse_expr("(fun x -> x : 'a -> 'a)")
+        assert is_syntactic_value(e)
+        assert not is_syntactic_value(parse_expr("(f x : int)"))
+
+
+class TestSearchIntegration:
+    def test_match_to_try_suggested(self):
+        # Matching an int scrutinee against exception patterns: the student
+        # meant ``try`` — the constructive change finds exactly that.
+        src = "let f x = match x + 1 with Not_found -> 0 | Foo -> 1"
+        result = explain(src)
+        rules = {s.change.rule for s in result.suggestions}
+        assert "match-to-try" in rules
+
+    def test_try_to_match_suggested(self):
+        src = """
+type res = Good of int | Bad
+let f g x = try g x with Good n -> n | Bad -> 0
+let use = f (fun n -> Good n) 3
+"""
+        result = explain(src)
+        rules = {s.change.rule for s in result.suggestions}
+        assert "try-to-match" in rules
+
+    def test_drop_annot_suggested(self):
+        result = explain("let x = (3 : string) + 1")
+        assert result.best is not None
+        assert result.best.change.rule == "drop-annot"
+        assert pretty_expr(result.best.change.replacement) == "3"
+
+    def test_drop_handler_available(self):
+        src = "let f x = try x + 1 with Not_found -> \"s\""
+        result = explain(src)
+        rules = {s.change.rule for s in result.suggestions}
+        assert "drop-handler" in rules

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def ml_file(tmp_path):
+    path = tmp_path / "prog.ml"
+    path.write_text(
+        "let add str lst = if List.mem str lst then lst else str :: lst\n"
+        'let r = add ["a"; "b"] "hello"\n'
+    )
+    return path
+
+
+@pytest.fixture
+def ok_file(tmp_path):
+    path = tmp_path / "ok.ml"
+    path.write_text("let x = 1 + 2\n")
+    return path
+
+
+@pytest.fixture
+def cpp_file(tmp_path):
+    path = tmp_path / "prog.cpp"
+    path.write_text(
+        "void myFun(vector<long>& inv, vector<long>& outv) {\n"
+        "    transform(inv.begin(), inv.end(), outv.begin(),\n"
+        "              compose1(bind1st(multiplies<long>(), 5), labs));\n"
+        "}\n"
+    )
+    return path
+
+
+class TestMiniMLMode:
+    def test_ok_program_exit_zero(self, ok_file, capsys):
+        assert main([str(ok_file)]) == 0
+        assert "type-checks" in capsys.readouterr().out
+
+    def test_ill_typed_exit_one(self, ml_file, capsys):
+        assert main([str(ml_file)]) == 1
+        out = capsys.readouterr().out
+        assert "Type-checker:" in out
+        assert "Search suggestions:" in out
+        assert "Try replacing" in out
+
+    def test_checker_only(self, ml_file, capsys):
+        main([str(ml_file), "--checker-only"])
+        out = capsys.readouterr().out
+        assert "Search suggestions:" not in out
+
+    def test_top_limits_suggestions(self, ml_file, capsys):
+        main([str(ml_file), "--top", "1"])
+        out = capsys.readouterr().out
+        assert "Suggestion 2:" not in out
+
+    def test_stats_flag(self, ml_file, capsys):
+        main([str(ml_file), "--stats"])
+        err = capsys.readouterr().err
+        assert "oracle calls" in err
+
+    def test_no_triage_flag(self, ml_file):
+        assert main([str(ml_file), "--no-triage"]) == 1
+
+    def test_fix_mode(self, ml_file, capsys):
+        assert main([str(ml_file), "--fix"]) == 0
+        captured = capsys.readouterr()
+        assert "applied:" in captured.out
+        assert "now type-checks" in captured.err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.ml")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_parse_error_is_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ml"
+        bad.write_text("let = = =\n")
+        assert main([str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCppMode:
+    def test_extension_selects_cpp(self, cpp_file, capsys):
+        assert main([str(cpp_file)]) == 1
+        out = capsys.readouterr().out
+        assert "Compiler errors:" in out
+        assert "ptr_fun(labs)" in out
+
+    def test_explicit_cpp_flag(self, tmp_path, capsys):
+        path = tmp_path / "prog.txt"
+        path.write_text("void f() { int x = 1; }\n")
+        assert main([str(path), "--cpp"]) == 0
+        assert "compiles" in capsys.readouterr().out
+
+    def test_cpp_stats(self, cpp_file, capsys):
+        main([str(cpp_file), "--stats"])
+        assert "compiler calls" in capsys.readouterr().err

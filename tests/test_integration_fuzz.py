@@ -1,0 +1,145 @@
+"""Corpus-driven fuzzing: system-level invariants over random mutations.
+
+These tests exercise the full pipeline (seed -> mutation -> search ->
+ranking -> rendering -> quick fix) on randomly generated ill-typed programs
+and check invariants that must hold for *every* input:
+
+* the searcher never crashes and never claims an ill-typed program is fine;
+* every non-triaged suggestion's program type-checks (the oracle is the
+  gatekeeper — a suggestion that does not check would be a search bug);
+* every triaged suggestion's reduced program type-checks;
+* rendering never raises and always mentions the changed code;
+* quick-fix application yields parseable source.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import apply_suggestion, explain
+from repro.core.messages import render_suggestion
+from repro.corpus.mutations import apply_mutation, apply_mutations, family_names
+from repro.corpus.seeds import ASSIGNMENTS
+from repro.miniml import parse_program, typecheck_program
+from repro.miniml.parser import parse_program as reparse
+
+_SEEDS = {name: parse_program(src) for name, src in ASSIGNMENTS.items()}
+
+_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_mutant(seed_name, family, rng_seed):
+    program = _SEEDS[seed_name]
+    return apply_mutation(program, seed_name, family, random.Random(rng_seed))
+
+
+@st.composite
+def mutants(draw):
+    seed_name = draw(st.sampled_from(list(_SEEDS)))
+    family = draw(st.sampled_from(family_names()))
+    rng_seed = draw(st.integers(0, 10_000))
+    return _random_mutant(seed_name, family, rng_seed)
+
+
+@st.composite
+def multi_mutants(draw):
+    seed_name = draw(st.sampled_from(list(_SEEDS)))
+    families = draw(st.lists(st.sampled_from(family_names()), min_size=2, max_size=3))
+    rng_seed = draw(st.integers(0, 10_000))
+    return apply_mutations(
+        _SEEDS[seed_name], seed_name, families, random.Random(rng_seed)
+    )
+
+
+class TestSearchInvariants:
+    @given(mutants())
+    @_settings
+    def test_search_never_crashes_and_stays_sound(self, mutant):
+        if mutant is None:
+            return
+        result = explain(mutant.program, max_oracle_calls=4000)
+        assert not result.ok  # the program is ill-typed by construction
+
+    @given(mutants())
+    @_settings
+    def test_every_suggestion_program_typechecks(self, mutant):
+        if mutant is None:
+            return
+        result = explain(mutant.program, max_oracle_calls=4000)
+        for suggestion in result.suggestions:
+            check = typecheck_program(suggestion.program)
+            assert check.ok, (
+                f"suggestion {suggestion.change.rule or suggestion.kind} "
+                f"produced an ill-typed program"
+            )
+
+    @given(multi_mutants())
+    @_settings
+    def test_multi_error_invariants(self, mutant):
+        if mutant is None:
+            return
+        result = explain(mutant.program, max_oracle_calls=6000)
+        assert not result.ok
+        for suggestion in result.suggestions:
+            assert typecheck_program(suggestion.program).ok
+
+    @given(mutants())
+    @_settings
+    def test_rendering_total(self, mutant):
+        if mutant is None:
+            return
+        result = explain(mutant.program, max_oracle_calls=4000)
+        for suggestion in result.suggestions[:3]:
+            text = render_suggestion(suggestion)
+            assert isinstance(text, str) and text
+
+    @given(mutants())
+    @_settings
+    def test_ranking_deterministic(self, mutant):
+        if mutant is None:
+            return
+        a = explain(mutant.program, max_oracle_calls=4000)
+        b = explain(mutant.program, max_oracle_calls=4000)
+        a_rules = [(s.kind, s.change.rule, s.triaged) for s in a.suggestions]
+        b_rules = [(s.kind, s.change.rule, s.triaged) for s in b.suggestions]
+        assert a_rules == b_rules
+
+
+class TestQuickFixInvariants:
+    @given(mutants())
+    @_settings
+    def test_applying_best_yields_parseable_source(self, mutant):
+        if mutant is None:
+            return
+        from repro.miniml.pretty import pretty_program
+
+        source = pretty_program(mutant.program)
+        # Re-parse so suggestion spans refer to this exact text.
+        result = explain(source, max_oracle_calls=4000)
+        if result.best is None:
+            return
+        fix = apply_suggestion(source, result.best)
+        reparse(fix.source)  # must not raise
+
+    @given(mutants())
+    @_settings
+    def test_applying_nontriaged_best_typechecks(self, mutant):
+        if mutant is None:
+            return
+        from repro.miniml.pretty import pretty_program
+
+        source = pretty_program(mutant.program)
+        result = explain(source, max_oracle_calls=4000)
+        best = next(
+            (s for s in result.suggestions if not s.triaged and s.kind != "adapt"),
+            None,
+        )
+        if best is None:
+            return
+        fix = apply_suggestion(source, best)
+        assert typecheck_program(reparse(fix.source)).ok

@@ -1,0 +1,139 @@
+"""Tests for the generic AST infrastructure in repro.tree."""
+
+import pytest
+
+from repro.miniml import parse_expr, parse_program, pretty_expr
+from repro.miniml.ast_nodes import EApp, EBinop, EConst, EVar
+from repro.tree import (
+    ancestor_paths,
+    copy_tree,
+    find_path,
+    get_at,
+    node_depth,
+    node_size,
+    replace_at,
+    structurally_equal,
+    walk,
+)
+
+
+@pytest.fixture
+def app():
+    return parse_expr("f (g 1) (h 2 3)")
+
+
+class TestChildDiscovery:
+    def test_children_of_application(self, app):
+        kids = app.children()
+        assert isinstance(app, EApp)
+        assert len(kids) == 3  # func + two args
+
+    def test_child_items_steps(self, app):
+        steps = [step for step, _ in app.child_items()]
+        assert steps[0] == "func"
+        assert steps[1] == ("args", 0)
+        assert steps[2] == ("args", 1)
+
+    def test_leaf_has_no_children(self):
+        assert parse_expr("42").children() == []
+
+
+class TestWalkAndPaths:
+    def test_walk_yields_root_first(self, app):
+        paths = list(walk(app))
+        assert paths[0][0] == ()
+        assert paths[0][1] is app
+
+    def test_walk_counts_all_nodes(self):
+        e = parse_expr("1 + 2")
+        # EBinop, EConst, EConst
+        assert node_size(e) == 3
+
+    def test_get_at_roundtrip(self, app):
+        for path, node in walk(app):
+            assert get_at(app, path) is node
+
+    def test_find_path_identity(self, app):
+        target = app.children()[2]
+        assert find_path(app, target) == (("args", 1),)
+
+    def test_find_path_missing(self, app):
+        other = parse_expr("42")
+        assert find_path(app, other) is None
+
+    def test_ancestor_paths_order(self):
+        path = (("args", 0), "func", ("items", 2))
+        ancestors = list(ancestor_paths(path))
+        assert ancestors == [(("args", 0), "func"), (("args", 0),), ()]
+
+
+class TestReplaceAt:
+    def test_replace_root(self, app):
+        new = EConst(1, "int")
+        assert replace_at(app, (), new) is new
+
+    def test_replace_is_functional(self, app):
+        new = EVar("replaced")
+        result = replace_at(app, (("args", 0),), new)
+        assert result is not app
+        assert get_at(result, (("args", 0),)) is new
+        # original untouched
+        assert isinstance(get_at(app, (("args", 0),)), EApp)
+
+    def test_replace_shares_off_path_subtrees(self, app):
+        new = EVar("replaced")
+        result = replace_at(app, (("args", 0),), new)
+        assert get_at(result, (("args", 1),)) is get_at(app, (("args", 1),))
+
+    def test_replace_deep(self):
+        e = parse_expr("f (g (h 1))")
+        path = (("args", 0), ("args", 0), ("args", 0))
+        result = replace_at(e, path, EConst(9, "int"))
+        assert pretty_expr(result) == "f (g (h 9))"
+
+    def test_replace_direct_field(self):
+        e = parse_expr("1 + 2")
+        result = replace_at(e, ("left",), EConst(7, "int"))
+        assert pretty_expr(result) == "7 + 2"
+
+
+class TestStructuralEquality:
+    def test_equal_reparse(self):
+        a = parse_expr("fun x -> x + 1")
+        b = parse_expr("fun x -> x + 1")
+        assert structurally_equal(a, b)
+
+    def test_spans_ignored(self):
+        a = parse_expr("  1 +   2")
+        b = parse_expr("1 + 2")
+        assert structurally_equal(a, b)
+
+    def test_different_shapes(self):
+        assert not structurally_equal(parse_expr("1 + 2"), parse_expr("1 - 2"))
+        assert not structurally_equal(parse_expr("1"), parse_expr("x"))
+
+    def test_program_equality(self):
+        a = parse_program("let x = 1\nlet y = x + 1")
+        b = parse_program("let x = 1\nlet y = x + 1")
+        assert structurally_equal(a, b)
+
+
+class TestCopyTree:
+    def test_copy_is_equal_but_not_identical(self, app):
+        dup = copy_tree(app)
+        assert dup is not app
+        assert structurally_equal(dup, app)
+
+    def test_copy_of_leaf(self):
+        leaf = parse_expr("42")
+        dup = copy_tree(leaf)
+        assert dup is not leaf
+        assert structurally_equal(dup, leaf)
+
+
+class TestMetrics:
+    def test_depth_of_leaf(self):
+        assert node_depth(parse_expr("1")) == 1
+
+    def test_depth_nested(self):
+        assert node_depth(parse_expr("f (g (h 1))")) == 4
