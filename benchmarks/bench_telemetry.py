@@ -1,0 +1,95 @@
+"""E-OBS — the telemetry layer's own performance contract.
+
+Two guarantees future perf PRs regress against:
+
+1. **The null tracer is free.**  The instrumented hot path (searcher,
+   oracle, enumerator, triage) runs through :data:`repro.obs.NULL_TRACER` /
+   :data:`repro.obs.NULL_METRICS` by default; an uninstrumented ``explain``
+   must not be measurably slower than a fully traced one (it should be
+   *faster* — the assertion allows generous noise headroom only).
+
+2. **A per-phase baseline exists.**  ``results/telemetry_headline.txt``
+   snapshots the headline (Figure 2) example's full metrics table — oracle
+   calls by phase and outcome, changes generated/tested/succeeded per rule,
+   span durations — so later optimisation work has a reference point with
+   more resolution than one wall-clock number.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_artifact
+
+from repro.core import explain
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        start = time.perf_counter_ns()
+        fn()
+        best = min(best, time.perf_counter_ns() - start)
+    return best
+
+
+def test_null_tracer_is_free(corpus):
+    """Default (null-telemetry) explain is no slower than a traced one."""
+    program = corpus.representatives[0].program
+    explain(program)  # warm caches
+
+    plain = _best_of(5, lambda: explain(program))
+
+    def traced():
+        registry = MetricsRegistry()
+        explain(program, tracer=Tracer(metrics=registry), metrics=registry)
+
+    instrumented = _best_of(5, traced)
+    # Real tracing does strictly more work (event dicts, labels, counters);
+    # the null path must never cost more.  1.5x absorbs scheduler noise.
+    assert plain <= instrumented * 1.5, (
+        f"null-telemetry explain took {plain}ns vs {instrumented}ns traced"
+    )
+
+
+def test_null_span_cost_is_nanoscale(benchmark):
+    """One null span is a method call returning a shared singleton."""
+
+    def spans():
+        for _ in range(1000):
+            with NULL_TRACER.span("descend"):
+                pass
+
+    per_1000_ns = _best_of(20, spans)
+    # Sub-microsecond per span, even on slow CI machines.
+    assert per_1000_ns < 1_000_000, f"1000 null spans took {per_1000_ns}ns"
+    benchmark.pedantic(spans, rounds=5, iterations=1, warmup_rounds=1)
+
+
+def test_telemetry_headline_snapshot(headline_telemetry, artifact_dir):
+    """Snapshot the headline example's per-phase metrics as the baseline."""
+    registry, tracer, result = headline_telemetry
+    assert not result.ok
+    # The registry's total equals the oracle's own counter — the two
+    # accounting systems agree.
+    assert registry.value("oracle.calls") == result.oracle_calls
+    # Every span closed (the search did not leak an open region).
+    assert tracer.open_spans == 0
+
+    lines = [
+        "Telemetry baseline — headline example (Figure 2, examples/fig2.ml)",
+        f"suggestions: {len(result.suggestions)}",
+        f"oracle calls: {result.oracle_calls}",
+        "",
+    ]
+    # Durations vary per machine; snapshot the *counter* table (stable) and
+    # append span counts (not seconds) for structure.
+    counters = registry.counters()
+    width = max(len(name) for name in counters)
+    for name, value in counters.items():
+        lines.append(f"  {name.ljust(width)}  {value}")
+    lines.append("")
+    span_names = sorted({e["name"] for e in tracer.events if e["ph"] == "X"})
+    lines.append("spans: " + ", ".join(span_names))
+    write_artifact(artifact_dir, "telemetry_headline.txt", "\n".join(lines))

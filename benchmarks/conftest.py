@@ -6,6 +6,12 @@ Section 4 case study, or a design-choice ablation).  Rendered artifacts are
 written to ``benchmarks/results/`` so ``pytest benchmarks/ --benchmark-only``
 leaves the regenerated "tables and figures" on disk next to the timing
 numbers it prints.
+
+Timing and counting go through the :mod:`repro.obs` registry (monotonic
+``perf_counter_ns`` spans + named counters) rather than ad-hoc timers: the
+``headline_telemetry`` fixture runs the README/Figure 2 headline example
+once under full instrumentation and shares the registry, so benchmarks can
+assert on (and snapshot) per-phase numbers.
 """
 
 from __future__ import annotations
@@ -16,6 +22,9 @@ import pytest
 
 from repro.corpus import generate_corpus
 from repro.evaluation import run_study
+from repro.obs import MetricsRegistry, Tracer
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -40,6 +49,22 @@ def corpus():
 @pytest.fixture(scope="session")
 def study(corpus):
     return run_study(corpus, max_files=_STUDY_MAX_FILES)
+
+
+@pytest.fixture(scope="session")
+def headline_telemetry():
+    """(registry, tracer, result) for one fully instrumented headline run.
+
+    The program is the paper's Figure 2 example (``examples/fig2.ml``), the
+    same one the README quickstart uses.
+    """
+    from repro.core import explain
+
+    registry = MetricsRegistry()
+    tracer = Tracer(metrics=registry)
+    source = (EXAMPLES_DIR / "fig2.ml").read_text()
+    result = explain(source, tracer=tracer, metrics=registry)
+    return registry, tracer, result
 
 
 def write_artifact(directory: pathlib.Path, name: str, text: str) -> None:

@@ -7,6 +7,11 @@ the top suggestion(s) and prints the patched source (the quick-fix flow).
 
 MiniML is assumed for ``.ml`` files; ``--cpp`` (or a ``.cpp``/``.cc``
 extension) selects the MiniCpp front end.
+
+Observability (see :mod:`repro.obs`): ``--trace out.json`` records a
+Perfetto-loadable span trace of the whole search, ``--metrics`` prints the
+full counter/histogram table, ``--cache`` turns on the oracle memo cache
+(whose hit/miss counts then show up under ``--stats``/``--metrics``).
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,22 +42,65 @@ def build_parser() -> argparse.ArgumentParser:
                         help="oracle-call budget (default 20000)")
     parser.add_argument("--stats", action="store_true",
                         help="print oracle-call statistics")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome/Perfetto trace of the search "
+                             "(open at https://ui.perfetto.dev)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the full telemetry counter table")
+    parser.add_argument("--cache", action="store_true",
+                        help="memoize oracle results by printed source "
+                             "(hit/miss counts appear under --stats)")
     return parser
 
 
+def _telemetry(args: argparse.Namespace) -> Tuple[object, object]:
+    """Build the (tracer, metrics) pair the flags ask for (else nulls)."""
+    from repro.obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
+
+    metrics = MetricsRegistry() if (args.metrics or args.stats) else NULL_METRICS
+    tracer = Tracer(metrics=metrics if metrics is not NULL_METRICS else None) \
+        if args.trace else NULL_TRACER
+    return tracer, metrics
+
+
+def _emit_telemetry(args: argparse.Namespace, tracer, metrics) -> None:
+    """Write the trace file / print the metrics table after a run."""
+    from repro.obs import NULL_TRACER
+
+    if args.trace and tracer is not NULL_TRACER:
+        tracer.write(args.trace)
+        print(f"[trace written to {args.trace} — open at https://ui.perfetto.dev]",
+              file=sys.stderr)
+    if args.metrics:
+        print(metrics.render_table(title="telemetry"), file=sys.stderr)
+
+
 def _run_miniml(source: str, args: argparse.Namespace) -> int:
-    from repro.core import explain, fix_all
+    from repro.core import Oracle, explain, fix_all
+    from repro.obs import NULL_METRICS
+
+    tracer, metrics = _telemetry(args)
+    oracle = None
+    if args.cache:
+        oracle = Oracle(
+            max_calls=args.max_calls,
+            cache=True,
+            metrics=metrics if metrics is not NULL_METRICS else None,
+        )
+    telemetry_kwargs = dict(tracer=tracer, metrics=metrics, oracle=oracle)
 
     if args.fix:
         result = fix_all(
             source,
             enable_triage=not args.no_triage,
             max_oracle_calls=args.max_calls,
+            **telemetry_kwargs,
         )
         for step in result.applied:
             print(f"applied: {step}")
         print()
         print(result.source, end="" if result.source.endswith("\n") else "\n")
+        _emit_telemetry(args, tracer, metrics)
         if result.ok:
             print("-- the program now type-checks", file=sys.stderr)
             return 0
@@ -63,6 +111,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         source,
         enable_triage=not args.no_triage,
         max_oracle_calls=args.max_calls,
+        **telemetry_kwargs,
     )
     if result.ok:
         print("The program type-checks.")
@@ -70,6 +119,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
 
         for warning in match_warnings_source(source):
             print(warning.render())
+        _emit_telemetry(args, tracer, metrics)
         return 0
     print("Type-checker:")
     print("    " + (result.checker_message or "").replace("\n", "\n    "))
@@ -83,15 +133,25 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
               file=sys.stderr)
         if result.stats is not None:
             print(result.stats.summary(), file=sys.stderr)
+        hits = metrics.value("oracle.cache.hits")
+        misses = metrics.value("oracle.cache.misses")
+        cache_note = "" if args.cache else " (cache disabled; enable with --cache)"
+        print(f"oracle cache: {hits} hits, {misses} misses{cache_note}",
+              file=sys.stderr)
+    _emit_telemetry(args, tracer, metrics)
     return 1
 
 
 def _run_cpp(source: str, args: argparse.Namespace) -> int:
     from repro.cpptemplates import explain_cpp
 
-    result = explain_cpp(source, max_checker_calls=args.max_calls)
+    tracer, metrics = _telemetry(args)
+    result = explain_cpp(
+        source, max_checker_calls=args.max_calls, tracer=tracer, metrics=metrics
+    )
     if result.ok:
         print("The program compiles.")
+        _emit_telemetry(args, tracer, metrics)
         return 0
     print("Compiler errors:")
     print("    " + result.check.render(args.file).replace("\n", "\n    "))
@@ -104,6 +164,7 @@ def _run_cpp(source: str, args: argparse.Namespace) -> int:
             print("    (none found)")
     if args.stats:
         print(f"\n[{result.checker_calls} compiler calls]", file=sys.stderr)
+    _emit_telemetry(args, tracer, metrics)
     return 1
 
 

@@ -191,7 +191,14 @@ class MiniMLEnumerator:
         disabled_rules: Sequence[str] = (),
         eager: bool = False,
         custom_rules: Sequence[Callable[[Node, Path], List[ChangeNode]]] = (),
+        metrics=None,
     ):
+        from repro.obs import NULL_METRICS
+
+        #: Telemetry sink: ``enum.generated.<rule>`` counts every candidate
+        #: this catalog hands to the searcher (lazily expanded follow-ups
+        #: are counted by the searcher as it unfolds them).
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.disabled_rules = frozenset(disabled_rules)
         #: Eager mode flattens every probe-gated collection up front —
         #: the "large flat list of changes" strawman of Section 2.2, kept
@@ -218,6 +225,9 @@ class MiniMLEnumerator:
         out = self._changes(node, path)
         if self.eager:
             out = self._flatten(out)
+        if self.metrics.enabled:
+            for cn in out:
+                self.metrics.incr(f"enum.generated.{cn.change.rule or 'unknown'}")
         return out
 
     def _flatten(self, nodes: List[ChangeNode]) -> List[ChangeNode]:

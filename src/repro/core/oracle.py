@@ -10,6 +10,12 @@ behind exactly that interface, adding:
 * an optional budget so pathological searches terminate, and
 * an optional memo cache keyed on printed source (off by default to match
   the paper; benchmarks can enable it for the ablation study).
+
+Telemetry: an oracle holding a :class:`~repro.obs.MetricsRegistry` counts
+``oracle.calls`` (and the ``.ok``/``.fail`` split), ``oracle.cache.hits``/
+``oracle.cache.misses``, and ``oracle.budget_exceeded``.  The default is
+the no-op :data:`~repro.obs.NULL_METRICS`, so the hot path never branches
+on whether telemetry is on.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import Callable, Dict, Optional, Protocol
 
 from repro.miniml.infer import CheckResult, typecheck_program
 from repro.miniml.pretty import pretty_program
+from repro.obs import NULL_METRICS
 
 
 class BudgetExceeded(Exception):
@@ -48,6 +55,9 @@ class Oracle:
         is deterministic and ignores spans/synthetic flags.
     render:
         Program-to-text function used as the cache key (language specific).
+    metrics:
+        A :class:`~repro.obs.MetricsRegistry` to count into (default: the
+        shared no-op registry).
     """
 
     def __init__(
@@ -56,13 +66,16 @@ class Oracle:
         max_calls: Optional[int] = None,
         cache: bool = False,
         render: Callable = pretty_program,
+        metrics=None,
     ):
         self._typecheck = typecheck if typecheck is not None else typecheck_program
         self.max_calls = max_calls
         self.calls = 0
         self.cache_hits = 0
+        self.cache_misses = 0
         self._cache: Optional[Dict[str, CheckResult]] = {} if cache else None
         self._render = render
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     def check(self, program) -> CheckResult:
         """Run the type-checker, honouring budget and cache."""
@@ -71,11 +84,17 @@ class Oracle:
             hit = self._cache.get(key)
             if hit is not None:
                 self.cache_hits += 1
+                self.metrics.incr("oracle.cache.hits")
                 return hit
+            self.cache_misses += 1
+            self.metrics.incr("oracle.cache.misses")
         if self.max_calls is not None and self.calls >= self.max_calls:
+            self.metrics.incr("oracle.budget_exceeded")
             raise BudgetExceeded(self.max_calls)
         self.calls += 1
         result = self._typecheck(program)
+        self.metrics.incr("oracle.calls")
+        self.metrics.incr("oracle.calls.ok" if result.ok else "oracle.calls.fail")
         if self._cache is not None:
             self._cache[key] = result
         return result
@@ -85,8 +104,14 @@ class Oracle:
         return self.check(program).ok
 
     def reset(self) -> None:
-        """Clear accounting (and cache) between searches."""
+        """Clear accounting (and cache) between searches.
+
+        The metrics registry is *not* cleared: it aggregates across
+        searches by design (reset it explicitly if per-search numbers are
+        wanted).
+        """
         self.calls = 0
         self.cache_hits = 0
+        self.cache_misses = 0
         if self._cache is not None:
             self._cache = {}

@@ -34,6 +34,7 @@ from repro.miniml.ast_nodes import (
     Program,
 )
 from repro.miniml.errors import MiniMLTypeError
+from repro.obs import NULL_METRICS, NULL_TRACER, format_path
 from repro.tree import Node, Path, get_at, node_size, replace_at
 
 from .changes import (
@@ -132,22 +133,47 @@ class SearchOutcome:
 
 
 class Searcher:
-    """Drives the change worklist against the oracle (paper Figure 1)."""
+    """Drives the change worklist against the oracle (paper Figure 1).
+
+    ``tracer``/``metrics`` are the profiling hooks: spans are emitted for
+    every search phase (``localize``, ``descend``, ``enumerate``, ``adapt``,
+    and — via :mod:`repro.core.triage` — ``triage``), each carrying the AST
+    path, node size, and oracle calls consumed.  The defaults are the
+    shared null objects, which keep the hot path allocation-free.
+    """
 
     def __init__(
         self,
         oracle: Optional[Oracle] = None,
         enumerator: Optional[MiniMLEnumerator] = None,
         config: Optional[SearchConfig] = None,
+        tracer=None,
+        metrics=None,
     ):
         self.config = config or SearchConfig()
-        self.oracle = oracle or Oracle(max_calls=self.config.max_oracle_calls)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.oracle = oracle or Oracle(
+            max_calls=self.config.max_oracle_calls, metrics=self.metrics
+        )
+        # Adopt a caller-supplied oracle into this search's registry unless
+        # it was already wired to one of its own.
+        if self.metrics is not NULL_METRICS and self.oracle.metrics is NULL_METRICS:
+            self.oracle.metrics = self.metrics
         self.enumerator = enumerator or MiniMLEnumerator(
             self.config.disabled_rules,
             eager=self.config.eager_enumeration,
             custom_rules=self.config.custom_rules,
+            metrics=self.metrics,
         )
+        if self.metrics is not NULL_METRICS and self.enumerator.metrics is NULL_METRICS:
+            self.enumerator.metrics = self.metrics
         self.stats = SearchStats()
+
+    def _tick(self, phase: str) -> None:
+        """Count one oracle test against a phase, in both sinks."""
+        setattr(self.stats, phase, getattr(self.stats, phase) + 1)
+        self.metrics.incr("search." + phase)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -157,33 +183,41 @@ class Searcher:
         """Search for changes that make ``program`` type-check."""
         self.oracle.reset()
         self.stats = SearchStats()
-        first = self.oracle.check(program)
-        if first.ok:
-            return SearchOutcome(ok=True, program=program, oracle_calls=self.oracle.calls)
-        outcome = SearchOutcome(ok=False, program=program, checker_error=first.error)
-        try:
-            bad = self._localize_bad_decl(program)
-            outcome.bad_decl_index = bad
-            # Search within the failing prefix: later declarations are
-            # ignored entirely, as in the paper ("It does not examine the
-            # third top-level binding").
-            prefix = Program(program.decls[: bad + 1])
-            outcome.suggestions = self._search_decl(prefix, (("decls", bad),))
-        except BudgetExceeded:
-            outcome.budget_exhausted = True
-        outcome.oracle_calls = self.oracle.calls
-        outcome.stats = self.stats
-        return outcome
+        with self.tracer.span("search", decls=len(program.decls)) as sp:
+            first = self.oracle.check(program)
+            if first.ok:
+                return SearchOutcome(ok=True, program=program, oracle_calls=self.oracle.calls)
+            outcome = SearchOutcome(ok=False, program=program, checker_error=first.error)
+            try:
+                bad = self._localize_bad_decl(program)
+                outcome.bad_decl_index = bad
+                # Search within the failing prefix: later declarations are
+                # ignored entirely, as in the paper ("It does not examine the
+                # third top-level binding").
+                prefix = Program(program.decls[: bad + 1])
+                outcome.suggestions = self._search_decl(prefix, (("decls", bad),))
+            except BudgetExceeded:
+                outcome.budget_exhausted = True
+            outcome.oracle_calls = self.oracle.calls
+            outcome.stats = self.stats
+            self.metrics.incr("search.suggestions", len(outcome.suggestions))
+            sp.set("oracle_calls", self.oracle.calls)
+            sp.set("suggestions", len(outcome.suggestions))
+            return outcome
 
     def _localize_bad_decl(self, program: Program) -> int:
         """Index of the first top-level declaration whose prefix fails."""
-        for i in range(len(program.decls)):
-            self.stats.prefix_tests += 1
-            if not self.oracle.passes(Program(program.decls[: i + 1])):
-                return i
-        # The whole program failed but every prefix passed: impossible for a
-        # deterministic checker, but be defensive.
-        return len(program.decls) - 1
+        with self.tracer.span("localize", decls=len(program.decls)) as sp:
+            calls_before = self.oracle.calls
+            for i in range(len(program.decls)):
+                self._tick("prefix_tests")
+                if not self.oracle.passes(Program(program.decls[: i + 1])):
+                    sp.set("bad_decl", i)
+                    sp.set("oracle_calls", self.oracle.calls - calls_before)
+                    return i
+            # The whole program failed but every prefix passed: impossible for
+            # a deterministic checker, but be defensive.
+            return len(program.decls) - 1
 
     # ------------------------------------------------------------------
     # Declaration-level search
@@ -200,7 +234,7 @@ class Searcher:
             wildcard = wildcard_for(target)
             if wildcard is None:
                 continue
-            self.stats.removal_tests += 1
+            self._tick("removal_tests")
             if self._passes(replace_at(root, sub_path, wildcard)):
                 results.extend(self._search(root, sub_path, triage_depth=0))
         return results
@@ -216,6 +250,26 @@ class Searcher:
         ``root`` type-check.
         """
         node = get_at(root, path)
+        # Expensive span labels (pretty path, subtree size) are computed only
+        # when a real tracer is listening.
+        if self.tracer.enabled:
+            span = self.tracer.span(
+                "descend",
+                path=format_path(path),
+                size=node_size(node),
+                depth=triage_depth,
+            )
+        else:
+            span = self.tracer.span("descend")
+        with span as sp:
+            calls_before = self.oracle.calls
+            results = self._search_below(root, path, node, triage_depth)
+            sp.set("oracle_calls", self.oracle.calls - calls_before)
+            return results
+
+    def _search_below(
+        self, root: Program, path: Path, node: Node, triage_depth: int
+    ) -> List[Suggestion]:
         results: List[Suggestion] = []
 
         # 1. Find children whose lone removal also fixes the program.
@@ -225,7 +279,7 @@ class Searcher:
             wildcard = wildcard_for(child)
             if wildcard is None:
                 continue
-            self.stats.removal_tests += 1
+            self._tick("removal_tests")
             if self._passes(replace_at(root, child_path, wildcard)):
                 child_fixes.append(child_path)
 
@@ -240,8 +294,15 @@ class Searcher:
         # 4. Adaptation to context (expressions only).
         if self.config.enable_adaptation and isinstance(node, Expr):
             adapted = replace_at(root, path, adapt_expr(node))
-            self.stats.adaptation_tests += 1
-            if self._passes(adapted):
+            self._tick("adaptation_tests")
+            if self.tracer.enabled:
+                span = self.tracer.span("adapt", path=format_path(path))
+            else:
+                span = self.tracer.span("adapt")
+            with span as sp:
+                fits = self._passes(adapted)
+                sp.set("fits", fits)
+            if fits:
                 change = Change(
                     path=path,
                     original=node,
@@ -299,21 +360,43 @@ class Searcher:
         """Run the enumerator's (lazy, structured) changes for one node."""
         results: List[Suggestion] = []
         worklist: List[ChangeNode] = list(self.enumerator.changes(node, path))
-        while worklist:
-            change_node = worklist.pop(0)
-            change = change_node.change
-            candidate = replace_at(root, change.path, change.replacement)
-            self.stats.constructive_tests += 1
-            if self._passes(candidate):
-                if not change.is_probe:
-                    self.stats.record_success(change.rule)
-                    results.append(self._suggest(change, candidate))
-                if change_node.on_success is not None:
-                    worklist.extend(change_node.on_success())
-            else:
-                if change_node.on_failure is not None:
-                    worklist.extend(change_node.on_failure())
+        if not worklist:
+            return results
+        if self.tracer.enabled:
+            span = self.tracer.span("enumerate", path=format_path(path))
+        else:
+            span = self.tracer.span("enumerate")
+        with span as sp:
+            calls_before = self.oracle.calls
+            tested = 0
+            while worklist:
+                change_node = worklist.pop(0)
+                change = change_node.change
+                candidate = replace_at(root, change.path, change.replacement)
+                self._tick("constructive_tests")
+                self.metrics.incr(f"enum.tested.{change.rule or 'unknown'}")
+                tested += 1
+                if self._passes(candidate):
+                    if not change.is_probe:
+                        self.stats.record_success(change.rule)
+                        self.metrics.incr(f"enum.success.{change.rule or 'unknown'}")
+                        results.append(self._suggest(change, candidate))
+                    if change_node.on_success is not None:
+                        worklist.extend(self._expanded(change_node.on_success()))
+                else:
+                    if change_node.on_failure is not None:
+                        worklist.extend(self._expanded(change_node.on_failure()))
+            sp.set("tested", tested)
+            sp.set("successes", len(results))
+            sp.set("oracle_calls", self.oracle.calls - calls_before)
         return results
+
+    def _expanded(self, followups: List[ChangeNode]) -> List[ChangeNode]:
+        """Count lazily expanded follow-up changes (generated-vs-tested)."""
+        if self.metrics.enabled:
+            for cn in followups:
+                self.metrics.incr(f"enum.generated.{cn.change.rule or 'unknown'}")
+        return followups
 
     def _suggest(self, change: Change, fixed_program: Program) -> Suggestion:
         return Suggestion(change=change, program=fixed_program)
@@ -329,7 +412,7 @@ class Searcher:
             return
         if not self.config.enable_adaptation:
             return
-        self.stats.adaptation_tests += 1
+        self._tick("adaptation_tests")
         if not self._passes(replace_at(root, path, adapt_expr(node))):
             suggestion.unbound_variable = node.name
 

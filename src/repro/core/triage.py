@@ -43,9 +43,30 @@ if TYPE_CHECKING:  # pragma: no cover
 def triage_node(searcher: "Searcher", root: Program, path: Path, depth: int) -> List[Suggestion]:
     """Triage the subtree at ``path``; returns triaged suggestions."""
     node = get_at(root, path)
-    if isinstance(node, (EMatch, EFunction)):
-        return _triage_match(searcher, root, path, node, depth)
-    return _triage_siblings(searcher, root, path, depth)
+    searcher.metrics.incr("triage.rounds")
+    searcher.metrics.observe("triage.depth", depth)
+    if searcher.tracer.enabled:
+        from repro.obs import format_path
+        from repro.tree import node_size
+
+        span = searcher.tracer.span(
+            "triage",
+            path=format_path(path),
+            size=node_size(node),
+            depth=depth,
+            strategy=searcher.config.triage_strategy,
+        )
+    else:
+        span = searcher.tracer.span("triage")
+    with span as sp:
+        calls_before = searcher.oracle.calls
+        if isinstance(node, (EMatch, EFunction)):
+            results = _triage_match(searcher, root, path, node, depth)
+        else:
+            results = _triage_siblings(searcher, root, path, depth)
+        sp.set("suggestions", len(results))
+        sp.set("oracle_calls", searcher.oracle.calls - calls_before)
+        return results
 
 
 # ---------------------------------------------------------------------------
@@ -113,10 +134,10 @@ def _focus_wildcard(root: Program, focus: Path):
 
 def _accept(searcher, context: Program, focus: Path, focus_wildcard) -> bool:
     """The two gating oracle conditions (see :func:`_find_context`)."""
-    searcher.stats.triage_tests += 1
+    searcher._tick("triage_tests")
     if not searcher._passes(replace_at(context, focus, focus_wildcard)):
         return False
-    searcher.stats.triage_tests += 1
+    searcher._tick("triage_tests")
     return not searcher._passes(context)
 
 
@@ -132,9 +153,9 @@ def _context_greedy(searcher, root, focus, others):
             continue
         context = replace_at(context, other, wildcard)
         removed.append(other)
-        searcher.stats.triage_tests += 1
+        searcher._tick("triage_tests")
         if searcher._passes(replace_at(context, focus, focus_wildcard)):
-            searcher.stats.triage_tests += 1
+            searcher._tick("triage_tests")
             if searcher._passes(context):
                 return None  # the focused child is not one of the problems
             return context, removed
@@ -205,12 +226,12 @@ def _triage_match(
         skeleton_cases = [MatchCase(wildcard_pattern(), wildcard_expr())]
         skeleton_root = replace_at(root, path, _rebuild(node, skeleton_cases))
         scrutinee_path = path + ("scrutinee",)
-        searcher.stats.triage_tests += 1
+        searcher._tick("triage_tests")
         if not searcher._passes(skeleton_root):
             # The scrutinee itself is broken: search it in the reduced
             # context and do not proceed to later phases (Fig. 4).
             removable = replace_at(skeleton_root, scrutinee_path, wildcard_expr())
-            searcher.stats.triage_tests += 1
+            searcher._tick("triage_tests")
             if searcher._passes(removable):
                 removed = _case_paths(node, path)
                 for suggestion in searcher._search(skeleton_root, scrutinee_path, depth):
@@ -224,7 +245,7 @@ def _triage_match(
     pattern_paths = [
         path + (("cases", i), "pattern") for i in range(len(node.cases))
     ]
-    searcher.stats.triage_tests += 1
+    searcher._tick("triage_tests")
     if not searcher._passes(phase2_root):
         # Patterns conflict with the scrutinee or one another: triage them.
         body_paths = _body_paths(node, path)

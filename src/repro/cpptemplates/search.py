@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import NULL_METRICS, NULL_TRACER, format_path
 from repro.tree import Node, Path, get_at, node_size, replace_at, walk
 
 from .ast_nodes import (
@@ -96,32 +97,65 @@ class CppExplainResult:
 
 
 class CppSearcher:
-    """The C++ changer: enumerate rewrites, judge by error-set improvement."""
+    """The C++ changer: enumerate rewrites, judge by error-set improvement.
 
-    def __init__(self, max_checker_calls: int = 2000):
+    ``tracer``/``metrics`` mirror the MiniML searcher's profiling hooks:
+    ``cpp.search``/``cpp.localize``/``cpp.enumerate``/``cpp.test`` spans and
+    ``cpp.*`` counters, null (free) by default.
+    """
+
+    def __init__(self, max_checker_calls: int = 2000, tracer=None, metrics=None):
         self.max_checker_calls = max_checker_calls
         self.checker_calls = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # ------------------------------------------------------------------
 
     def explain(self, unit: TranslationUnit) -> CppExplainResult:
+        with self.tracer.span("cpp.search", functions=len(unit.functions)) as sp:
+            result = self._explain(unit)
+            sp.set("checker_calls", self.checker_calls)
+            sp.set("suggestions", len(result.suggestions))
+            return result
+
+    def _explain(self, unit: TranslationUnit) -> CppExplainResult:
         baseline = self._check(unit)
         if baseline.ok:
             return CppExplainResult(True, unit, baseline, checker_calls=self.checker_calls)
         result = CppExplainResult(False, unit, baseline, checker_calls=0)
-        target = self._function_containing(unit, baseline)
+        with self.tracer.span("cpp.localize", errors=len(baseline.errors)):
+            target = self._function_containing(unit, baseline)
         if target is None:
             result.checker_calls = self.checker_calls
             return result
         fn_path = self._path_of_function(unit, target)
         baseline_keys = _key_multiset(baseline)
+        with self.tracer.span("cpp.enumerate") as enum_span:
+            changes = self._enumerate(unit, fn_path, target)
+            enum_span.set("generated", len(changes))
+        if self.metrics.enabled:
+            for change in changes:
+                self.metrics.incr(f"cpp.enum.generated.{change.rule}")
         suggestions: List[CppSuggestion] = []
-        for change in self._enumerate(unit, fn_path, target):
+        for change in changes:
             if self.checker_calls >= self.max_checker_calls:
+                self.metrics.incr("cpp.budget_exceeded")
                 break
             candidate = replace_at(unit, change.path, change.replacement)
-            after = self._check(candidate)
-            if _improves(baseline_keys, _key_multiset(after)):
+            if self.tracer.enabled:
+                span = self.tracer.span(
+                    "cpp.test", rule=change.rule, path=format_path(change.path)
+                )
+            else:
+                span = self.tracer.span("cpp.test")
+            with span as sp:
+                after = self._check(candidate)
+                improved = _improves(baseline_keys, _key_multiset(after))
+                sp.set("improved", improved)
+            self.metrics.incr(f"cpp.enum.tested.{change.rule}")
+            if improved:
+                self.metrics.incr(f"cpp.enum.success.{change.rule}")
                 suggestions.append(
                     CppSuggestion(
                         change=change,
@@ -132,13 +166,19 @@ class CppSearcher:
                 )
         result.suggestions = _rank(suggestions)
         result.checker_calls = self.checker_calls
+        self.metrics.incr("cpp.suggestions", len(result.suggestions))
         return result
 
     # ------------------------------------------------------------------
 
     def _check(self, unit: TranslationUnit) -> CppCheckResult:
         self.checker_calls += 1
-        return typecheck_cpp(unit)
+        result = typecheck_cpp(unit)
+        self.metrics.incr("cpp.checker_calls")
+        self.metrics.incr(
+            "cpp.checker_calls.ok" if result.ok else "cpp.checker_calls.fail"
+        )
+        return result
 
     def _function_containing(
         self, unit: TranslationUnit, check: CppCheckResult
@@ -306,13 +346,24 @@ def _rank(suggestions: List[CppSuggestion]) -> List[CppSuggestion]:
 
 
 def explain_cpp(
-    source: Union[str, TranslationUnit], max_checker_calls: int = 2000
+    source: Union[str, TranslationUnit],
+    max_checker_calls: int = 2000,
+    tracer=None,
+    metrics=None,
 ) -> CppExplainResult:
     """One call from C++ source text to ranked template-error suggestions.
+
+    ``tracer``/``metrics`` are the :mod:`repro.obs` profiling hooks (null,
+    i.e. free, by default).
 
     >>> result = explain_cpp('void f() { int x = 1; }')
     >>> result.ok
     True
     """
-    unit = parse_cpp(source) if isinstance(source, str) else source
-    return CppSearcher(max_checker_calls).explain(unit)
+    searcher = CppSearcher(max_checker_calls, tracer=tracer, metrics=metrics)
+    if isinstance(source, str):
+        with searcher.tracer.span("cpp.parse", chars=len(source)):
+            unit = parse_cpp(source)
+    else:
+        unit = source
+    return searcher.explain(unit)

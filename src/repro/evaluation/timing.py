@@ -8,19 +8,26 @@ The paper's three curves:
 * top — triage disabled ("not a single file takes longer than 4 seconds").
 
 Absolute numbers depend on hardware and substrate speed (a 2007 laptop
-running OCaml vs. a Python MiniML checker), so the *claims* we reproduce are
+running OCaml vs a Python MiniML checker), so the *claims* we reproduce are
 relative: the full CDF has a long tail, disabling the one slow change trims
 roughly a third of the tail, and disabling triage collapses it.
+
+Measurement goes through :mod:`repro.obs` rather than raw timers: each
+configuration gets a :class:`~repro.obs.MetricsRegistry` and a
+metrics-only :class:`~repro.obs.Tracer` (``keep_events=False``, built on
+the monotonic ``time.perf_counter_ns`` clock), so every curve comes with a
+per-phase breakdown — oracle calls by phase and seconds by span — instead
+of a single opaque wall-clock number.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.core.seminal import explain
 from repro.corpus.generator import Corpus
+from repro.obs import MetricsRegistry, Tracer
 
 #: Configuration name -> explain() keyword arguments.
 CONFIGURATIONS: Dict[str, dict] = {
@@ -29,16 +36,64 @@ CONFIGURATIONS: Dict[str, dict] = {
     "no triage": {"enable_triage": False},
 }
 
+#: The per-file wall-clock histogram each curve is read from.
+_FILE_SPAN = "explain.file"
+
+#: The oracle-call phase counters reported in breakdowns.
+_PHASE_COUNTERS = (
+    "search.prefix_tests",
+    "search.removal_tests",
+    "search.constructive_tests",
+    "search.adaptation_tests",
+    "search.triage_tests",
+)
+
 
 @dataclass
 class TimingResult:
-    """Per-configuration sorted run times (seconds)."""
+    """Per-configuration sorted run times (seconds) plus phase telemetry."""
 
     curves: Dict[str, List[float]] = field(default_factory=dict)
     oracle_calls: Dict[str, List[int]] = field(default_factory=dict)
+    #: Configuration name -> the aggregate registry of the whole run
+    #: (oracle calls by outcome/phase, per-rule counts, span durations).
+    metrics: Dict[str, MetricsRegistry] = field(default_factory=dict)
 
     def curve(self, name: str) -> List[float]:
         return self.curves[name]
+
+    def phase_breakdown(self, name: str) -> Dict[str, int]:
+        """Oracle calls by search phase for one configuration."""
+        registry = self.metrics[name]
+        return {counter: registry.value(counter) for counter in _PHASE_COUNTERS}
+
+    def phase_seconds(self, name: str) -> Dict[str, float]:
+        """Total seconds by span name for one configuration."""
+        registry = self.metrics[name]
+        out: Dict[str, float] = {}
+        for hist_name in registry.histogram_names("span."):
+            if not hist_name.endswith(".seconds"):
+                continue
+            phase = hist_name[len("span."):-len(".seconds")]
+            if phase != _FILE_SPAN:
+                out[phase] = registry.histogram(hist_name).total
+        return out
+
+    def render_breakdown(self, name: str) -> str:
+        """One-configuration per-phase summary (calls and seconds)."""
+        calls = self.phase_breakdown(name)
+        seconds = self.phase_seconds(name)
+        lines = [f"{name}:"]
+        lines.append(
+            "  oracle calls by phase: "
+            + " ".join(f"{k.split('.')[-1]}={v}" for k, v in calls.items())
+        )
+        if seconds:
+            lines.append(
+                "  seconds by span: "
+                + " ".join(f"{k}={v:.3f}" for k, v in sorted(seconds.items()))
+            )
+        return "\n".join(lines)
 
 
 def run_timing_study(
@@ -47,22 +102,33 @@ def run_timing_study(
     configurations: Optional[Dict[str, dict]] = None,
     max_oracle_calls: Optional[int] = 20000,
 ) -> TimingResult:
-    """Time :func:`explain` on every representative under each configuration."""
+    """Time :func:`explain` on every representative under each configuration.
+
+    Wall clock per file is the ``explain.file`` span duration observed into
+    the configuration's registry (monotonic ``perf_counter_ns`` under the
+    hood); the same registry simultaneously collects the per-phase oracle
+    -call and span-duration breakdowns.
+    """
     configurations = configurations if configurations is not None else CONFIGURATIONS
     files = corpus.representatives
     if max_files is not None:
         files = files[:max_files]
     result = TimingResult()
     for name, kwargs in configurations.items():
-        times: List[float] = []
+        registry = MetricsRegistry()
+        tracer = Tracer(metrics=registry, keep_events=False)
         calls: List[int] = []
         for corpus_file in files:
-            start = time.perf_counter()
-            outcome = explain(
-                corpus_file.program, max_oracle_calls=max_oracle_calls, **kwargs
-            )
-            times.append(time.perf_counter() - start)
+            with tracer.span(_FILE_SPAN):
+                outcome = explain(
+                    corpus_file.program,
+                    max_oracle_calls=max_oracle_calls,
+                    tracer=tracer,
+                    metrics=registry,
+                    **kwargs,
+                )
             calls.append(outcome.oracle_calls)
-        result.curves[name] = sorted(times)
+        result.curves[name] = sorted(registry.values_of(f"span.{_FILE_SPAN}.seconds"))
         result.oracle_calls[name] = calls
+        result.metrics[name] = registry
     return result

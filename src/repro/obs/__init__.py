@@ -1,0 +1,34 @@
+"""``repro.obs`` — the observability layer: tracing, metrics, profiling hooks.
+
+The paper's efficiency claims (Section 3.2, Figures 5-7) are about oracle
+-call counts and wall-clock tails; this subsystem makes both visible
+*inside* a search instead of only at its end:
+
+* :class:`Tracer` — structured span/event records in Chrome Trace Event
+  Format (load the ``--trace`` output at https://ui.perfetto.dev) for every
+  search phase: prefix localization, recursive descent, enumerator rule
+  firing, adaptation, triage rounds.
+* :class:`MetricsRegistry` — named counters and histograms (oracle calls by
+  outcome, cache hits/misses, changes generated vs. tested per rule, triage
+  depth, suggestions ranked) rendered as a flat dict or a text table.
+* Null objects (:data:`NULL_TRACER`, :data:`NULL_METRICS`) — the defaults
+  threaded through the hot paths, so instrumentation costs one no-op method
+  call and zero allocation when telemetry is off.
+
+Zero dependencies, pure stdlib.
+"""
+
+from .metrics import (  # noqa: F401
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from .tracer import (  # noqa: F401
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    format_path,
+)

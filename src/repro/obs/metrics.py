@@ -1,0 +1,250 @@
+"""The metrics registry: named counters and histograms for the pipeline.
+
+The paper's efficiency story (Section 3.2, Figures 5-7) is told in *counts*
+— oracle calls, changes tested, triage rounds — and *distributions* — per
+-file run times.  :class:`MetricsRegistry` is the one place those numbers
+accumulate: any component holding a registry can ``incr`` a counter or
+``observe`` a histogram sample by name, and the registry renders the whole
+collection as a flat dict (machine use) or an aligned text table (CLI
+``--metrics``).
+
+Zero dependencies, and a :data:`NULL_METRICS` null object so instrumented
+code never branches on "is telemetry on?": the default registry accepts
+every call and records nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically growing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def incr(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A named sample distribution (all observations kept, in order).
+
+    Keeping raw samples (rather than fixed buckets) is deliberate: the
+    evaluation layer builds the paper's CDF curves straight from
+    :attr:`values`, and corpora are small enough (hundreds of files) that
+    memory is a non-issue.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: Number) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 1]."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        index = min(len(ordered) - 1, max(0, int(round(p * (len(ordered) - 1)))))
+        return ordered[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first touch.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.incr("oracle.calls")
+    >>> reg.incr("oracle.calls", 2)
+    >>> reg.value("oracle.calls")
+    3
+    >>> reg.observe("search.seconds", 0.25)
+    >>> reg.as_dict()["search.seconds.count"]
+    1
+    """
+
+    #: Instrumented code may consult this to skip expensive label building.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name)
+        return found
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counter(name).incr(n)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.histogram(name).observe(value)
+
+    # -- reading ---------------------------------------------------------
+
+    def value(self, name: str) -> int:
+        """Current count for ``name`` (0 if never incremented)."""
+        found = self._counters.get(name)
+        return found.value if found is not None else 0
+
+    def values_of(self, name: str) -> List[float]:
+        """Raw observations for histogram ``name`` (empty if absent)."""
+        found = self._histograms.get(name)
+        return list(found.values) if found is not None else []
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """All counter values, optionally filtered by name prefix."""
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def histogram_names(self, prefix: str = "") -> List[str]:
+        """Names of all histograms, optionally filtered by prefix."""
+        return [name for name in sorted(self._histograms) if name.startswith(prefix)]
+
+    def as_dict(self) -> Dict[str, Number]:
+        """Flatten everything to one ``name -> number`` dict.
+
+        Histograms contribute ``<name>.count/.total/.mean/.min/.max``.
+        """
+        out: Dict[str, Number] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+        for name, hist in sorted(self._histograms.items()):
+            out[f"{name}.count"] = hist.count
+            out[f"{name}.total"] = hist.total
+            out[f"{name}.mean"] = hist.mean
+            out[f"{name}.min"] = hist.min
+            out[f"{name}.max"] = hist.max
+        return out
+
+    def render_table(self, title: str = "metrics") -> str:
+        """Aligned two-column text table of :meth:`as_dict`."""
+        flat = self.as_dict()
+        if not flat:
+            return f"{title}: (empty)"
+        width = max(len(name) for name in flat)
+        lines = [f"{title}:"]
+        for name, value in flat.items():
+            shown = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(value, float) else str(value)
+            lines.append(f"  {name.ljust(width)}  {shown}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's numbers into this one."""
+        for name, counter in other._counters.items():
+            self.incr(name, counter.value)
+        for name, hist in other._histograms.items():
+            self.histogram(name).values.extend(hist.values)
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def incr(self, n: int = 1) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+
+
+class NullMetrics:
+    """The do-nothing registry instrumented code holds by default.
+
+    Every method is a no-op; :attr:`enabled` lets hot paths skip building
+    expensive metric labels altogether.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def histogram(self, name: str) -> _NullCounter:  # same no-op shape
+        return _NULL_COUNTER
+
+    def incr(self, name: str, n: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: Number) -> None:
+        pass
+
+    def value(self, name: str) -> int:
+        return 0
+
+    def values_of(self, name: str) -> List[float]:
+        return []
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        return {}
+
+    def histogram_names(self, prefix: str = "") -> List[str]:
+        return []
+
+    def as_dict(self) -> Dict[str, Number]:
+        return {}
+
+    def render_table(self, title: str = "metrics") -> str:
+        return f"{title}: (disabled)"
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared null instance — identity-comparable (``metrics is NULL_METRICS``).
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,126 @@
+"""Tests for the metrics registry (counters, histograms, rendering)."""
+
+import pytest
+
+from repro.obs import NULL_METRICS, MetricsRegistry, NullMetrics
+
+
+class TestCounters:
+    def test_incr_defaults_to_one(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.incr("a")
+        assert reg.value("a") == 2
+
+    def test_incr_by_n(self):
+        reg = MetricsRegistry()
+        reg.incr("a", 5)
+        assert reg.value("a") == 5
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().value("nope") == 0
+
+    def test_counter_object_is_shared(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.incr()
+        assert reg.value("x") == 1
+
+    def test_counters_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.incr("oracle.calls")
+        reg.incr("oracle.cache.hits")
+        reg.incr("search.prefix_tests")
+        assert set(reg.counters("oracle.")) == {"oracle.calls", "oracle.cache.hits"}
+
+
+class TestHistograms:
+    def test_observe_and_stats(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("t", v)
+        h = reg.histogram("t")
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.mean == 2.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+
+    def test_values_preserve_order(self):
+        reg = MetricsRegistry()
+        reg.observe("t", 3)
+        reg.observe("t", 1)
+        assert reg.values_of("t") == [3.0, 1.0]
+
+    def test_percentile(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.observe("t", v)
+        assert reg.histogram("t").percentile(0.5) == pytest.approx(50, abs=1)
+        assert reg.histogram("t").percentile(1.0) == 100
+
+    def test_empty_histogram_stats(self):
+        h = MetricsRegistry().histogram("t")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(0.5) == 0.0
+
+    def test_histogram_names(self):
+        reg = MetricsRegistry()
+        reg.observe("span.a.seconds", 1)
+        reg.observe("other", 1)
+        assert reg.histogram_names("span.") == ["span.a.seconds"]
+
+
+class TestRendering:
+    def test_as_dict_flattens_both_kinds(self):
+        reg = MetricsRegistry()
+        reg.incr("calls", 3)
+        reg.observe("seconds", 0.5)
+        flat = reg.as_dict()
+        assert flat["calls"] == 3
+        assert flat["seconds.count"] == 1
+        assert flat["seconds.total"] == 0.5
+
+    def test_render_table_lists_every_metric(self):
+        reg = MetricsRegistry()
+        reg.incr("oracle.calls", 7)
+        text = reg.render_table()
+        assert "oracle.calls" in text
+        assert "7" in text
+
+    def test_render_table_empty(self):
+        assert "(empty)" in MetricsRegistry().render_table()
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.observe("b", 1)
+        reg.reset()
+        assert reg.as_dict() == {}
+
+    def test_merge_folds_counts_and_samples(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.incr("c", 1)
+        b.incr("c", 2)
+        b.observe("h", 4)
+        a.merge(b)
+        assert a.value("c") == 3
+        assert a.values_of("h") == [4.0]
+
+
+class TestNullMetrics:
+    def test_singleton_identity(self):
+        assert NULL_METRICS is NULL_METRICS
+        assert isinstance(NULL_METRICS, NullMetrics)
+        assert NULL_METRICS.enabled is False
+
+    def test_all_operations_are_noops(self):
+        NULL_METRICS.incr("a", 5)
+        NULL_METRICS.observe("b", 1.0)
+        NULL_METRICS.counter("c").incr()
+        assert NULL_METRICS.value("a") == 0
+        assert NULL_METRICS.values_of("b") == []
+        assert NULL_METRICS.as_dict() == {}
+        assert NULL_METRICS.histogram_names() == []
+        assert "(disabled)" in NULL_METRICS.render_table()

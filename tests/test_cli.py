@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -79,6 +81,66 @@ class TestMiniMLMode:
         bad.write_text("let = = =\n")
         assert main([str(bad)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_trace_writes_perfetto_loadable_json(self, ml_file, tmp_path, capsys):
+        trace = tmp_path / "out.json"
+        assert main([str(ml_file), "--trace", str(trace)]) == 1
+        data = json.loads(trace.read_text())
+        assert data["traceEvents"]
+        names = {e["name"] for e in data["traceEvents"]}
+        assert {"search", "localize", "descend", "enumerate"} <= names
+        assert "perfetto" in capsys.readouterr().err
+
+    def test_metrics_prints_table(self, ml_file, capsys):
+        main([str(ml_file), "--metrics"])
+        err = capsys.readouterr().err
+        assert "telemetry:" in err
+        assert "oracle.calls" in err
+
+    def test_metrics_total_matches_stats_oracle_calls(self, ml_file, capsys):
+        main([str(ml_file), "--metrics", "--stats"])
+        err = capsys.readouterr().err
+        # "[N oracle calls]" from --stats and "oracle.calls N" from --metrics
+        stats_n = int(err.split(" oracle calls")[0].rsplit("[", 1)[1])
+        metrics_line = next(
+            line for line in err.splitlines()
+            if line.strip().startswith("oracle.calls ")
+        )
+        assert int(metrics_line.split()[-1]) == stats_n
+
+    def test_stats_reports_cache_counts(self, ml_file, capsys):
+        main([str(ml_file), "--stats", "--cache"])
+        err = capsys.readouterr().err
+        assert "oracle cache:" in err
+        assert "hits" in err and "misses" in err
+
+    def test_stats_notes_disabled_cache(self, ml_file, capsys):
+        main([str(ml_file), "--stats"])
+        assert "cache disabled" in capsys.readouterr().err
+
+    def test_cache_does_not_change_outcome(self, ml_file, capsys):
+        assert main([str(ml_file), "--cache"]) == 1
+        assert "Try replacing" in capsys.readouterr().out
+
+    def test_trace_on_well_typed_program(self, ok_file, tmp_path):
+        trace = tmp_path / "ok.json"
+        assert main([str(ok_file), "--trace", str(trace)]) == 0
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_cpp_trace_and_metrics(self, cpp_file, tmp_path, capsys):
+        trace = tmp_path / "cpp.json"
+        assert main([str(cpp_file), "--trace", str(trace), "--metrics"]) == 1
+        data = json.loads(trace.read_text())
+        names = {e["name"] for e in data["traceEvents"]}
+        assert "cpp.search" in names
+        assert "cpp.checker_calls" in capsys.readouterr().err
+
+    def test_fix_mode_accepts_telemetry_flags(self, ml_file, tmp_path, capsys):
+        trace = tmp_path / "fix.json"
+        assert main([str(ml_file), "--fix", "--trace", str(trace), "--metrics"]) == 0
+        assert json.loads(trace.read_text())["traceEvents"]
 
 
 class TestCppMode:
