@@ -1,0 +1,121 @@
+"""Prefix-reuse oracle benchmark: before/after on the deepest corpus programs.
+
+Two claims are checked, matching the optimization's contract:
+
+* **Equivalence** — searches with the incremental oracle (running in
+  ``cross_check`` mode, so every reused answer is re-derived from scratch
+  and compared in-process) return bit-for-bit the same results as searches
+  with incremental reuse disabled: same verdict, same oracle-call count,
+  same rendered suggestions in the same order.
+* **Speed** — on multi-declaration programs the incremental oracle beats
+  from-scratch re-inference by a wall-clock margin, because after
+  localization every candidate re-checks only the failing declaration
+  instead of the whole passing prefix.
+
+The rendered report is written to ``benchmarks/results/incremental.txt``
+(the checked-in baseline).  Set ``REPRO_BENCH_SMOKE=1`` to run a scaled
+-down version in CI: the equivalence assertion still executes on every
+push, while the timing comparison is recorded but not asserted (shared
+runners are too noisy for a wall-clock gate).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+from conftest import write_artifact
+
+from repro.core import Oracle, explain
+from repro.core.messages import render_suggestion
+from repro.corpus import generate_corpus
+from repro.obs import MetricsRegistry
+
+#: CI smoke mode: tiny corpus, one timing round, no speedup assertion.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+_SCALE = 0.1 if SMOKE else 0.3
+_SEED = 7
+_N_FILES = 3 if SMOKE else 10
+_ROUNDS = 1 if SMOKE else 3
+
+
+@pytest.fixture(scope="module")
+def deep_programs():
+    """The deepest (most declarations) representative corpus programs —
+    where the prefix being skipped is largest and the win is visible."""
+    corpus = generate_corpus(scale=_SCALE, seed=_SEED)
+    files = sorted(
+        corpus.representatives,
+        key=lambda f: len(f.program.decls),
+        reverse=True,
+    )[:_N_FILES]
+    return [f.program for f in files]
+
+
+def _run_all(programs, **kwargs):
+    return [explain(program, **kwargs) for program in programs]
+
+
+def _time_all(programs, rounds, **kwargs):
+    """Best-of-``rounds`` total seconds for explaining every program."""
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        _run_all(programs, **kwargs)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_incremental_search_is_equivalent(deep_programs):
+    for program in deep_programs:
+        baseline = explain(program, incremental=False)
+        checked = explain(program, oracle=Oracle(cross_check=True))
+        assert checked.ok == baseline.ok
+        assert checked.oracle_calls == baseline.oracle_calls
+        assert checked.bad_decl_index == baseline.bad_decl_index
+        assert [render_suggestion(s) for s in checked.suggestions] == [
+            render_suggestion(s) for s in baseline.suggestions
+        ]
+
+
+def test_incremental_speedup(deep_programs, artifact_dir):
+    full_s = _time_all(deep_programs, _ROUNDS, incremental=False)
+    fast_s = _time_all(deep_programs, _ROUNDS)
+
+    # One more instrumented pass for the reuse accounting.
+    registry = MetricsRegistry()
+    results = _run_all(deep_programs, metrics=registry)
+    reused = registry.value("oracle.prefix.reused")
+    invalidated = registry.value("oracle.prefix.invalidated")
+    full_checks = registry.value("oracle.full_checks")
+    calls = sum(r.oracle_calls for r in results)
+    decls = [len(p.decls) for p in deep_programs]
+
+    speedup = full_s / fast_s if fast_s else float("inf")
+    report = (
+        "Incremental prefix-reuse oracle: before/after\n"
+        f"corpus: scale={_SCALE} seed={_SEED}, "
+        f"{len(deep_programs)} deepest programs "
+        f"({min(decls)}-{max(decls)} decls), "
+        f"best of {_ROUNDS} round(s)"
+        f"{' [smoke]' if SMOKE else ''}\n"
+        f"from-scratch (incremental=False): {full_s:.3f}s\n"
+        f"prefix reuse (default):           {fast_s:.3f}s\n"
+        f"speedup: {speedup:.2f}x\n"
+        f"oracle calls: {calls} total — {reused} reused the prefix, "
+        f"{full_checks} full checks, {invalidated} invalidations"
+    )
+    # Smoke runs use a tiny corpus; keep them from clobbering the
+    # checked-in full baseline.
+    name = "incremental_smoke.txt" if SMOKE else "incremental.txt"
+    write_artifact(artifact_dir, name, report)
+    print("\n" + report)
+
+    # Most candidate checks must ride the fast path...
+    assert reused > full_checks
+    # ...and off shared CI runners, the wall clock must actually drop.
+    if not SMOKE:
+        assert speedup > 1.2

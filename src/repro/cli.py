@@ -48,8 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", action="store_true",
                         help="print the full telemetry counter table")
     parser.add_argument("--cache", action="store_true",
-                        help="memoize oracle results by printed source "
+                        help="memoize oracle results by structural key "
                              "(hit/miss counts appear under --stats)")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="disable prefix-reuse incremental typechecking: "
+                             "re-infer every candidate from the empty "
+                             "environment (escape hatch / benchmarking)")
     return parser
 
 
@@ -85,6 +89,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         oracle = Oracle(
             max_calls=args.max_calls,
             cache=True,
+            incremental=not args.no_incremental,
             metrics=metrics if metrics is not NULL_METRICS else None,
         )
     telemetry_kwargs = dict(tracer=tracer, metrics=metrics, oracle=oracle)
@@ -93,6 +98,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         result = fix_all(
             source,
             enable_triage=not args.no_triage,
+            incremental=not args.no_incremental,
             max_oracle_calls=args.max_calls,
             **telemetry_kwargs,
         )
@@ -110,6 +116,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
     result = explain(
         source,
         enable_triage=not args.no_triage,
+        incremental=not args.no_incremental,
         max_oracle_calls=args.max_calls,
         **telemetry_kwargs,
     )
@@ -138,6 +145,12 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         cache_note = "" if args.cache else " (cache disabled; enable with --cache)"
         print(f"oracle cache: {hits} hits, {misses} misses{cache_note}",
               file=sys.stderr)
+        reused = metrics.value("oracle.prefix.reused")
+        full = metrics.value("oracle.full_checks")
+        incr_note = (" (disabled with --no-incremental)"
+                     if args.no_incremental else "")
+        print(f"oracle prefix reuse: {reused} incremental, {full} full checks"
+              f"{incr_note}", file=sys.stderr)
     _emit_telemetry(args, tracer, metrics)
     return 1
 

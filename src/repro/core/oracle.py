@@ -7,24 +7,36 @@ behind exactly that interface, adding:
 
 * call counting (the paper's efficiency metric — Section 2.2's lazy change
   collections exist precisely to "reduce calls to the type-checker"),
-* an optional budget so pathological searches terminate, and
-* an optional memo cache keyed on printed source (off by default to match
-  the paper; benchmarks can enable it for the ablation study).
+* an optional budget so pathological searches terminate,
+* an optional memo cache keyed on structural keys (off by default to match
+  the paper; benchmarks can enable it for the ablation study), and
+* **prefix reuse**: after the searcher localizes the first failing
+  declaration, it arms a :class:`~repro.miniml.infer.PrefixSnapshot` via
+  :meth:`Oracle.arm_prefix`; every subsequent candidate that shares the
+  passing prefix (which is all of them — the searcher only mutates the
+  failing declaration) is then checked incrementally, inferring only the
+  declarations after the snapshot point.  A candidate that *does* edit the
+  prefix invalidates the snapshot and falls back to a full check, so the
+  answers are identical either way.  ``cross_check=True`` re-runs every
+  incremental answer from scratch and raises :class:`IncrementalMismatch`
+  on disagreement — the assertion mode the equivalence tests exercise.
 
 Telemetry: an oracle holding a :class:`~repro.obs.MetricsRegistry` counts
 ``oracle.calls`` (and the ``.ok``/``.fail`` split), ``oracle.cache.hits``/
-``oracle.cache.misses``, and ``oracle.budget_exceeded``.  The default is
-the no-op :data:`~repro.obs.NULL_METRICS`, so the hot path never branches
-on whether telemetry is on.
+``oracle.cache.misses``, ``oracle.budget_exceeded``, and the prefix-reuse
+set ``oracle.prefix.armed``/``oracle.prefix.reused``/
+``oracle.prefix.invalidated``/``oracle.full_checks``.  The default is the
+no-op :data:`~repro.obs.NULL_METRICS`, so the hot path never branches on
+whether telemetry is on.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Protocol
 
-from repro.miniml.infer import CheckResult, typecheck_program
-from repro.miniml.pretty import pretty_program
+from repro.miniml.infer import CheckResult, snapshot_prefix, typecheck_program
 from repro.obs import NULL_METRICS
+from repro.tree import StructuralKeyer
 
 
 class BudgetExceeded(Exception):
@@ -35,8 +47,17 @@ class BudgetExceeded(Exception):
         self.budget = budget
 
 
+class IncrementalMismatch(AssertionError):
+    """An incremental (prefix-reuse) answer diverged from the from-scratch
+    answer — a soundness bug, surfaced only in ``cross_check`` mode."""
+
+
 class TypecheckFn(Protocol):
     def __call__(self, program) -> CheckResult: ...  # pragma: no cover
+
+
+def _error_text(result: CheckResult) -> Optional[str]:
+    return result.error.render() if result.error is not None else None
 
 
 class Oracle:
@@ -51,13 +72,30 @@ class Oracle:
         Hard budget; exceeding it raises :class:`BudgetExceeded`, which the
         searcher catches to return the suggestions found so far.
     cache:
-        Memoize results by pretty-printed source.  Sound because the checker
-        is deterministic and ignores spans/synthetic flags.
-    render:
-        Program-to-text function used as the cache key (language specific).
+        Memoize results by structural key.  Sound because the checker is
+        deterministic and ignores spans/synthetic flags; keys are built by
+        an identity-memoizing :class:`~repro.tree.StructuralKeyer`, so a
+        candidate differing from the root program in one declaration keys
+        in time proportional to that declaration, not the whole program.
+    key_fn:
+        Override the cache-key function (language specific).  ``render`` is
+        accepted as a deprecated alias.
     metrics:
         A :class:`~repro.obs.MetricsRegistry` to count into (default: the
         shared no-op registry).
+    incremental:
+        Allow prefix reuse (on by default; :meth:`arm_prefix` becomes a
+        no-op when off — the CLI's ``--no-incremental``).
+    cross_check:
+        Re-check every prefix-reused answer from scratch and raise
+        :class:`IncrementalMismatch` if the answers differ.  Test/debug
+        mode: it deliberately pays the full cost it normally saves.
+    snapshot_fn:
+        ``(program, n_decls) -> PrefixSnapshot | None`` used by
+        :meth:`arm_prefix`.  Defaults to MiniML's
+        :func:`~repro.miniml.infer.snapshot_prefix` when ``typecheck`` is
+        the default; a custom ``typecheck`` must bring its own snapshot
+        function (and accept a ``prefix=`` keyword) to opt into reuse.
     """
 
     def __init__(
@@ -65,34 +103,129 @@ class Oracle:
         typecheck: Optional[TypecheckFn] = None,
         max_calls: Optional[int] = None,
         cache: bool = False,
-        render: Callable = pretty_program,
+        key_fn: Optional[Callable] = None,
         metrics=None,
+        incremental: bool = True,
+        cross_check: bool = False,
+        snapshot_fn: Optional[Callable] = None,
+        render: Optional[Callable] = None,
     ):
         self._typecheck = typecheck if typecheck is not None else typecheck_program
         self.max_calls = max_calls
         self.calls = 0
         self.cache_hits = 0
         self.cache_misses = 0
-        self._cache: Optional[Dict[str, CheckResult]] = {} if cache else None
-        self._render = render
+        self.full_checks = 0
+        self.prefix_reused = 0
+        self.prefix_invalidated = 0
+        self._cache: Optional[Dict[object, CheckResult]] = {} if cache else None
+        self._keyer: Optional[StructuralKeyer] = None
+        if key_fn is not None:
+            self._key = key_fn
+        elif render is not None:  # pre-structural-key API
+            self._key = render
+        else:
+            self._keyer = StructuralKeyer()
+            self._key = self._keyer
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.incremental = incremental
+        self.cross_check = cross_check
+        if snapshot_fn is not None:
+            self._snapshot_fn: Optional[Callable] = snapshot_fn
+        else:
+            self._snapshot_fn = snapshot_prefix if typecheck is None else None
+        self._snapshot = None
+
+    # ------------------------------------------------------------------
+    # Prefix reuse
+    # ------------------------------------------------------------------
+
+    @property
+    def prefix_armed(self) -> bool:
+        return self._snapshot is not None
+
+    def arm_prefix(self, program, n_decls: int) -> bool:
+        """Snapshot the environment after ``program.decls[:n_decls]``.
+
+        Called by the searcher right after localization with the index of
+        the first failing declaration: everything before it passed, and
+        every candidate the search generates shares those declarations by
+        identity.  Returns True when a snapshot was armed; no-op (False)
+        when incremental reuse is off, the substrate does not support it,
+        the prefix is empty, or the prefix unexpectedly fails to check.
+        """
+        self._snapshot = None
+        if not self.incremental or self._snapshot_fn is None or n_decls <= 0:
+            return False
+        snapshot = self._snapshot_fn(program, n_decls)
+        if snapshot is None:
+            return False
+        self._snapshot = snapshot
+        self.metrics.incr("oracle.prefix.armed")
+        return True
+
+    def _check_once(self, program) -> CheckResult:
+        """One logical typecheck, via the armed prefix when possible."""
+        snapshot = self._snapshot
+        if snapshot is not None:
+            if snapshot.matches(program):
+                self.prefix_reused += 1
+                self.metrics.incr("oracle.prefix.reused")
+                result = self._typecheck(program, prefix=snapshot)
+                if self.cross_check:
+                    self._assert_equivalent(program, result)
+                return result
+            # The candidate edited a declaration at or before the snapshot
+            # point: the cached environment no longer applies.  Drop it —
+            # the searcher's candidates would keep missing anyway.
+            self._snapshot = None
+            self.prefix_invalidated += 1
+            self.metrics.incr("oracle.prefix.invalidated")
+        self.full_checks += 1
+        self.metrics.incr("oracle.full_checks")
+        return self._typecheck(program)
+
+    def _assert_equivalent(self, program, incremental: CheckResult) -> None:
+        """Cross-check an incremental answer against a from-scratch run."""
+        self.metrics.incr("oracle.prefix.crosschecked")
+        full = self._typecheck(program)
+        if incremental.ok != full.ok or (
+            not full.ok and _error_text(incremental) != _error_text(full)
+        ):
+            raise IncrementalMismatch(
+                "incremental oracle diverged from from-scratch answer:\n"
+                f"  incremental: ok={incremental.ok} error={_error_text(incremental)!r}\n"
+                f"  from-scratch: ok={full.ok} error={_error_text(full)!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # The oracle interface
+    # ------------------------------------------------------------------
 
     def check(self, program) -> CheckResult:
-        """Run the type-checker, honouring budget and cache."""
+        """Run the type-checker, honouring budget and cache.
+
+        Accounting order matters: a cache hit is free and served even when
+        the budget is spent; the budget gate comes next, so a call that
+        raises :class:`BudgetExceeded` was never a cache miss (nothing was
+        checked) and counts toward neither ``calls`` nor ``cache_misses``.
+        """
+        key = None
         if self._cache is not None:
-            key = self._render(program)
+            key = self._key(program)
             hit = self._cache.get(key)
             if hit is not None:
                 self.cache_hits += 1
                 self.metrics.incr("oracle.cache.hits")
                 return hit
-            self.cache_misses += 1
-            self.metrics.incr("oracle.cache.misses")
         if self.max_calls is not None and self.calls >= self.max_calls:
             self.metrics.incr("oracle.budget_exceeded")
             raise BudgetExceeded(self.max_calls)
+        if self._cache is not None:
+            self.cache_misses += 1
+            self.metrics.incr("oracle.cache.misses")
         self.calls += 1
-        result = self._typecheck(program)
+        result = self._check_once(program)
         self.metrics.incr("oracle.calls")
         self.metrics.incr("oracle.calls.ok" if result.ok else "oracle.calls.fail")
         if self._cache is not None:
@@ -104,7 +237,7 @@ class Oracle:
         return self.check(program).ok
 
     def reset(self) -> None:
-        """Clear accounting (and cache) between searches.
+        """Clear accounting, cache, and the prefix snapshot between searches.
 
         The metrics registry is *not* cleared: it aggregates across
         searches by design (reset it explicitly if per-search numbers are
@@ -113,5 +246,11 @@ class Oracle:
         self.calls = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.full_checks = 0
+        self.prefix_reused = 0
+        self.prefix_invalidated = 0
+        self._snapshot = None
         if self._cache is not None:
             self._cache = {}
+        if self._keyer is not None:
+            self._keyer.clear()

@@ -20,8 +20,9 @@ boolean oracle answer.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Deque, Dict, Iterator, List, Optional, Sequence
 
 from repro.miniml.ast_nodes import (
     Binding,
@@ -67,6 +68,10 @@ class SearchConfig:
     max_oracle_calls: Optional[int] = 20000
     enable_triage: bool = True
     enable_adaptation: bool = True
+    #: Arm the oracle's prefix snapshot after localization so candidates
+    #: (which only ever mutate the failing declaration) skip re-inferring
+    #: the passing prefix.  Answer-preserving; off = from-scratch per call.
+    incremental: bool = True
     triage_threshold: int = 5
     max_triage_depth: int = 3
     disabled_rules: Sequence[str] = ()
@@ -191,6 +196,12 @@ class Searcher:
             try:
                 bad = self._localize_bad_decl(program)
                 outcome.bad_decl_index = bad
+                # Everything before the failing declaration passed, and
+                # every candidate below only mutates that declaration — so
+                # snapshot the prefix environment once and let the oracle
+                # check candidates incrementally from there.
+                if self.config.incremental:
+                    self.oracle.arm_prefix(program, bad)
                 # Search within the failing prefix: later declarations are
                 # ignored entirely, as in the paper ("It does not examine the
                 # third top-level binding").
@@ -206,18 +217,25 @@ class Searcher:
             return outcome
 
     def _localize_bad_decl(self, program: Program) -> int:
-        """Index of the first top-level declaration whose prefix fails."""
+        """Index of the first top-level declaration whose prefix fails.
+
+        Precondition: the whole program is known to fail (``search_program``
+        checked it).  The final prefix *is* the whole program, so when every
+        proper prefix passes the answer must be the last declaration — no
+        oracle call needed to re-confirm the failure we started from.
+        """
         with self.tracer.span("localize", decls=len(program.decls)) as sp:
             calls_before = self.oracle.calls
-            for i in range(len(program.decls)):
+            last = len(program.decls) - 1
+            for i in range(last):
                 self._tick("prefix_tests")
                 if not self.oracle.passes(Program(program.decls[: i + 1])):
                     sp.set("bad_decl", i)
                     sp.set("oracle_calls", self.oracle.calls - calls_before)
                     return i
-            # The whole program failed but every prefix passed: impossible for
-            # a deterministic checker, but be defensive.
-            return len(program.decls) - 1
+            sp.set("bad_decl", last)
+            sp.set("oracle_calls", self.oracle.calls - calls_before)
+            return last
 
     # ------------------------------------------------------------------
     # Declaration-level search
@@ -291,9 +309,12 @@ class Searcher:
         constructive = self._try_changes(root, path, node)
         results.extend(constructive)
 
-        # 4. Adaptation to context (expressions only).
+        # 4. Adaptation to context (expressions only).  Build the adapted
+        #    expression once: the replacement reported in the Change must be
+        #    the very object the oracle tested, not a second wrapping.
         if self.config.enable_adaptation and isinstance(node, Expr):
-            adapted = replace_at(root, path, adapt_expr(node))
+            adapted_node = adapt_expr(node)
+            adapted = replace_at(root, path, adapted_node)
             self._tick("adaptation_tests")
             if self.tracer.enabled:
                 span = self.tracer.span("adapt", path=format_path(path))
@@ -306,12 +327,12 @@ class Searcher:
                 change = Change(
                     path=path,
                     original=node,
-                    replacement=adapt_expr(node),
+                    replacement=adapted_node,
                     kind=KIND_ADAPT,
                     description="the expression is well-typed on its own; "
                     "its context expects a different type",
                 )
-                results.append(self._suggest(change, replace_at(root, path, change.replacement)))
+                results.append(self._suggest(change, adapted))
 
         # 5. If no child removal fixed things, this node is a minimal
         #    removable unit: report its removal.
@@ -359,7 +380,9 @@ class Searcher:
     def _try_changes(self, root: Program, path: Path, node: Node) -> List[Suggestion]:
         """Run the enumerator's (lazy, structured) changes for one node."""
         results: List[Suggestion] = []
-        worklist: List[ChangeNode] = list(self.enumerator.changes(node, path))
+        # FIFO worklist: a deque keeps lazy expansions O(1) per pop where
+        # ``list.pop(0)`` was O(n) (quadratic over long expansion chains).
+        worklist: Deque[ChangeNode] = deque(self.enumerator.changes(node, path))
         if not worklist:
             return results
         if self.tracer.enabled:
@@ -370,7 +393,7 @@ class Searcher:
             calls_before = self.oracle.calls
             tested = 0
             while worklist:
-                change_node = worklist.pop(0)
+                change_node = worklist.popleft()
                 change = change_node.change
                 candidate = replace_at(root, change.path, change.replacement)
                 self._tick("constructive_tests")

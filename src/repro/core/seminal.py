@@ -76,6 +76,7 @@ def explain(
     *,
     enable_triage: bool = True,
     enable_adaptation: bool = True,
+    incremental: bool = True,
     max_oracle_calls: Optional[int] = 20000,
     triage_threshold: int = 5,
     disabled_rules: Sequence[str] = (),
@@ -91,6 +92,9 @@ def explain(
     Parameters mirror the knobs the paper evaluates: ``enable_triage=False``
     reproduces the "without triage" configuration of Section 3, and
     ``disabled_rules`` supports the Figure 7 constructive-change ablation.
+    ``incremental=False`` disables the prefix-reuse oracle (every candidate
+    is re-inferred from the empty environment — the pre-optimization
+    behaviour, kept as an escape hatch and for benchmarking the win).
 
     ``tracer``/``metrics`` (see :mod:`repro.obs`) switch on telemetry: a
     :class:`~repro.obs.Tracer` records a Perfetto-loadable span tree of the
@@ -116,6 +120,7 @@ def explain(
         max_oracle_calls=max_oracle_calls,
         enable_triage=enable_triage,
         enable_adaptation=enable_adaptation,
+        incremental=incremental,
         triage_threshold=triage_threshold,
         disabled_rules=disabled_rules,
         triage_strategy=triage_strategy,

@@ -17,6 +17,12 @@ fixed the node) — we start from one sibling removed.
 Expressions with *binding occurrences* (``match``/``function``) get the
 three-phase treatment of Figure 4: scrutinee first (patterns and arms
 removed), then patterns (arms removed), then arm bodies.
+
+Prefix reuse: every context and candidate triage builds derives from the
+searcher's root via :func:`repro.tree.replace_at` at paths *inside* the
+failing declaration, so the top-level declarations before it are shared by
+identity and the oracle's armed :class:`~repro.miniml.infer.PrefixSnapshot`
+keeps matching — triage rounds ride the incremental fast path for free.
 """
 
 from __future__ import annotations

@@ -48,6 +48,14 @@ _PHASE_COUNTERS = (
     "search.triage_tests",
 )
 
+#: Prefix-reuse accounting (how many oracle calls rode the incremental
+#: fast path vs paid a full from-scratch inference).
+_ORACLE_COUNTERS = (
+    "oracle.full_checks",
+    "oracle.prefix.reused",
+    "oracle.prefix.invalidated",
+)
+
 
 @dataclass
 class TimingResult:
@@ -66,6 +74,11 @@ class TimingResult:
         """Oracle calls by search phase for one configuration."""
         registry = self.metrics[name]
         return {counter: registry.value(counter) for counter in _PHASE_COUNTERS}
+
+    def oracle_breakdown(self, name: str) -> Dict[str, int]:
+        """Incremental-vs-full oracle accounting for one configuration."""
+        registry = self.metrics[name]
+        return {counter: registry.value(counter) for counter in _ORACLE_COUNTERS}
 
     def phase_seconds(self, name: str) -> Dict[str, float]:
         """Total seconds by span name for one configuration."""
@@ -88,6 +101,12 @@ class TimingResult:
             "  oracle calls by phase: "
             + " ".join(f"{k.split('.')[-1]}={v}" for k, v in calls.items())
         )
+        reuse = self.oracle_breakdown(name)
+        if any(reuse.values()):
+            lines.append(
+                "  prefix reuse: "
+                + " ".join(f"{k.split('.')[-1]}={v}" for k, v in reuse.items())
+            )
         if seconds:
             lines.append(
                 "  seconds by span: "

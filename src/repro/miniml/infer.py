@@ -97,6 +97,8 @@ from .types import (
     TTuple,
     TVar,
     Type,
+    _substitute,
+    free_type_vars,
     generalize,
     instantiate,
     monotype,
@@ -193,18 +195,22 @@ class Inferencer:
         env = self.root_env.child()
         top_level: Dict[str, Scheme] = {}
         for decl in program.decls:
-            if isinstance(decl, DType):
-                self._declare_type(decl)
-            elif isinstance(decl, DException):
-                self._declare_exception(decl)
-            elif isinstance(decl, DLet):
-                bound = self._check_bindings(env, decl.rec, decl.bindings)
-                top_level.update(bound)
-            elif isinstance(decl, DExpr):
-                self.infer_expr(env, decl.expr)
-            else:  # pragma: no cover - parser produces nothing else
-                raise TypeError(f"unknown declaration {type(decl).__name__}")
+            self.check_decl(env, decl, top_level)
         return top_level
+
+    def check_decl(self, env: TypeEnv, decl, top_level: Dict[str, Scheme]) -> None:
+        """Check one top-level declaration, extending ``env``/``top_level``."""
+        if isinstance(decl, DType):
+            self._declare_type(decl)
+        elif isinstance(decl, DException):
+            self._declare_exception(decl)
+        elif isinstance(decl, DLet):
+            bound = self._check_bindings(env, decl.rec, decl.bindings)
+            top_level.update(bound)
+        elif isinstance(decl, DExpr):
+            self.infer_expr(env, decl.expr)
+        else:  # pragma: no cover - parser produces nothing else
+            raise TypeError(f"unknown declaration {type(decl).__name__}")
 
     def _declare_type(self, decl: DType) -> None:
         params = {name: TVar(level=1) for name in decl.params}
@@ -743,15 +749,178 @@ class Inferencer:
         raise TypeMismatchError(e, actual, expected, quoted=pretty_expr(e))
 
 
+class PrefixSnapshot:
+    """The generalized typing state after the first ``n_decls`` declarations.
+
+    The SEMINAL searcher, once it has localized the first failing top-level
+    declaration, only ever mutates *that* declaration: every candidate it
+    tests shares the passing prefix ``decls[:k]`` by object identity (the
+    functional :func:`repro.tree.replace_at` rebuilds only the spine).  The
+    typing environment those declarations produce is therefore identical
+    across thousands of oracle calls, and re-inferring it each time is pure
+    waste.  A snapshot captures that environment once so each call checks
+    only ``decls[k:]`` on top of it.
+
+    Soundness relies on two properties:
+
+    * **Identity matching** — :meth:`matches` accepts a program only when
+      its first ``n_decls`` declarations *are* (``is``) the snapshotted
+      ones, so a candidate that edits the prefix can never be checked
+      against a stale environment.
+    * **Free-variable isolation** — the value restriction can leave
+      un-generalized unification variables in top-level schemes (e.g.
+      ``let r = ref []`` gives ``r : '_a list ref``).  Checking a suffix
+      may *link* those variables, and the mutation would otherwise leak
+      into the next oracle call through the shared snapshot.  When any
+      such variable exists, :meth:`instantiate_values` hands each check a
+      fresh isomorphic copy (one fresh variable per free variable, sharing
+      preserved) — exactly what re-inferring the prefix from scratch would
+      produce.  In the common all-generalized case the copy is skipped.
+    """
+
+    __slots__ = (
+        "decls",
+        "base",
+        "constructors",
+        "fields",
+        "type_arities",
+        "values",
+        "top_level",
+        "free_vars",
+    )
+
+    def __init__(
+        self,
+        decls,
+        base: TypeEnv,
+        constructors,
+        fields,
+        type_arities,
+        values: Dict[str, Scheme],
+        top_level: Dict[str, Scheme],
+        free_vars,
+    ):
+        self.decls = tuple(decls)
+        self.base = base
+        self.constructors = constructors
+        self.fields = fields
+        self.type_arities = type_arities
+        self.values = values
+        self.top_level = top_level
+        self.free_vars = tuple(free_vars)
+
+    @property
+    def n_decls(self) -> int:
+        return len(self.decls)
+
+    def matches(self, program: Program) -> bool:
+        """Whether ``program`` starts with exactly the snapshotted prefix
+        (by object identity — the searcher shares unchanged declarations)."""
+        decls = program.decls
+        if len(decls) < len(self.decls):
+            return False
+        for mine, theirs in zip(self.decls, decls):
+            if mine is not theirs:
+                return False
+        return True
+
+    def instantiate_values(self) -> tuple[Dict[str, Scheme], Dict[str, Scheme]]:
+        """``(values, top_level)`` dicts safe to hand to one inference pass."""
+        if not self.free_vars:
+            return dict(self.values), dict(self.top_level)
+        mapping: Dict[TVar, TVar] = {v: TVar(v.level) for v in self.free_vars}
+        values = {
+            name: Scheme(s.vars, _substitute(s.body, mapping))
+            for name, s in self.values.items()
+        }
+        top_level = {name: values.get(name, s) for name, s in self.top_level.items()}
+        return values, top_level
+
+
+def snapshot_prefix(
+    program: Program, upto: int, env: Optional[TypeEnv] = None
+) -> Optional[PrefixSnapshot]:
+    """Type-check ``program.decls[:upto]`` and snapshot the resulting state.
+
+    Returns ``None`` when the prefix is ill-typed (a snapshot of a failing
+    prefix would be meaningless) or empty.  The snapshot can then be passed
+    to :func:`typecheck_program` via ``prefix=`` to check candidate programs
+    that share the prefix without re-inferring it.
+    """
+    if upto <= 0:
+        return None
+    base = env if env is not None else _default_base()
+    inferencer = Inferencer(base)
+    child = inferencer.root_env.child()
+    top_level: Dict[str, Scheme] = {}
+    try:
+        for decl in program.decls[:upto]:
+            inferencer.check_decl(child, decl, top_level)
+    except MiniMLTypeError:
+        return None
+    values = dict(child.values)
+    free_vars: List[TVar] = []
+    seen: set = set()
+    for scheme in values.values():
+        quantified = {id(v) for v in scheme.vars}
+        for v in free_type_vars(scheme.body):
+            if id(v) not in quantified and id(v) not in seen:
+                seen.add(id(v))
+                free_vars.append(v)
+    return PrefixSnapshot(
+        program.decls[:upto],
+        base,
+        inferencer.root_env.constructors,
+        inferencer.root_env.fields,
+        inferencer.root_env.type_arities,
+        values,
+        top_level,
+        free_vars,
+    )
+
+
+def _typecheck_from_prefix(
+    program: Program, prefix: PrefixSnapshot, record_types: bool = False
+) -> CheckResult:
+    """Check ``program.decls[prefix.n_decls:]`` on top of the snapshot."""
+    inferencer = Inferencer(prefix.base, record_types=record_types)
+    root = inferencer.root_env
+    # The snapshot owns its table dicts; fork-style copies keep suffix
+    # ``type``/``exception`` declarations from polluting later calls.
+    root.constructors = dict(prefix.constructors)
+    root.fields = dict(prefix.fields)
+    root.type_arities = dict(prefix.type_arities)
+    env = root.child()
+    values, top_level = prefix.instantiate_values()
+    env.values.update(values)
+    try:
+        for decl in program.decls[prefix.n_decls :]:
+            inferencer.check_decl(env, decl, top_level)
+    except MiniMLTypeError as err:
+        return CheckResult(ok=False, error=err, node_types=inferencer.node_types)
+    return CheckResult(ok=True, top_level=top_level, node_types=inferencer.node_types)
+
+
 def typecheck_program(
-    program: Program, env: Optional[TypeEnv] = None, record_types: bool = False
+    program: Program,
+    env: Optional[TypeEnv] = None,
+    record_types: bool = False,
+    prefix: Optional[PrefixSnapshot] = None,
 ) -> CheckResult:
     """Type-check a whole program; never raises, returns a :class:`CheckResult`.
 
     This is the function the SEMINAL oracle wraps.  A fresh environment is
     built per call (cheap relative to inference) so repeated oracle calls on
     mutated ASTs cannot interfere through shared unification state.
+
+    When ``prefix`` is a :class:`PrefixSnapshot` whose declarations lead
+    ``program`` (by identity), only the declarations after the snapshot
+    point are inferred — the incremental fast path.  A non-matching prefix
+    falls back to the full from-scratch check, so the answer is the same
+    either way.
     """
+    if prefix is not None and prefix.matches(program):
+        return _typecheck_from_prefix(program, prefix, record_types=record_types)
     inferencer = Inferencer(env, record_types=record_types)
     try:
         top_level = inferencer.check_program(program)

@@ -182,6 +182,101 @@ def structurally_equal(a: Node, b: Node) -> bool:
     return True
 
 
+def structural_key(root: Node) -> Tuple:
+    """A hashable key capturing the structure the type-checker sees.
+
+    Two trees get equal keys iff they are :func:`structurally_equal`
+    (spans and the ``synthetic`` flag are ignored — they are not dataclass
+    fields).  The key is a nested tuple mirroring the tree: class name
+    first, then one entry per dataclass field — a sub-key for node fields,
+    a tuple of element keys for list fields, and a ``("#", value)`` pair
+    for scalars (the tag keeps a scalar from imitating a node key).  Being
+    a real key (not a bare hash), dictionary lookups still compare
+    structurally on hash collision, so a collision can never return a
+    wrong cached answer.  For repeated keying of programs that share
+    subtrees, use :class:`StructuralKeyer`.
+    """
+    parts: list = [root.__class__.__name__]
+    append = parts.append
+    for name in _field_names(root.__class__):
+        value = getattr(root, name)
+        if isinstance(value, Node):
+            append(structural_key(value))
+        elif isinstance(value, (list, tuple)):
+            append(
+                tuple(
+                    structural_key(element) if isinstance(element, Node) else ("#", element)
+                    for element in value
+                )
+            )
+        else:
+            append(("#", value))
+    return tuple(parts)
+
+
+class StructuralKeyer:
+    """:func:`structural_key` with an identity memo over subtrees.
+
+    The searcher's candidates are built with :func:`replace_at`, which
+    shares every unchanged subtree with the original program by object
+    identity.  Memoizing subtree keys by ``id(node)`` therefore makes
+    keying a candidate cost O(changed spine) instead of O(program) — the
+    point of switching the oracle cache off pretty-printed-source keys.
+
+    The memo pins each node (strong reference) so an ``id`` can never be
+    recycled for a different object while cached.  Sound as long as nodes
+    are treated immutably between :meth:`clear` calls, which is how the
+    whole search pipeline operates (``span``/``synthetic`` mutations do
+    not participate in keys).  Call :meth:`clear` between searches to
+    release the pinned trees.
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(self) -> None:
+        self._memo: dict = {}
+
+    def clear(self) -> None:
+        self._memo.clear()
+
+    def __call__(self, root: Node) -> Tuple:
+        memo = self._memo
+        entry = memo.get(id(root))
+        if entry is not None:
+            return entry[1]
+        parts: list = [root.__class__.__name__]
+        append = parts.append
+        for name in _field_names(root.__class__):
+            value = getattr(root, name)
+            if isinstance(value, Node):
+                append(self(value))
+            elif isinstance(value, (list, tuple)):
+                append(
+                    tuple(
+                        self(element) if isinstance(element, Node) else ("#", element)
+                        for element in value
+                    )
+                )
+            else:
+                append(("#", value))
+        key = tuple(parts)
+        memo[id(root)] = (root, key)
+        return key
+
+
+#: ``dataclasses.fields`` is surprisingly costly per call; the field layout
+#: of a node class never changes, so cache the names per class.
+_FIELD_NAMES: dict = {}
+
+
+def _field_names(cls: type) -> Tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
 def copy_tree(root: Node) -> Node:
     """Deep copy of an AST (spans shared, node objects fresh)."""
     replacements = {}

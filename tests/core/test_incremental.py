@@ -1,0 +1,165 @@
+"""Prefix-reuse incremental typechecking: snapshot API and equivalence.
+
+The optimization's contract is *semantic transparency*: for any program
+whose first ``k`` declarations type-check, inference seeded from a
+:class:`~repro.miniml.infer.PrefixSnapshot` of those ``k`` declarations
+must return the same verdict — and on failure, the same rendered error —
+as inference from the empty environment.  These tests exercise the
+contract directly at the infer layer, then property-style over generated
+corpus programs through the full search (with the oracle's ``cross_check``
+assertion mode on, so every reused answer is re-derived from scratch and
+compared in-process).
+"""
+
+import pytest
+
+from repro.core import Oracle
+from repro.core.messages import render_suggestion
+from repro.core.seminal import explain
+from repro.miniml import parse_program
+from repro.miniml.ast_nodes import Program
+from repro.miniml.infer import snapshot_prefix, typecheck_program
+
+#: Ill-typed programs with at least one passing leading declaration,
+#: covering the declaration forms a snapshot must capture: values,
+#: functions, type declarations (constructors + arities), exceptions.
+PROGRAMS = [
+    "let x = 1\nlet y = x + true",
+    "let f x = x + 1\nlet g = f true",
+    "let pair = (1, true)\nlet s = fst pair ^ \"!\"",
+    "type t = A | B of int\nlet v = B true",
+    "exception Boom of int\nlet r = raise (Boom true)",
+    "let id x = x\nlet twice f x = f (f x)\nlet bad = twice id true + 1",
+]
+
+
+def _passing_splits(program):
+    """Split points whose prefix type-checks (snapshot candidates)."""
+    for k in range(1, len(program.decls)):
+        if typecheck_program(Program(program.decls[:k])).ok:
+            yield k
+
+
+class TestSnapshotApi:
+    def test_matches_is_identity_based(self):
+        program = parse_program("let a = 1\nlet b = a + true")
+        snapshot = snapshot_prefix(program, 1)
+        assert snapshot.matches(program)
+        # Rewriting the suffix keeps the (shared) prefix matching.
+        edited_suffix = Program(
+            [program.decls[0], parse_program("let b = a").decls[0]]
+        )
+        assert snapshot.matches(edited_suffix)
+        # An equal-looking but distinct first declaration does not match:
+        # identity, not structural equality, is the (cheap, sound) test.
+        edited_prefix = Program(
+            [parse_program("let a = 1").decls[0], program.decls[1]]
+        )
+        assert not snapshot.matches(edited_prefix)
+
+    def test_shorter_program_never_matches(self):
+        program = parse_program("let a = 1\nlet b = 2\nlet c = a + true")
+        snapshot = snapshot_prefix(program, 2)
+        assert not snapshot.matches(Program(program.decls[:1]))
+
+    def test_no_snapshot_for_empty_prefix(self):
+        program = parse_program("let a = 1")
+        assert snapshot_prefix(program, 0) is None
+
+    def test_no_snapshot_for_failing_prefix(self):
+        program = parse_program("let a = 1 + true\nlet b = 2")
+        assert snapshot_prefix(program, 1) is None
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_incremental_agrees_at_every_split(self, source):
+        program = parse_program(source)
+        full = typecheck_program(program)
+        splits = list(_passing_splits(program))
+        assert splits, "test program needs a passing prefix"
+        for k in splits:
+            snapshot = snapshot_prefix(program, k)
+            assert snapshot is not None
+            fast = typecheck_program(program, prefix=snapshot)
+            assert fast.ok == full.ok
+            if not full.ok:
+                assert fast.error.render() == full.error.render()
+
+    def test_well_typed_suffix_agrees(self):
+        program = parse_program("let f x = x + 1\nlet g = f 2\nlet h = g + 3")
+        snapshot = snapshot_prefix(program, 1)
+        assert typecheck_program(program, prefix=snapshot).ok
+
+    def test_snapshot_is_reusable_across_candidates(self):
+        # One snapshot, many suffixes — the point of the optimization.
+        base = parse_program("let f x = x + 1\nlet g = f true")
+        snapshot = snapshot_prefix(base, 1)
+        for suffix in ["let g = f 2", "let g = f true", "let g = f f"]:
+            candidate = Program(
+                [base.decls[0], parse_program(suffix).decls[0]]
+            )
+            fast = typecheck_program(candidate, prefix=snapshot)
+            assert fast.ok == typecheck_program(candidate).ok
+
+
+class TestFreeVariableIsolation:
+    """The value restriction leaves un-generalized type variables in
+    top-level schemes (``let r = ref []`` : ``'_a list ref``).  Suffix
+    inference unifies through them, so each incremental check must get a
+    fresh isomorphic copy — links must never leak across oracle calls."""
+
+    def test_monomorphic_ref_does_not_leak_between_checks(self):
+        base = parse_program("let r = ref []\nlet u = r := [1]")
+        snapshot = snapshot_prefix(base, 1)
+        assert snapshot is not None
+        int_use = base
+        bool_use = Program(
+            [base.decls[0], parse_program("let u = r := [true]").decls[0]]
+        )
+        # Both suffixes pin '_a differently; with shared state the second
+        # (and the re-run of the first) would spuriously fail.
+        assert typecheck_program(int_use, prefix=snapshot).ok
+        assert typecheck_program(bool_use, prefix=snapshot).ok
+        assert typecheck_program(int_use, prefix=snapshot).ok
+
+    def test_conflict_within_one_suffix_still_detected(self):
+        program = parse_program(
+            "let r = ref []\nlet u = r := [1]\nlet v = r := [true]"
+        )
+        snapshot = snapshot_prefix(program, 1)
+        full = typecheck_program(program)
+        fast = typecheck_program(program, prefix=snapshot)
+        assert not full.ok
+        assert fast.ok == full.ok
+        assert fast.error.render() == full.error.render()
+
+
+class TestCorpusAgreement:
+    """Property-style: over generated corpus programs, a search with the
+    incremental oracle (cross-check mode on) and a search with it disabled
+    must agree bit-for-bit — same verdict, same oracle-call count, same
+    rendered suggestions in the same order."""
+
+    @pytest.fixture(scope="class")
+    def corpus_programs(self):
+        from repro.corpus.generator import generate_corpus
+
+        corpus = generate_corpus(scale=0.15, seed=11)
+        files = sorted(
+            corpus.representatives,
+            key=lambda f: len(f.program.decls),
+            reverse=True,
+        )
+        return [f.program for f in files[:6]]
+
+    def test_search_results_identical(self, corpus_programs):
+        for program in corpus_programs:
+            baseline = explain(program, incremental=False)
+            checked = explain(program, oracle=Oracle(cross_check=True))
+            assert checked.ok == baseline.ok
+            assert checked.oracle_calls == baseline.oracle_calls
+            assert checked.bad_decl_index == baseline.bad_decl_index
+            assert [render_suggestion(s) for s in checked.suggestions] == [
+                render_suggestion(s) for s in baseline.suggestions
+            ]

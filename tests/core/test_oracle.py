@@ -2,8 +2,10 @@
 
 import pytest
 
-from repro.core.oracle import BudgetExceeded, Oracle
+from repro.core.oracle import BudgetExceeded, IncrementalMismatch, Oracle
 from repro.miniml import parse_program
+from repro.miniml.ast_nodes import Program
+from repro.obs import MetricsRegistry
 
 
 @pytest.fixture
@@ -14,6 +16,12 @@ def good():
 @pytest.fixture
 def bad():
     return parse_program("let x = 1 + true")
+
+
+@pytest.fixture
+def two_decl_bad():
+    """A passing first declaration followed by a failing second one."""
+    return parse_program("let a = 1\nlet b = a + true")
 
 
 class TestBasics:
@@ -85,6 +93,36 @@ class TestCache:
         assert oracle.calls == 2
 
 
+class TestBudgetCacheInteraction:
+    def test_budget_exceeded_is_not_a_cache_miss(self, good, bad):
+        # The budget gate fires before miss accounting: a rejected call
+        # checked nothing, so it must not count as a miss (or a call).
+        oracle = Oracle(cache=True, max_calls=1)
+        oracle.passes(good)
+        with pytest.raises(BudgetExceeded):
+            oracle.passes(bad)
+        assert oracle.calls == 1
+        assert oracle.cache_misses == 1
+
+    def test_cache_hit_served_after_budget_spent(self, good):
+        # A hit is free — it must be served even once the budget is gone.
+        oracle = Oracle(cache=True, max_calls=1)
+        assert oracle.passes(good)
+        assert oracle.passes(good)
+        assert oracle.cache_hits == 1
+        assert oracle.calls == 1
+
+    def test_metrics_agree_with_counters(self, good, bad):
+        registry = MetricsRegistry()
+        oracle = Oracle(cache=True, max_calls=1, metrics=registry)
+        oracle.passes(good)
+        with pytest.raises(BudgetExceeded):
+            oracle.passes(bad)
+        assert registry.value("oracle.cache.misses") == 1
+        assert registry.value("oracle.budget_exceeded") == 1
+        assert registry.value("oracle.calls") == 1
+
+
 class TestCustomChecker:
     def test_pluggable_typecheck(self, good):
         """The oracle is language-agnostic: any callable works."""
@@ -99,3 +137,125 @@ class TestCustomChecker:
         oracle = Oracle(typecheck=fake)
         assert oracle.passes(good)
         assert calls == [good]
+
+    def test_custom_typecheck_cannot_arm_prefix(self, two_decl_bad):
+        # A custom checker brings no snapshot function, so prefix reuse
+        # silently stays off instead of calling it with a kwarg it would
+        # not understand.
+        from repro.miniml.infer import CheckResult
+
+        oracle = Oracle(typecheck=lambda program: CheckResult(ok=True))
+        assert not oracle.arm_prefix(two_decl_bad, 1)
+        assert not oracle.prefix_armed
+
+
+class TestPrefixReuse:
+    def test_arm_and_reuse(self, two_decl_bad):
+        oracle = Oracle()
+        assert oracle.arm_prefix(two_decl_bad, 1)
+        assert oracle.prefix_armed
+        assert not oracle.passes(two_decl_bad)
+        assert oracle.prefix_reused == 1
+        assert oracle.full_checks == 0
+
+    def test_candidate_sharing_prefix_rides_fast_path(self, two_decl_bad):
+        oracle = Oracle()
+        oracle.arm_prefix(two_decl_bad, 1)
+        # Same first-decl *object*, rewritten second decl: still matches.
+        candidate = Program(
+            [two_decl_bad.decls[0], parse_program("let b = a + 1").decls[0]]
+        )
+        assert oracle.passes(candidate)
+        assert oracle.prefix_reused == 1
+        assert oracle.prefix_armed
+
+    def test_prefix_edit_invalidates_snapshot(self, two_decl_bad):
+        oracle = Oracle()
+        oracle.arm_prefix(two_decl_bad, 1)
+        # An equal-looking but *distinct* first declaration: the snapshot
+        # matches by identity, so this candidate edited the prefix.
+        candidate = Program(
+            [parse_program("let a = 1").decls[0], two_decl_bad.decls[1]]
+        )
+        oracle.passes(candidate)
+        assert oracle.prefix_invalidated == 1
+        assert not oracle.prefix_armed
+        assert oracle.full_checks == 1
+        # Later calls stay on the full path — no snapshot left to reuse.
+        oracle.passes(two_decl_bad)
+        assert oracle.full_checks == 2
+
+    def test_same_answer_with_and_without_prefix(self, two_decl_bad):
+        full = Oracle(incremental=False).check(two_decl_bad)
+        incremental = Oracle()
+        incremental.arm_prefix(two_decl_bad, 1)
+        fast = incremental.check(two_decl_bad)
+        assert incremental.prefix_reused == 1
+        assert fast.ok == full.ok
+        assert fast.error.render() == full.error.render()
+
+    def test_reset_clears_snapshot_and_counters(self, two_decl_bad):
+        oracle = Oracle()
+        oracle.arm_prefix(two_decl_bad, 1)
+        oracle.passes(two_decl_bad)
+        oracle.reset()
+        assert not oracle.prefix_armed
+        assert oracle.prefix_reused == 0
+        assert oracle.prefix_invalidated == 0
+        assert oracle.full_checks == 0
+        # After reset every check is a full check again.
+        oracle.passes(two_decl_bad)
+        assert oracle.full_checks == 1
+
+    def test_arm_noop_when_incremental_off(self, two_decl_bad):
+        oracle = Oracle(incremental=False)
+        assert not oracle.arm_prefix(two_decl_bad, 1)
+        oracle.passes(two_decl_bad)
+        assert oracle.full_checks == 1
+        assert oracle.prefix_reused == 0
+
+    def test_arm_noop_on_empty_prefix(self, two_decl_bad):
+        assert not Oracle().arm_prefix(two_decl_bad, 0)
+
+    def test_arm_noop_when_prefix_fails(self):
+        program = parse_program("let a = 1 + true\nlet b = 2")
+        assert not Oracle().arm_prefix(program, 1)
+
+    def test_prefix_metrics(self, two_decl_bad):
+        registry = MetricsRegistry()
+        oracle = Oracle(metrics=registry)
+        oracle.arm_prefix(two_decl_bad, 1)
+        oracle.passes(two_decl_bad)
+        assert registry.value("oracle.prefix.armed") == 1
+        assert registry.value("oracle.prefix.reused") == 1
+        assert registry.value("oracle.full_checks") == 0
+
+
+class TestCrossCheck:
+    def test_consistent_answers_pass(self, two_decl_bad):
+        registry = MetricsRegistry()
+        oracle = Oracle(cross_check=True, metrics=registry)
+        oracle.arm_prefix(two_decl_bad, 1)
+        assert not oracle.passes(two_decl_bad)
+        assert registry.value("oracle.prefix.crosschecked") == 1
+
+    def test_divergence_raises(self, two_decl_bad):
+        # A checker that answers "ok" on the incremental path but "fail"
+        # from scratch must be caught by the assertion mode.
+        from repro.miniml.infer import CheckResult
+
+        class AlwaysMatches:
+            def matches(self, program):
+                return True
+
+        def two_faced(program, prefix=None):
+            return CheckResult(ok=prefix is not None)
+
+        oracle = Oracle(
+            typecheck=two_faced,
+            snapshot_fn=lambda program, n_decls: AlwaysMatches(),
+            cross_check=True,
+        )
+        assert oracle.arm_prefix(two_decl_bad, 1)
+        with pytest.raises(IncrementalMismatch):
+            oracle.check(two_decl_bad)

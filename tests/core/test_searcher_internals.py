@@ -111,3 +111,108 @@ class TestWildcardDispatch:
         assert wildcard_for(binding.pattern) is not None
         assert wildcard_for(binding) is None
         assert wildcard_for(program.decls[0]) is None
+
+
+class TestLocalizationCallCount:
+    # Satellite fix: localization used to re-test the full program as the
+    # final "prefix" even though search_program had just proved it fails.
+
+    def test_no_oracle_call_for_final_prefix(self):
+        # Error in the last of three declarations: only the two proper
+        # prefixes are tested; the full program is already known to fail.
+        src = "let a = 1\nlet b = 2\nlet c = a + true"
+        searcher = make_searcher()
+        outcome = searcher.search_program(parse_program(src))
+        assert outcome.bad_decl_index == 2
+        assert outcome.stats.prefix_tests == 2
+
+    def test_single_decl_localized_for_free(self):
+        searcher = make_searcher()
+        outcome = searcher.search_program(parse_program("let a = 1 + true"))
+        assert outcome.bad_decl_index == 0
+        assert outcome.stats.prefix_tests == 0
+
+    def test_early_failure_stops_at_first_bad_prefix(self):
+        src = "let a = 1\nlet b = a + true\nlet c = 2\nlet d = 3"
+        searcher = make_searcher()
+        outcome = searcher.search_program(parse_program(src))
+        assert outcome.bad_decl_index == 1
+        assert outcome.stats.prefix_tests == 2
+
+
+class TestAdaptBuiltOnce:
+    def test_adapt_expr_called_once_per_adaptation_test(self, monkeypatch):
+        # Satellite fix: step 4 used to build adapt_expr(node) twice (once
+        # for the probe, once for the reported Change).  The replacement in
+        # the Change must be the very object the oracle tested, so each
+        # adaptation test builds the wrapper exactly once.
+        import repro.core.searcher as searcher_mod
+        from repro.core.changes import KIND_ADAPT
+
+        real = searcher_mod.adapt_expr
+        calls = []
+
+        def counting(node):
+            calls.append(node)
+            return real(node)
+
+        monkeypatch.setattr(searcher_mod, "adapt_expr", counting)
+        src = """
+let upper s = String.uppercase s
+let f e2 e3 e4 = if upper e2 then e3 else e4
+"""
+        searcher = make_searcher()
+        outcome = searcher.search_program(parse_program(src))
+        adaptations = [s for s in outcome.suggestions if s.kind == KIND_ADAPT]
+        assert adaptations, "expected adaptation suggestions"
+        assert len(calls) == outcome.stats.adaptation_tests
+        # And the accepted suggestion reports the tested object itself.
+        for s in adaptations:
+            from repro.tree import get_at as _get_at
+
+            assert _get_at(s.program, s.change.path) is s.change.replacement
+
+
+class TestWorklistOrder:
+    def test_fifo_expansion_order(self, monkeypatch):
+        # Satellite fix: the worklist moved from list.pop(0) to
+        # deque.popleft() — same FIFO discipline, O(1) per pop.  Guard the
+        # discipline: follow-ups are appended, not prepended.
+        from repro.core.changes import Change, ChangeNode, KIND_CONSTRUCTIVE
+        from repro.miniml.ast_nodes import EConst
+
+        program = parse_program("let x = 1 + true")
+        searcher = make_searcher()
+        paths = [
+            p
+            for p in searcher._searchable_children(program, (("decls", 0),))
+            if isinstance(get_at(program, p), Expr)
+        ]
+        path = paths[0]
+        node = get_at(program, path)
+
+        def mk(label, on_failure=None):
+            change = Change(
+                path=path,
+                original=node,
+                replacement=EConst(label, "string"),
+                kind=KIND_CONSTRUCTIVE,
+                description=label,
+            )
+            return ChangeNode(change, on_failure=on_failure)
+
+        d = mk("D")
+        b = mk("B", on_failure=lambda: [d])
+        c = mk("C")
+        a = mk("A", on_failure=lambda: [b, c])
+
+        tried = []
+
+        def spy(candidate):
+            tried.append(get_at(candidate, path).value)
+            return False
+
+        monkeypatch.setattr(searcher, "_passes", spy)
+        monkeypatch.setattr(searcher.enumerator, "changes", lambda n, p: [a])
+        assert searcher._try_changes(program, path, node) == []
+        assert tried == ["A", "B", "C", "D"]
