@@ -12,6 +12,11 @@ Observability (see :mod:`repro.obs`): ``--trace out.json`` records a
 Perfetto-loadable span trace of the whole search, ``--metrics`` prints the
 full counter/histogram table, ``--cache`` turns on the oracle memo cache
 (whose hit/miss counts then show up under ``--stats``/``--metrics``).
+
+Robustness (see :mod:`repro.core.resilience`): ``--deadline SECONDS`` puts
+a wall-clock budget on the search; budget/deadline exhaustion and oracle
+crashes degrade to best-effort suggestions (noted on stderr) instead of
+aborting.  Exit codes distinguish the outcomes — see ``--help``.
 """
 
 from __future__ import annotations
@@ -21,11 +26,29 @@ import pathlib
 import sys
 from typing import List, Optional, Sequence, Tuple
 
+#: Exit codes (documented in ``--help``): the CLI never leaks a raw
+#: traceback for input problems or exhausted search budgets.
+EXIT_OK = 0
+EXIT_SUGGESTIONS = 1
+EXIT_INPUT_ERROR = 2
+EXIT_NO_ANSWER = 3
+
+_EPILOG = """\
+exit codes:
+  0  the program type-checks (or --fix fully repaired it)
+  1  ill-typed; the type-error report (and any suggestions) was printed
+  2  input error: unreadable/undecodable file, or a parse error
+  3  ill-typed but no suggestion found — including searches degraded by
+     --max-calls, --deadline, or oracle crashes (noted on stderr)
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Search-based type-error messages (SEMINAL, PLDI 2007).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("file", help="source file (.ml for MiniML, .cpp for MiniCpp)")
     parser.add_argument("--cpp", action="store_true", help="treat the input as MiniCpp")
@@ -40,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "and print the patched source (MiniML only)")
     parser.add_argument("--max-calls", type=int, default=20000, metavar="N",
                         help="oracle-call budget (default 20000)")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock budget for the search; on expiry the "
+                             "best-so-far suggestions are reported with a "
+                             "degradation note (MiniML only)")
     parser.add_argument("--stats", action="store_true",
                         help="print oracle-call statistics")
     parser.add_argument("--trace", metavar="PATH", default=None,
@@ -79,9 +106,40 @@ def _emit_telemetry(args: argparse.Namespace, tracer, metrics) -> None:
         print(metrics.render_table(title="telemetry"), file=sys.stderr)
 
 
+def _checker_only_miniml(source: str) -> int:
+    """``--checker-only``: one typecheck, no search machinery at all.
+
+    The search (and its budget/deadline) is pure overhead when only the
+    conventional message is wanted — and running it here used to expose
+    this path to search-side failures like ``BudgetExceeded``.
+    """
+    from repro.miniml import match_warnings_source
+    from repro.miniml.infer import typecheck_source
+
+    result = typecheck_source(source)
+    if result.ok:
+        print("The program type-checks.")
+        for warning in match_warnings_source(source):
+            print(warning.render())
+        return EXIT_OK
+    print("Type-checker:")
+    message = result.error.render() if result.error is not None else ""
+    print("    " + message.replace("\n", "\n    "))
+    return EXIT_SUGGESTIONS
+
+
+def _note_degradation(result) -> None:
+    """One stderr line whenever the answer is best-effort, flags or not."""
+    if result.degradation is not None and result.degradation.degraded:
+        print(f"[degraded: {result.degradation.summary()}]", file=sys.stderr)
+
+
 def _run_miniml(source: str, args: argparse.Namespace) -> int:
     from repro.core import Oracle, explain, fix_all
     from repro.obs import NULL_METRICS
+
+    if args.checker_only and not args.fix:
+        return _checker_only_miniml(source)
 
     tracer, metrics = _telemetry(args)
     oracle = None
@@ -100,6 +158,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
             enable_triage=not args.no_triage,
             incremental=not args.no_incremental,
             max_oracle_calls=args.max_calls,
+            deadline_seconds=args.deadline,
             **telemetry_kwargs,
         )
         for step in result.applied:
@@ -109,15 +168,16 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         _emit_telemetry(args, tracer, metrics)
         if result.ok:
             print("-- the program now type-checks", file=sys.stderr)
-            return 0
+            return EXIT_OK
         print("-- could not fully repair the program", file=sys.stderr)
-        return 1
+        return EXIT_SUGGESTIONS if result.applied else EXIT_NO_ANSWER
 
     result = explain(
         source,
         enable_triage=not args.no_triage,
         incremental=not args.no_incremental,
         max_oracle_calls=args.max_calls,
+        deadline_seconds=args.deadline,
         **telemetry_kwargs,
     )
     if result.ok:
@@ -127,19 +187,21 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         for warning in match_warnings_source(source):
             print(warning.render())
         _emit_telemetry(args, tracer, metrics)
-        return 0
+        return EXIT_OK
     print("Type-checker:")
     print("    " + (result.checker_message or "").replace("\n", "\n    "))
-    if not args.checker_only:
-        print()
-        print("Search suggestions:")
-        print("    " + result.render(limit=args.top).replace("\n", "\n    "))
+    print()
+    print("Search suggestions:")
+    print("    " + result.render(limit=args.top).replace("\n", "\n    "))
+    _note_degradation(result)
     if args.stats:
         print(f"\n[{result.oracle_calls} oracle calls"
               + (", budget exhausted" if result.budget_exhausted else "") + "]",
               file=sys.stderr)
         if result.stats is not None:
             print(result.stats.summary(), file=sys.stderr)
+        if result.degradation is not None:
+            print(result.degradation.summary(), file=sys.stderr)
         hits = metrics.value("oracle.cache.hits")
         misses = metrics.value("oracle.cache.misses")
         cache_note = "" if args.cache else " (cache disabled; enable with --cache)"
@@ -152,7 +214,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         print(f"oracle prefix reuse: {reused} incremental, {full} full checks"
               f"{incr_note}", file=sys.stderr)
     _emit_telemetry(args, tracer, metrics)
-    return 1
+    return EXIT_SUGGESTIONS if result.suggestions else EXIT_NO_ANSWER
 
 
 def _run_cpp(source: str, args: argparse.Namespace) -> int:
@@ -165,7 +227,7 @@ def _run_cpp(source: str, args: argparse.Namespace) -> int:
     if result.ok:
         print("The program compiles.")
         _emit_telemetry(args, tracer, metrics)
-        return 0
+        return EXIT_OK
     print("Compiler errors:")
     print("    " + result.check.render(args.file).replace("\n", "\n    "))
     if not args.checker_only:
@@ -178,7 +240,9 @@ def _run_cpp(source: str, args: argparse.Namespace) -> int:
     if args.stats:
         print(f"\n[{result.checker_calls} compiler calls]", file=sys.stderr)
     _emit_telemetry(args, tracer, metrics)
-    return 1
+    if args.checker_only or result.suggestions:
+        return EXIT_SUGGESTIONS
+    return EXIT_NO_ANSWER
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -186,9 +250,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     path = pathlib.Path(args.file)
     try:
         source = path.read_text()
-    except OSError as err:
+    except (OSError, UnicodeDecodeError) as err:
+        # UnicodeDecodeError: a binary or wrongly-encoded file is an input
+        # error like any other, not a traceback.
         print(f"error: cannot read {args.file}: {err}", file=sys.stderr)
-        return 2
+        return EXIT_INPUT_ERROR
     is_cpp = args.cpp or path.suffix in (".cpp", ".cc", ".cxx", ".C")
     try:
         if is_cpp:
@@ -196,7 +262,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_miniml(source, args)
     except Exception as err:  # parse errors etc.
         print(f"error: {err}", file=sys.stderr)
-        return 2
+        return EXIT_INPUT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

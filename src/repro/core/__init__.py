@@ -7,6 +7,9 @@ Public surface:
 * :class:`Oracle` — the boolean type-checker interface.
 * :class:`MiniMLEnumerator` — the constructive-change catalog.
 * :func:`rank` and the message renderers.
+* :class:`DegradationReport`/:class:`Deadline` — the fault-tolerance layer
+  (:mod:`repro.core.resilience`): every search is best-effort under
+  budget, deadline, or oracle crashes.
 """
 
 from .changes import (  # noqa: F401
@@ -28,5 +31,14 @@ from .quickfix import AppliedFix, FixAllResult, apply_suggestion, fix_all  # noq
 from .messages import render_report, render_suggestion, replacement_type  # noqa: F401
 from .oracle import BudgetExceeded, IncrementalMismatch, Oracle  # noqa: F401
 from .ranker import rank  # noqa: F401
+from .resilience import (  # noqa: F401
+    Deadline,
+    DeadlineExceeded,
+    DegradationReport,
+    REASON_BUDGET,
+    REASON_CRASH,
+    REASON_DEADLINE,
+    REASON_FALLBACK,
+)
 from .searcher import SearchConfig, Searcher, SearchOutcome, SearchStats  # noqa: F401
 from .seminal import ExplainResult, explain  # noqa: F401

@@ -21,22 +21,62 @@ behind exactly that interface, adding:
   incremental answer from scratch and raises :class:`IncrementalMismatch`
   on disagreement — the assertion mode the equivalence tests exercise.
 
+Fault tolerance (the resilience layer, see :mod:`repro.core.resilience`):
+the oracle is the trust boundary between the search and an arbitrary
+checker, so it also absorbs that checker's failures instead of letting
+them kill the search:
+
+* **Crash isolation** — an unexpected exception from a check (a
+  ``RecursionError`` on a deep candidate, a latent ``UnifyError`` leak, a
+  snapshot bug, an injected chaos fault) is converted into "candidate
+  rejected": :meth:`check` returns a failing ``CheckResult``, counts
+  ``oracle.crashes``, and keeps a bounded sample of tracebacks for the
+  degradation report.  ``strict=True`` disables the guard for debugging.
+* **Depth pre-check** — candidates whose AST depth exceeds ``max_depth``
+  (default: derived from the interpreter's recursion limit) are rejected
+  *before* inference via an identity-memoized iterative
+  :class:`~repro.tree.DepthProbe`, so deep trees can never trip Python's
+  recursion limit inside the checker in the first place.
+* **Self-healing incremental mode** — a crash on the prefix-reuse fast
+  path (e.g. a poisoned snapshot) disarms the snapshot, counts
+  ``oracle.prefix.fallbacks``, and transparently re-runs the candidate
+  from scratch; the cross-check assertion mode still raises, so tests
+  keep their strict equivalence oracle.
+
 Telemetry: an oracle holding a :class:`~repro.obs.MetricsRegistry` counts
 ``oracle.calls`` (and the ``.ok``/``.fail`` split), ``oracle.cache.hits``/
-``oracle.cache.misses``, ``oracle.budget_exceeded``, and the prefix-reuse
-set ``oracle.prefix.armed``/``oracle.prefix.reused``/
-``oracle.prefix.invalidated``/``oracle.full_checks``.  The default is the
-no-op :data:`~repro.obs.NULL_METRICS`, so the hot path never branches on
+``oracle.cache.misses``, ``oracle.budget_exceeded``, the prefix-reuse set
+``oracle.prefix.armed``/``oracle.prefix.reused``/
+``oracle.prefix.invalidated``/``oracle.prefix.fallbacks``/
+``oracle.full_checks``, and the resilience pair ``oracle.crashes``/
+``oracle.depth_rejected``.  The default is the no-op
+:data:`~repro.obs.NULL_METRICS`, so the hot path never branches on
 whether telemetry is on.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Protocol
+import sys
+import traceback
+from typing import Callable, Dict, List, Optional, Protocol, Union
 
 from repro.miniml.infer import CheckResult, snapshot_prefix, typecheck_program
 from repro.obs import NULL_METRICS
-from repro.tree import StructuralKeyer
+from repro.tree import DepthProbe, StructuralKeyer
+
+#: Sentinel for "derive ``max_depth`` from the interpreter's limit".
+AUTO_DEPTH = "auto"
+
+
+def default_max_depth() -> int:
+    """A candidate-AST depth the recursive checker can safely absorb.
+
+    Inference spends several Python frames per AST level (dispatch,
+    unification, helpers), so the ceiling leaves generous headroom under
+    ``sys.getrecursionlimit()``.  Human-written programs (the paper's
+    corpus tops out well under depth 100) never come close.
+    """
+    return max(64, sys.getrecursionlimit() // 6)
 
 
 class BudgetExceeded(Exception):
@@ -77,6 +117,10 @@ class Oracle:
         an identity-memoizing :class:`~repro.tree.StructuralKeyer`, so a
         candidate differing from the root program in one declaration keys
         in time proportional to that declaration, not the whole program.
+        Entries are additionally tagged with the prefix *generation* (a
+        counter bumped every time a snapshot is armed, invalidated, or
+        healed away), so a verdict computed under a snapshot that later
+        proves poisoned or stale can never be served again.
     key_fn:
         Override the cache-key function (language specific).  ``render`` is
         accepted as a deprecated alias.
@@ -96,6 +140,16 @@ class Oracle:
         :func:`~repro.miniml.infer.snapshot_prefix` when ``typecheck`` is
         the default; a custom ``typecheck`` must bring its own snapshot
         function (and accept a ``prefix=`` keyword) to opt into reuse.
+    max_depth:
+        Reject candidates whose AST depth exceeds this before invoking the
+        checker (``oracle.depth_rejected``; never counted as a call).  The
+        default :data:`AUTO_DEPTH` derives a limit from the interpreter's
+        recursion limit; ``None`` disables the pre-check.
+    strict:
+        Disable crash isolation: unexpected checker exceptions propagate
+        instead of rejecting the candidate.  Debug/test mode.
+    crash_sample_limit:
+        How many crash tracebacks to retain in :attr:`crash_samples`.
     """
 
     def __init__(
@@ -109,6 +163,9 @@ class Oracle:
         cross_check: bool = False,
         snapshot_fn: Optional[Callable] = None,
         render: Optional[Callable] = None,
+        max_depth: Union[int, str, None] = AUTO_DEPTH,
+        strict: bool = False,
+        crash_sample_limit: int = 5,
     ):
         self._typecheck = typecheck if typecheck is not None else typecheck_program
         self.max_calls = max_calls
@@ -118,6 +175,16 @@ class Oracle:
         self.full_checks = 0
         self.prefix_reused = 0
         self.prefix_invalidated = 0
+        self.prefix_fallbacks = 0
+        self.crashes = 0
+        self.depth_rejections = 0
+        self.crash_samples: List[str] = []
+        self.crash_sample_limit = crash_sample_limit
+        self.strict = strict
+        if max_depth == AUTO_DEPTH:
+            max_depth = default_max_depth()
+        self.max_depth: Optional[int] = max_depth
+        self._depth_probe = DepthProbe() if max_depth is not None else None
         self._cache: Optional[Dict[object, CheckResult]] = {} if cache else None
         self._keyer: Optional[StructuralKeyer] = None
         if key_fn is not None:
@@ -135,6 +202,23 @@ class Oracle:
         else:
             self._snapshot_fn = snapshot_prefix if typecheck is None else None
         self._snapshot = None
+        #: Bumped whenever the prefix state changes (armed / invalidated /
+        #: healed / reset): part of the memo key, so cached verdicts are
+        #: scoped to the snapshot regime they were computed under.
+        self._prefix_gen = 0
+
+    # ------------------------------------------------------------------
+    # Resilience accounting
+    # ------------------------------------------------------------------
+
+    def _record_crash(self, err: BaseException) -> None:
+        """Account one isolated crash (converted to "candidate rejected")."""
+        self.crashes += 1
+        self.metrics.incr("oracle.crashes")
+        if len(self.crash_samples) < self.crash_sample_limit:
+            self.crash_samples.append(
+                "".join(traceback.format_exception_only(type(err), err)).strip()
+            )
 
     # ------------------------------------------------------------------
     # Prefix reuse
@@ -152,35 +236,63 @@ class Oracle:
         every candidate the search generates shares those declarations by
         identity.  Returns True when a snapshot was armed; no-op (False)
         when incremental reuse is off, the substrate does not support it,
-        the prefix is empty, or the prefix unexpectedly fails to check.
+        the prefix is empty, the prefix unexpectedly fails to check, or
+        the snapshot function itself crashes (counted as an isolated
+        crash — a broken snapshot must not kill the search).
         """
-        self._snapshot = None
+        self._drop_snapshot()
         if not self.incremental or self._snapshot_fn is None or n_decls <= 0:
             return False
-        snapshot = self._snapshot_fn(program, n_decls)
+        try:
+            snapshot = self._snapshot_fn(program, n_decls)
+        except Exception as err:
+            if self.strict:
+                raise
+            self._record_crash(err)
+            return False
         if snapshot is None:
             return False
         self._snapshot = snapshot
+        self._prefix_gen += 1
         self.metrics.incr("oracle.prefix.armed")
         return True
+
+    def _drop_snapshot(self) -> None:
+        if self._snapshot is not None:
+            self._snapshot = None
+            self._prefix_gen += 1
 
     def _check_once(self, program) -> CheckResult:
         """One logical typecheck, via the armed prefix when possible."""
         snapshot = self._snapshot
         if snapshot is not None:
             if snapshot.matches(program):
-                self.prefix_reused += 1
-                self.metrics.incr("oracle.prefix.reused")
-                result = self._typecheck(program, prefix=snapshot)
-                if self.cross_check:
-                    self._assert_equivalent(program, result)
-                return result
-            # The candidate edited a declaration at or before the snapshot
-            # point: the cached environment no longer applies.  Drop it —
-            # the searcher's candidates would keep missing anyway.
-            self._snapshot = None
-            self.prefix_invalidated += 1
-            self.metrics.incr("oracle.prefix.invalidated")
+                try:
+                    result = self._typecheck(program, prefix=snapshot)
+                except Exception as err:
+                    if self.strict:
+                        raise
+                    # Self-healing: a crash on the incremental fast path
+                    # (poisoned snapshot, latent prefix-reuse bug) disarms
+                    # reuse and falls through to a from-scratch check.
+                    self._drop_snapshot()
+                    self.prefix_fallbacks += 1
+                    self.metrics.incr("oracle.prefix.fallbacks")
+                    self._record_crash(err)
+                else:
+                    self.prefix_reused += 1
+                    self.metrics.incr("oracle.prefix.reused")
+                    if self.cross_check:
+                        self._assert_equivalent(program, result)
+                    return result
+            else:
+                # The candidate edited a declaration at or before the
+                # snapshot point: the cached environment no longer applies.
+                # Drop it — the searcher's candidates would keep missing
+                # anyway.
+                self._drop_snapshot()
+                self.prefix_invalidated += 1
+                self.metrics.incr("oracle.prefix.invalidated")
         self.full_checks += 1
         self.metrics.incr("oracle.full_checks")
         return self._typecheck(program)
@@ -203,16 +315,42 @@ class Oracle:
     # ------------------------------------------------------------------
 
     def check(self, program) -> CheckResult:
-        """Run the type-checker, honouring budget and cache.
+        """Run the type-checker, honouring budget, cache, and crash guard.
 
-        Accounting order matters: a cache hit is free and served even when
-        the budget is spent; the budget gate comes next, so a call that
-        raises :class:`BudgetExceeded` was never a cache miss (nothing was
-        checked) and counts toward neither ``calls`` nor ``cache_misses``.
+        Accounting order matters: the depth pre-check comes first (a
+        too-deep candidate is rejected for free, before keying or checking
+        could recurse into it); a cache hit is then free and served even
+        when the budget is spent; the budget gate comes next, so a call
+        that raises :class:`BudgetExceeded` was never a cache miss
+        (nothing was checked) and counts toward neither ``calls`` nor
+        ``cache_misses``.  Finally, unless ``strict``, any unexpected
+        exception from the checker is isolated: the candidate is rejected
+        (``ok=False``) and the crash is counted instead of propagated.
+        Only :class:`BudgetExceeded` and the ``cross_check`` assertion
+        :class:`IncrementalMismatch` ever escape.
         """
+        try:
+            return self._check(program)
+        except (BudgetExceeded, IncrementalMismatch):
+            raise
+        except Exception as err:
+            # Bookkeeping crashes (e.g. structural keying of a deep tree
+            # with the depth pre-check disabled) — still candidate-reject.
+            if self.strict:
+                raise
+            self._record_crash(err)
+            return CheckResult(ok=False)
+
+    def _check(self, program) -> CheckResult:
+        if self._depth_probe is not None and self._depth_probe.exceeds(
+            program, self.max_depth
+        ):
+            self.depth_rejections += 1
+            self.metrics.incr("oracle.depth_rejected")
+            return CheckResult(ok=False)
         key = None
         if self._cache is not None:
-            key = self._key(program)
+            key = (self._prefix_gen, self._key(program))
             hit = self._cache.get(key)
             if hit is not None:
                 self.cache_hits += 1
@@ -225,11 +363,22 @@ class Oracle:
             self.cache_misses += 1
             self.metrics.incr("oracle.cache.misses")
         self.calls += 1
-        result = self._check_once(program)
+        try:
+            result = self._check_once(program)
+        except IncrementalMismatch:
+            raise
+        except Exception as err:
+            if self.strict:
+                raise
+            self._record_crash(err)
+            result = CheckResult(ok=False)
         self.metrics.incr("oracle.calls")
         self.metrics.incr("oracle.calls.ok" if result.ok else "oracle.calls.fail")
         if self._cache is not None:
-            self._cache[key] = result
+            # Re-tag with the *current* generation: if the check itself
+            # invalidated or healed away the snapshot, the result was
+            # computed from scratch and belongs to the new regime.
+            self._cache[(self._prefix_gen, key[1])] = result
         return result
 
     def passes(self, program) -> bool:
@@ -249,8 +398,15 @@ class Oracle:
         self.full_checks = 0
         self.prefix_reused = 0
         self.prefix_invalidated = 0
+        self.prefix_fallbacks = 0
+        self.crashes = 0
+        self.depth_rejections = 0
+        self.crash_samples = []
         self._snapshot = None
+        self._prefix_gen = 0
         if self._cache is not None:
             self._cache = {}
         if self._keyer is not None:
             self._keyer.clear()
+        if self._depth_probe is not None:
+            self._depth_probe.clear()

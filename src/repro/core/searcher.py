@@ -53,6 +53,15 @@ from .enumerator import (
     wildcard_for,
 )
 from .oracle import BudgetExceeded, Oracle
+from .resilience import (
+    Deadline,
+    DeadlineExceeded,
+    DegradationReport,
+    REASON_BUDGET,
+    REASON_CRASH,
+    REASON_DEADLINE,
+    REASON_FALLBACK,
+)
 
 
 @dataclass
@@ -66,6 +75,15 @@ class SearchConfig:
     """
 
     max_oracle_calls: Optional[int] = 20000
+    #: Wall-clock budget for the whole search (None = unlimited).  Checked
+    #: in :meth:`Searcher._tick` before every oracle test; exhaustion never
+    #: escapes ``explain()`` — the outcome carries the best-so-far
+    #: suggestions plus a :class:`~repro.core.resilience.DegradationReport`.
+    deadline_seconds: Optional[float] = None
+    #: Fraction of the deadline after which the searcher sheds its
+    #: expensive optional phases (constructive changes, adaptation,
+    #: triage) to protect the removal results already in hand.
+    soft_deadline_fraction: float = 0.85
     enable_triage: bool = True
     enable_adaptation: bool = True
     #: Arm the oracle's prefix snapshot after localization so candidates
@@ -135,6 +153,9 @@ class SearchOutcome:
     oracle_calls: int = 0
     budget_exhausted: bool = False
     stats: SearchStats = field(default_factory=SearchStats)
+    #: What (if anything) the search gave up: reasons, crash counts,
+    #: shed phases, elapsed wall clock.  Always present after a search.
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
 
 class Searcher:
@@ -174,47 +195,110 @@ class Searcher:
         if self.metrics is not NULL_METRICS and self.enumerator.metrics is NULL_METRICS:
             self.enumerator.metrics = self.metrics
         self.stats = SearchStats()
+        self.degradation = DegradationReport()
+        self._deadline: Optional[Deadline] = None
 
     def _tick(self, phase: str) -> None:
-        """Count one oracle test against a phase, in both sinks."""
+        """Count one oracle test against a phase, in both sinks.
+
+        Doubles as the deadline checkpoint: every oracle test passes
+        through here, so the wall-clock budget is enforced with call-level
+        granularity alongside the oracle-call budget.
+        """
         setattr(self.stats, phase, getattr(self.stats, phase) + 1)
         self.metrics.incr("search." + phase)
+        deadline = self._deadline
+        if deadline is not None and deadline.expired():
+            raise DeadlineExceeded(deadline.seconds, deadline.elapsed())
+
+    def _shed(self, phase: str) -> bool:
+        """Whether the soft deadline says to skip one unit of ``phase``.
+
+        Past ``soft_deadline_fraction`` of the wall-clock budget the
+        search keeps its cheap removal descent but sheds the expensive
+        optional phases, so the hard deadline lands on a search that has
+        already banked its best-effort answers.
+        """
+        deadline = self._deadline
+        if deadline is None or not deadline.soft_expired():
+            return False
+        self.degradation.note_shed(phase)
+        self.metrics.incr("search.shed." + phase)
+        return True
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
 
     def search_program(self, program: Program) -> SearchOutcome:
-        """Search for changes that make ``program`` type-check."""
+        """Search for changes that make ``program`` type-check.
+
+        Best-effort by contract: budget or deadline exhaustion (and any
+        isolated oracle crash) never raises out of here — the outcome
+        carries whatever suggestions were found plus a
+        :class:`~repro.core.resilience.DegradationReport` saying what was
+        given up.
+        """
         self.oracle.reset()
         self.stats = SearchStats()
+        report = DegradationReport(
+            budget=self.config.max_oracle_calls,
+            deadline_seconds=self.config.deadline_seconds,
+        )
+        self.degradation = report
+        self._deadline = Deadline(
+            self.config.deadline_seconds, self.config.soft_deadline_fraction
+        )
         with self.tracer.span("search", decls=len(program.decls)) as sp:
-            first = self.oracle.check(program)
-            if first.ok:
-                return SearchOutcome(ok=True, program=program, oracle_calls=self.oracle.calls)
-            outcome = SearchOutcome(ok=False, program=program, checker_error=first.error)
+            outcome = SearchOutcome(ok=False, program=program, degradation=report)
             try:
-                bad = self._localize_bad_decl(program)
-                outcome.bad_decl_index = bad
-                # Everything before the failing declaration passed, and
-                # every candidate below only mutates that declaration — so
-                # snapshot the prefix environment once and let the oracle
-                # check candidates incrementally from there.
-                if self.config.incremental:
-                    self.oracle.arm_prefix(program, bad)
-                # Search within the failing prefix: later declarations are
-                # ignored entirely, as in the paper ("It does not examine the
-                # third top-level binding").
-                prefix = Program(program.decls[: bad + 1])
-                outcome.suggestions = self._search_decl(prefix, (("decls", bad),))
+                first = self.oracle.check(program)
+                if first.ok:
+                    outcome.ok = True
+                else:
+                    outcome.checker_error = first.error
+                    bad = self._localize_bad_decl(program)
+                    outcome.bad_decl_index = bad
+                    # Everything before the failing declaration passed, and
+                    # every candidate below only mutates that declaration — so
+                    # snapshot the prefix environment once and let the oracle
+                    # check candidates incrementally from there.
+                    if self.config.incremental:
+                        self.oracle.arm_prefix(program, bad)
+                    # Search within the failing prefix: later declarations are
+                    # ignored entirely, as in the paper ("It does not examine
+                    # the third top-level binding").
+                    prefix = Program(program.decls[: bad + 1])
+                    outcome.suggestions = self._search_decl(prefix, (("decls", bad),))
             except BudgetExceeded:
                 outcome.budget_exhausted = True
+                report.note(REASON_BUDGET)
+            except DeadlineExceeded:
+                report.note(REASON_DEADLINE)
             outcome.oracle_calls = self.oracle.calls
             outcome.stats = self.stats
-            self.metrics.incr("search.suggestions", len(outcome.suggestions))
+            self._finalize_degradation(report)
+            if not outcome.ok:
+                self.metrics.incr("search.suggestions", len(outcome.suggestions))
             sp.set("oracle_calls", self.oracle.calls)
             sp.set("suggestions", len(outcome.suggestions))
             return outcome
+
+    def _finalize_degradation(self, report: DegradationReport) -> None:
+        """Fold the oracle's resilience accounting into the search report."""
+        oracle = self.oracle
+        report.oracle_crashes = getattr(oracle, "crashes", 0)
+        report.prefix_fallbacks = getattr(oracle, "prefix_fallbacks", 0)
+        report.depth_rejections = getattr(oracle, "depth_rejections", 0)
+        report.crash_samples = list(getattr(oracle, "crash_samples", ()))
+        if report.oracle_crashes or report.depth_rejections:
+            report.note(REASON_CRASH)
+        if report.prefix_fallbacks:
+            report.note(REASON_FALLBACK)
+        if self._deadline is not None:
+            report.elapsed_seconds = self._deadline.elapsed()
+        if report.degraded:
+            self.metrics.incr("search.degraded")
 
     def _localize_bad_decl(self, program: Program) -> int:
         """Index of the first top-level declaration whose prefix fails.
@@ -305,14 +389,20 @@ class Searcher:
         for child_path in child_fixes:
             results.extend(self._search(root, child_path, triage_depth))
 
-        # 3. Constructive changes at this node.
-        constructive = self._try_changes(root, path, node)
-        results.extend(constructive)
+        # 3. Constructive changes at this node (shed past the soft deadline:
+        #    the removal results above are the cheap, already-banked core).
+        if not self._shed("constructive"):
+            constructive = self._try_changes(root, path, node)
+            results.extend(constructive)
 
         # 4. Adaptation to context (expressions only).  Build the adapted
         #    expression once: the replacement reported in the Change must be
         #    the very object the oracle tested, not a second wrapping.
-        if self.config.enable_adaptation and isinstance(node, Expr):
+        if (
+            self.config.enable_adaptation
+            and isinstance(node, Expr)
+            and not self._shed("adaptation")
+        ):
             adapted_node = adapt_expr(node)
             adapted = replace_at(root, path, adapted_node)
             self._tick("adaptation_tests")

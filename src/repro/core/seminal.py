@@ -22,6 +22,7 @@ from .enumerator import MiniMLEnumerator
 from .messages import render_report, render_suggestion
 from .oracle import Oracle
 from .ranker import rank
+from .resilience import DegradationReport
 from .searcher import SearchConfig, Searcher, SearchStats
 
 
@@ -46,6 +47,14 @@ class ExplainResult:
     #: The metrics registry the search counted into (None unless the caller
     #: passed one to :func:`explain` — see ``repro.obs``).
     metrics: Optional[object] = None
+    #: What (if anything) the search gave up — budget, deadline, isolated
+    #: oracle crashes, prefix fallbacks (see :mod:`repro.core.resilience`).
+    degradation: Optional[DegradationReport] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the suggestions are best-effort rather than complete."""
+        return self.degradation is not None and self.degradation.degraded
 
     @property
     def best(self) -> Optional[Suggestion]:
@@ -78,6 +87,7 @@ def explain(
     enable_adaptation: bool = True,
     incremental: bool = True,
     max_oracle_calls: Optional[int] = 20000,
+    deadline_seconds: Optional[float] = None,
     triage_threshold: int = 5,
     disabled_rules: Sequence[str] = (),
     oracle: Optional[Oracle] = None,
@@ -95,6 +105,14 @@ def explain(
     ``incremental=False`` disables the prefix-reuse oracle (every candidate
     is re-inferred from the empty environment — the pre-optimization
     behaviour, kept as an escape hatch and for benchmarking the win).
+
+    The call is best-effort by contract (see :mod:`repro.core.resilience`):
+    running out of the oracle budget or the optional wall-clock
+    ``deadline_seconds``, and any oracle crash on a pathological candidate,
+    never raises — the result carries whatever suggestions were found plus
+    a :class:`~repro.core.resilience.DegradationReport` in ``degradation``
+    saying exactly what was given up.  Parse errors of ``source`` still
+    raise (they are input errors, not search failures).
 
     ``tracer``/``metrics`` (see :mod:`repro.obs`) switch on telemetry: a
     :class:`~repro.obs.Tracer` records a Perfetto-loadable span tree of the
@@ -118,6 +136,7 @@ def explain(
         program = source
     config = SearchConfig(
         max_oracle_calls=max_oracle_calls,
+        deadline_seconds=deadline_seconds,
         enable_triage=enable_triage,
         enable_adaptation=enable_adaptation,
         incremental=incremental,
@@ -142,4 +161,5 @@ def explain(
         budget_exhausted=outcome.budget_exhausted,
         stats=outcome.stats,
         metrics=metrics,
+        degradation=outcome.degradation,
     )

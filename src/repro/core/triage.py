@@ -48,6 +48,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 def triage_node(searcher: "Searcher", root: Program, path: Path, depth: int) -> List[Suggestion]:
     """Triage the subtree at ``path``; returns triaged suggestions."""
+    # Graceful degradation: past the soft wall-clock deadline triage (the
+    # paper's own Figure 7 tail) is shed wholesale — the caller then keeps
+    # the wholesale-removal suggestion instead of the isolated errors.
+    if searcher._shed("triage"):
+        return []
     node = get_at(root, path)
     searcher.metrics.incr("triage.rounds")
     searcher.metrics.observe("triage.depth", depth)

@@ -49,11 +49,15 @@ _PHASE_COUNTERS = (
 )
 
 #: Prefix-reuse accounting (how many oracle calls rode the incremental
-#: fast path vs paid a full from-scratch inference).
+#: fast path vs paid a full from-scratch inference), plus the resilience
+#: counters (crashes isolated, self-healing fallbacks, depth rejections).
 _ORACLE_COUNTERS = (
     "oracle.full_checks",
     "oracle.prefix.reused",
     "oracle.prefix.invalidated",
+    "oracle.crashes",
+    "oracle.prefix.fallbacks",
+    "oracle.depth_rejected",
 )
 
 
@@ -63,6 +67,9 @@ class TimingResult:
 
     curves: Dict[str, List[float]] = field(default_factory=dict)
     oracle_calls: Dict[str, List[int]] = field(default_factory=dict)
+    #: Configuration name -> how many files returned degraded (best-effort)
+    #: results — nonzero when the study runs with a deadline or tight budget.
+    degraded_runs: Dict[str, int] = field(default_factory=dict)
     #: Configuration name -> the aggregate registry of the whole run
     #: (oracle calls by outcome/phase, per-rule counts, span durations).
     metrics: Dict[str, MetricsRegistry] = field(default_factory=dict)
@@ -107,6 +114,9 @@ class TimingResult:
                 "  prefix reuse: "
                 + " ".join(f"{k.split('.')[-1]}={v}" for k, v in reuse.items())
             )
+        degraded = self.degraded_runs.get(name, 0)
+        if degraded:
+            lines.append(f"  degraded runs: {degraded}")
         if seconds:
             lines.append(
                 "  seconds by span: "
@@ -120,6 +130,7 @@ def run_timing_study(
     max_files: Optional[int] = None,
     configurations: Optional[Dict[str, dict]] = None,
     max_oracle_calls: Optional[int] = 20000,
+    deadline_seconds: Optional[float] = None,
 ) -> TimingResult:
     """Time :func:`explain` on every representative under each configuration.
 
@@ -127,6 +138,11 @@ def run_timing_study(
     the configuration's registry (monotonic ``perf_counter_ns`` under the
     hood); the same registry simultaneously collects the per-phase oracle
     -call and span-duration breakdowns.
+
+    ``deadline_seconds`` puts a per-file wall-clock cap on each search;
+    files that hit it (or the oracle budget) still contribute a time and a
+    best-effort outcome, and are counted in ``TimingResult.degraded_runs``
+    — the CDF's tail is then the deadline by construction.
     """
     configurations = configurations if configurations is not None else CONFIGURATIONS
     files = corpus.representatives
@@ -137,17 +153,22 @@ def run_timing_study(
         registry = MetricsRegistry()
         tracer = Tracer(metrics=registry, keep_events=False)
         calls: List[int] = []
+        degraded = 0
         for corpus_file in files:
             with tracer.span(_FILE_SPAN):
                 outcome = explain(
                     corpus_file.program,
                     max_oracle_calls=max_oracle_calls,
+                    deadline_seconds=deadline_seconds,
                     tracer=tracer,
                     metrics=registry,
                     **kwargs,
                 )
             calls.append(outcome.oracle_calls)
+            if outcome.degraded:
+                degraded += 1
         result.curves[name] = sorted(registry.values_of(f"span.{_FILE_SPAN}.seconds"))
         result.oracle_calls[name] = calls
+        result.degraded_runs[name] = degraded
         result.metrics[name] = registry
     return result

@@ -14,6 +14,7 @@ from .errors import (  # noqa: F401
     ConstructorArityError,
     DuplicateBindingError,
     MiniMLTypeError,
+    NestingTooDeepError,
     NotAFunctionError,
     PatternMismatchError,
     RecordFieldError,

@@ -92,6 +92,23 @@ class UnboundConstructorError(MiniMLTypeError):
         super().__init__(f"Unbound constructor {name}", node)
 
 
+class NestingTooDeepError(MiniMLTypeError):
+    """The program is nested too deeply for recursive inference.
+
+    Produced when the checker's recursion would exceed the interpreter's
+    limit: the pass rejects the program gracefully (as a failing
+    :class:`~repro.miniml.infer.CheckResult`) instead of leaking a
+    :class:`RecursionError` through the oracle.
+    """
+
+    kind = "too-deep"
+
+    def __init__(self, node: Optional[Node] = None):
+        super().__init__(
+            "This program is nested too deeply to type-check", node
+        )
+
+
 class UnboundFieldError(MiniMLTypeError):
     kind = "unbound-field"
 

@@ -72,6 +72,7 @@ from .errors import (
     ConstructorArityError,
     DuplicateBindingError,
     MiniMLTypeError,
+    NestingTooDeepError,
     NotAFunctionError,
     PatternMismatchError,
     RecordFieldError,
@@ -856,7 +857,7 @@ def snapshot_prefix(
     try:
         for decl in program.decls[:upto]:
             inferencer.check_decl(child, decl, top_level)
-    except MiniMLTypeError:
+    except (MiniMLTypeError, RecursionError):
         return None
     values = dict(child.values)
     free_vars: List[TVar] = []
@@ -898,6 +899,8 @@ def _typecheck_from_prefix(
             inferencer.check_decl(env, decl, top_level)
     except MiniMLTypeError as err:
         return CheckResult(ok=False, error=err, node_types=inferencer.node_types)
+    except RecursionError:
+        return CheckResult(ok=False, error=NestingTooDeepError())
     return CheckResult(ok=True, top_level=top_level, node_types=inferencer.node_types)
 
 
@@ -926,6 +929,11 @@ def typecheck_program(
         top_level = inferencer.check_program(program)
     except MiniMLTypeError as err:
         return CheckResult(ok=False, error=err, node_types=inferencer.node_types)
+    except RecursionError:
+        # Graceful rejection: a program nested past the interpreter's
+        # recursion headroom is reported as ill-typed (with a dedicated
+        # error) instead of crashing the caller mid-inference.
+        return CheckResult(ok=False, error=NestingTooDeepError())
     return CheckResult(ok=True, top_level=top_level, node_types=inferencer.node_types)
 
 

@@ -695,8 +695,19 @@ def _is_pattern_atom_start(tok: Token) -> bool:
 
 
 def parse_program(source: str) -> Program:
-    """Parse a whole MiniML source file into a :class:`Program`."""
-    return Parser(source).parse_program()
+    """Parse a whole MiniML source file into a :class:`Program`.
+
+    Programs nested deeper than the recursive-descent parser's stack
+    headroom are rejected with a :class:`ParseError` rather than leaking
+    the interpreter's :class:`RecursionError`.
+    """
+    parser = Parser(source)
+    try:
+        return parser.parse_program()
+    except RecursionError:
+        raise ParseError(
+            "program is nested too deeply to parse", parser.tok
+        ) from None
 
 
 def parse_expr(source: str) -> Expr:

@@ -13,6 +13,11 @@ The paper's efficiency claims (Section 3.2, Figures 5-7) are about oracle
   ``oracle.prefix.armed``/``.reused``/``.invalidated`` vs
   ``oracle.full_checks`` — changes generated vs. tested per rule, triage
   depth, suggestions ranked) rendered as a flat dict or a text table.
+  The resilience layer (:mod:`repro.core.resilience`) counts through the
+  same registry: ``oracle.crashes`` (isolated oracle failures),
+  ``oracle.prefix.fallbacks`` (self-healing incremental retries),
+  ``oracle.depth_rejected`` (depth-guard rejections), ``search.shed.*``
+  (phases shed past the soft deadline) and ``search.degraded``.
 * Null objects (:data:`NULL_TRACER`, :data:`NULL_METRICS`) — the defaults
   threaded through the hot paths, so instrumentation costs one no-op method
   call and zero allocation when telemetry is off.

@@ -148,11 +148,93 @@ def node_size(root: Node) -> int:
 
 
 def node_depth(root: Node) -> int:
-    """Height of the subtree (a leaf has depth 1)."""
-    children = root.children()
-    if not children:
-        return 1
-    return 1 + max(node_depth(c) for c in children)
+    """Height of the subtree (a leaf has depth 1).
+
+    Iterative (explicit stack) so it is safe on trees far deeper than the
+    interpreter's recursion limit — it is exactly the probe the oracle uses
+    to *reject* such trees before recursive inference would trip over them.
+    """
+    depths: dict = {}
+    stack: list = [(root, None)]
+    while stack:
+        node, children = stack.pop()
+        if children is None:
+            if id(node) in depths:
+                continue
+            children = node.children()
+            stack.append((node, children))
+            for child in children:
+                if id(child) not in depths:
+                    stack.append((child, None))
+        else:
+            depth = 1
+            for child in children:
+                child_depth = depths[id(child)]
+                if child_depth >= depth:
+                    depth = child_depth + 1
+            depths[id(node)] = depth
+    return depths[id(root)]
+
+
+class TreeTooDeep(RuntimeError):
+    """A tree exceeded the recursion headroom of a structural operation.
+
+    Raised *instead of* the interpreter's :class:`RecursionError` by
+    :func:`structural_key`/:class:`StructuralKeyer` so callers get a
+    domain-level "reject this tree" signal rather than a half-unwound
+    interpreter state."""
+
+
+class DepthProbe:
+    """Memoized iterative subtree-depth oracle (crash-avoidance pre-check).
+
+    Candidate programs are built with :func:`replace_at`, which shares every
+    unchanged subtree with the original program by identity — so, exactly
+    like :class:`StructuralKeyer`, memoizing depths by ``id(node)`` makes
+    probing a candidate cost O(changed spine) instead of O(program).  The
+    oracle consults it before every typecheck to reject candidates deep
+    enough to trip Python's recursion limit *inside* inference, where the
+    resulting ``RecursionError`` would otherwise surface mid-unification.
+
+    The memo pins nodes (strong references) so ids cannot be recycled;
+    call :meth:`clear` between searches to release the pinned trees.
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(self) -> None:
+        self._memo: dict = {}
+
+    def clear(self) -> None:
+        self._memo.clear()
+
+    def depth(self, root: Node) -> int:
+        memo = self._memo
+        entry = memo.get(id(root))
+        if entry is not None:
+            return entry[1]
+        stack: list = [(root, None)]
+        while stack:
+            node, children = stack.pop()
+            if children is None:
+                if id(node) in memo:
+                    continue
+                children = node.children()
+                stack.append((node, children))
+                for child in children:
+                    if id(child) not in memo:
+                        stack.append((child, None))
+            else:
+                depth = 1
+                for child in children:
+                    child_depth = memo[id(child)][1]
+                    if child_depth >= depth:
+                        depth = child_depth + 1
+                memo[id(node)] = (node, depth)
+        return memo[id(root)][1]
+
+    def exceeds(self, root: Node, limit: int) -> bool:
+        return self.depth(root) > limit
 
 
 def structurally_equal(a: Node, b: Node) -> bool:
@@ -195,17 +277,29 @@ def structural_key(root: Node) -> Tuple:
     structurally on hash collision, so a collision can never return a
     wrong cached answer.  For repeated keying of programs that share
     subtrees, use :class:`StructuralKeyer`.
+
+    Trees too deep to key recursively raise :class:`TreeTooDeep` rather
+    than leaking the interpreter's :class:`RecursionError`.
     """
+    try:
+        return _structural_key(root)
+    except RecursionError:
+        raise TreeTooDeep(
+            "tree is too deeply nested to compute a structural key"
+        ) from None
+
+
+def _structural_key(root: Node) -> Tuple:
     parts: list = [root.__class__.__name__]
     append = parts.append
     for name in _field_names(root.__class__):
         value = getattr(root, name)
         if isinstance(value, Node):
-            append(structural_key(value))
+            append(_structural_key(value))
         elif isinstance(value, (list, tuple)):
             append(
                 tuple(
-                    structural_key(element) if isinstance(element, Node) else ("#", element)
+                    _structural_key(element) if isinstance(element, Node) else ("#", element)
                     for element in value
                 )
             )
@@ -240,6 +334,14 @@ class StructuralKeyer:
         self._memo.clear()
 
     def __call__(self, root: Node) -> Tuple:
+        try:
+            return self._key(root)
+        except RecursionError:
+            raise TreeTooDeep(
+                "tree is too deeply nested to compute a structural key"
+            ) from None
+
+    def _key(self, root: Node) -> Tuple:
         memo = self._memo
         entry = memo.get(id(root))
         if entry is not None:
@@ -249,11 +351,11 @@ class StructuralKeyer:
         for name in _field_names(root.__class__):
             value = getattr(root, name)
             if isinstance(value, Node):
-                append(self(value))
+                append(self._key(value))
             elif isinstance(value, (list, tuple)):
                 append(
                     tuple(
-                        self(element) if isinstance(element, Node) else ("#", element)
+                        self._key(element) if isinstance(element, Node) else ("#", element)
                         for element in value
                     )
                 )

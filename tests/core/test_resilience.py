@@ -1,0 +1,479 @@
+"""The fault-tolerance layer: deadlines, crash isolation, self-healing.
+
+The contract under test (see ``repro.core.resilience``): budget or deadline
+exhaustion and oracle crashes never escape ``explain()`` — the caller always
+gets the suggestions found so far plus an accurate ``DegradationReport``.
+"""
+
+import sys
+
+import pytest
+
+from repro.core import (
+    BudgetExceeded,
+    Deadline,
+    DeadlineExceeded,
+    DegradationReport,
+    IncrementalMismatch,
+    Oracle,
+    REASON_BUDGET,
+    REASON_CRASH,
+    REASON_DEADLINE,
+    REASON_FALLBACK,
+    SearchConfig,
+    Searcher,
+    explain,
+)
+from repro.miniml.infer import CheckResult
+from repro.miniml.parser import parse_program
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for deterministic deadline tests."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+TWO_DECLS = "let x = 1\nlet y = x + true"
+
+
+# ---------------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        assert deadline.elapsed() == 0.0
+        assert deadline.remaining() == 10.0
+        clock.advance(4.0)
+        assert deadline.elapsed() == 4.0
+        assert deadline.remaining() == 6.0
+
+    def test_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert not deadline.expired()
+        clock.advance(0.999)
+        assert not deadline.expired()
+        clock.advance(0.001)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_soft_horizon_before_hard(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, soft_fraction=0.85, clock=clock)
+        clock.advance(0.84)
+        assert not deadline.soft_expired()
+        clock.advance(0.02)
+        assert deadline.soft_expired()
+        assert not deadline.expired()
+
+    def test_none_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline(None, clock=clock)
+        clock.advance(1e9)
+        assert not deadline.expired()
+        assert not deadline.soft_expired()
+        assert deadline.remaining() is None
+        assert deadline.elapsed() == pytest.approx(1e9)
+
+    def test_remaining_clamped_at_zero(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# DegradationReport
+# ---------------------------------------------------------------------------
+
+
+class TestDegradationReport:
+    def test_fresh_report_is_not_degraded(self):
+        report = DegradationReport()
+        assert not report.degraded
+        assert report.summary() == "search degradation: none"
+
+    def test_note_is_idempotent_and_ordered(self):
+        report = DegradationReport()
+        report.note(REASON_DEADLINE)
+        report.note(REASON_CRASH)
+        report.note(REASON_DEADLINE)
+        assert report.reasons == [REASON_DEADLINE, REASON_CRASH]
+        assert report.degraded
+
+    def test_note_shed_counts(self):
+        report = DegradationReport()
+        report.note_shed("triage")
+        report.note_shed("triage")
+        report.note_shed("constructive")
+        assert report.phases_shed == {"triage": 2, "constructive": 1}
+
+    def test_summary_mentions_everything(self):
+        report = DegradationReport(
+            reasons=[REASON_BUDGET, REASON_CRASH],
+            oracle_crashes=3,
+            prefix_fallbacks=1,
+            depth_rejections=2,
+            phases_shed={"triage": 4},
+            elapsed_seconds=1.5,
+            deadline_seconds=2.0,
+        )
+        text = report.summary()
+        assert "degraded (budget+crash)" in text
+        assert "crashes=3" in text
+        assert "prefix_fallbacks=1" in text
+        assert "depth_rejections=2" in text
+        assert "shed=triagex4" in text
+        assert "elapsed=1.500s" in text
+        assert "deadline=2s" in text
+
+
+# ---------------------------------------------------------------------------
+# Oracle crash isolation
+# ---------------------------------------------------------------------------
+
+
+def _crashy_typecheck(crash_on):
+    """A checker that raises on programs whose id is in ``crash_on``."""
+
+    def typecheck(program, prefix=None):
+        if id(program) in crash_on:
+            raise RuntimeError("checker exploded")
+        return CheckResult(ok=True)
+
+    return typecheck
+
+
+class TestCrashIsolation:
+    def test_crash_becomes_candidate_rejected(self):
+        program = parse_program("let x = 1")
+        oracle = Oracle(typecheck=_crashy_typecheck({id(program)}))
+        result = oracle.check(program)
+        assert result.ok is False
+        assert oracle.crashes == 1
+        assert len(oracle.crash_samples) == 1
+        assert "checker exploded" in oracle.crash_samples[0]
+
+    def test_strict_mode_propagates(self):
+        program = parse_program("let x = 1")
+        oracle = Oracle(typecheck=_crashy_typecheck({id(program)}), strict=True)
+        with pytest.raises(RuntimeError):
+            oracle.check(program)
+
+    def test_crash_samples_are_bounded(self):
+        def always_crash(program, prefix=None):
+            raise ValueError("boom")
+
+        oracle = Oracle(typecheck=always_crash, crash_sample_limit=2)
+        program = parse_program("let x = 1")
+        for _ in range(5):
+            assert oracle.check(program).ok is False
+        assert oracle.crashes == 5
+        assert len(oracle.crash_samples) == 2
+
+    def test_budget_exceeded_still_raises(self):
+        oracle = Oracle(max_calls=0)
+        with pytest.raises(BudgetExceeded):
+            oracle.check(parse_program("let x = 1"))
+
+    def test_recursion_error_is_isolated(self):
+        def deep_crash(program, prefix=None):
+            raise RecursionError("maximum recursion depth exceeded")
+
+        oracle = Oracle(typecheck=deep_crash)
+        assert oracle.check(parse_program("let x = 1")).ok is False
+        assert oracle.crashes == 1
+
+    def test_reset_clears_crash_accounting(self):
+        def always_crash(program, prefix=None):
+            raise ValueError("boom")
+
+        oracle = Oracle(typecheck=always_crash)
+        oracle.check(parse_program("let x = 1"))
+        oracle.reset()
+        assert oracle.crashes == 0
+        assert oracle.crash_samples == []
+
+
+# ---------------------------------------------------------------------------
+# Self-healing incremental mode
+# ---------------------------------------------------------------------------
+
+
+class _ExplodingSnapshot:
+    """Matches every candidate but explodes when inference touches it."""
+
+    def matches(self, program):
+        return True
+
+    def __getattr__(self, name):
+        raise RuntimeError(f"poisoned snapshot: {name}")
+
+
+class TestSelfHealing:
+    def _oracle_with_poisoned_snapshot(self, **kwargs):
+        # The real typecheck_program only touches the snapshot when given
+        # one, so the poison fires exactly on the incremental fast path.
+        oracle = Oracle(
+            snapshot_fn=lambda program, n: _ExplodingSnapshot(), **kwargs
+        )
+        program = parse_program(TWO_DECLS)
+        assert oracle.arm_prefix(program, 1)
+        return oracle, program
+
+    def test_poisoned_snapshot_falls_back_to_full_check(self):
+        oracle, program = self._oracle_with_poisoned_snapshot()
+        result = oracle.check(program)
+        # The from-scratch answer, not a crash: y = x + true is ill-typed.
+        assert result.ok is False
+        assert result.error is not None
+        assert oracle.prefix_fallbacks == 1
+        assert oracle.crashes == 1
+        assert not oracle.prefix_armed  # healed away, not retried forever
+
+    def test_fallback_happens_once_then_stays_full(self):
+        oracle, program = self._oracle_with_poisoned_snapshot()
+        oracle.check(program)
+        oracle.check(program)
+        assert oracle.prefix_fallbacks == 1
+        assert oracle.full_checks == 2
+
+    def test_strict_mode_propagates_snapshot_crash(self):
+        oracle, program = self._oracle_with_poisoned_snapshot(strict=True)
+        with pytest.raises(RuntimeError):
+            oracle.check(program)
+
+    def test_crashing_snapshot_fn_is_isolated(self):
+        def bad_snapshot(program, n):
+            raise RuntimeError("snapshot bug")
+
+        oracle = Oracle(snapshot_fn=bad_snapshot)
+        program = parse_program(TWO_DECLS)
+        assert oracle.arm_prefix(program, 1) is False
+        assert oracle.crashes == 1
+        assert not oracle.prefix_armed
+
+    def test_cross_check_mismatch_still_raises(self):
+        # The assertion mode must survive the crash guard: a divergence is
+        # a soundness bug, not a fault to degrade through.
+        class LyingSnapshot:
+            def matches(self, program):
+                return True
+
+        def lying_typecheck(program, prefix=None):
+            if prefix is not None:
+                return CheckResult(ok=True)  # incremental says yes
+            return CheckResult(ok=False)  # from-scratch says no
+
+        oracle = Oracle(
+            typecheck=lying_typecheck,
+            snapshot_fn=lambda program, n: LyingSnapshot(),
+            cross_check=True,
+        )
+        program = parse_program(TWO_DECLS)
+        assert oracle.arm_prefix(program, 1)
+        with pytest.raises(IncrementalMismatch):
+            oracle.check(program)
+
+
+# ---------------------------------------------------------------------------
+# Memo keys are scoped to the prefix generation (the satellite fix)
+# ---------------------------------------------------------------------------
+
+
+class TestPrefixGenerationMemoKeys:
+    def test_rearming_invalidates_cached_verdicts(self):
+        program = parse_program(TWO_DECLS)
+        oracle = Oracle(cache=True)
+        oracle.check(program)
+        assert oracle.cache_misses == 1
+        oracle.check(program)
+        assert oracle.cache_hits == 1
+        # Arming a prefix starts a new snapshot regime: the old verdict
+        # must not be served even though the program is byte-identical.
+        oracle.arm_prefix(program, 1)
+        oracle.check(program)
+        assert oracle.cache_misses == 2
+
+    def test_healed_snapshot_never_serves_stale_verdict(self):
+        # A check that heals the snapshot mid-call computed its result
+        # from scratch — it must be cached under the *new* generation.
+        oracle = Oracle(
+            cache=True, snapshot_fn=lambda program, n: _ExplodingSnapshot()
+        )
+        program = parse_program(TWO_DECLS)
+        oracle.arm_prefix(program, 1)
+        gen_at_lookup = oracle._prefix_gen
+        oracle.check(program)  # heals: bumps the generation mid-call
+        assert oracle._prefix_gen > gen_at_lookup
+        assert (gen_at_lookup, oracle._key(program)) not in oracle._cache
+        assert (oracle._prefix_gen, oracle._key(program)) in oracle._cache
+        # And the post-heal hit serves the from-scratch verdict.
+        hits_before = oracle.cache_hits
+        assert oracle.check(program).ok is False
+        assert oracle.cache_hits == hits_before + 1
+
+    def test_reset_restarts_generation(self):
+        oracle = Oracle(cache=True)
+        program = parse_program(TWO_DECLS)
+        oracle.arm_prefix(program, 1)
+        oracle.reset()
+        assert oracle._prefix_gen == 0
+
+
+# ---------------------------------------------------------------------------
+# Depth pre-check
+# ---------------------------------------------------------------------------
+
+
+def _deep_program(depth: int):
+    from repro.miniml.ast_nodes import DExpr, EApp, EVar, Program
+
+    expr = EVar("f")
+    for _ in range(depth):
+        expr = EApp(expr, [EVar("x")])
+    return Program([DExpr(expr)])
+
+
+class TestDepthPreCheck:
+    def test_deep_candidate_rejected_without_a_call(self):
+        oracle = Oracle(max_depth=10)
+        result = oracle.check(_deep_program(50))
+        assert result.ok is False
+        assert oracle.depth_rejections == 1
+        assert oracle.calls == 0  # never reached the checker
+
+    def test_shallow_candidate_passes_the_guard(self):
+        oracle = Oracle(max_depth=10)
+        oracle.check(parse_program("let x = 1"))
+        assert oracle.depth_rejections == 0
+        assert oracle.calls == 1
+
+    def test_auto_depth_derives_from_recursion_limit(self):
+        oracle = Oracle()
+        assert oracle.max_depth == max(64, sys.getrecursionlimit() // 6)
+
+    def test_none_disables_the_guard(self):
+        from repro.miniml.errors import NestingTooDeepError
+
+        oracle = Oracle(max_depth=None)
+        assert oracle._depth_probe is None
+        # The checker's own RecursionError conversion then catches the
+        # deep tree: a graceful rejection, not a propagated crash.
+        result = oracle.check(_deep_program(sys.getrecursionlimit() * 2))
+        assert result.ok is False
+        assert isinstance(result.error, NestingTooDeepError)
+        assert oracle.depth_rejections == 0
+        assert oracle.calls == 1
+
+
+# ---------------------------------------------------------------------------
+# The searcher's deadline machinery
+# ---------------------------------------------------------------------------
+
+
+class TestSearcherDeadline:
+    def test_tick_raises_past_the_hard_deadline(self):
+        clock = FakeClock()
+        searcher = Searcher()
+        searcher._deadline = Deadline(1.0, clock=clock)
+        searcher._tick("removal_tests")  # within budget: no raise
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded):
+            searcher._tick("removal_tests")
+
+    def test_shed_past_the_soft_horizon(self):
+        clock = FakeClock()
+        searcher = Searcher()
+        searcher._deadline = Deadline(1.0, soft_fraction=0.5, clock=clock)
+        assert not searcher._shed("triage")
+        clock.advance(0.6)
+        assert searcher._shed("triage")
+        assert searcher._shed("constructive")
+        assert searcher.degradation.phases_shed == {"triage": 1, "constructive": 1}
+
+    def test_no_deadline_never_sheds(self):
+        searcher = Searcher()
+        searcher._deadline = Deadline(None)
+        assert not searcher._shed("triage")
+        searcher._tick("removal_tests")  # and never raises
+
+
+# ---------------------------------------------------------------------------
+# Degradation through explain() — the end-to-end contract
+# ---------------------------------------------------------------------------
+
+
+class TestExplainDegradation:
+    def test_budget_zero_degrades_instead_of_raising(self):
+        result = explain(TWO_DECLS, max_oracle_calls=0)
+        assert result.ok is False
+        assert result.degraded
+        assert result.degradation.reasons == [REASON_BUDGET]
+        assert result.budget_exhausted
+        assert result.degradation.budget == 0
+
+    def test_deadline_zero_degrades_instead_of_raising(self):
+        result = explain(TWO_DECLS, deadline_seconds=0.0)
+        assert result.ok is False
+        assert result.degraded
+        assert REASON_DEADLINE in result.degradation.reasons
+        assert result.degradation.deadline_seconds == 0.0
+
+    def test_small_budget_keeps_best_so_far(self):
+        full = explain(TWO_DECLS)
+        assert full.suggestions and not full.degraded
+        partial = explain(TWO_DECLS, max_oracle_calls=full.oracle_calls // 2)
+        assert partial.degraded
+        assert len(partial.suggestions) <= len(full.suggestions)
+
+    def test_undegrated_search_reports_clean(self):
+        result = explain(TWO_DECLS)
+        assert not result.degraded
+        assert result.degradation is not None
+        assert result.degradation.reasons == []
+        assert result.degradation.elapsed_seconds > 0.0
+
+    def test_crashy_oracle_degrades_with_crash_reason(self):
+        calls = {"n": 0}
+        real = Oracle()._typecheck
+
+        def flaky(program, prefix=None):
+            calls["n"] += 1
+            if calls["n"] % 5 == 0:
+                raise RuntimeError("flaky checker")
+            if prefix is not None:
+                return real(program, prefix=prefix)
+            return real(program)
+
+        result = explain(TWO_DECLS, oracle=Oracle(typecheck=flaky))
+        assert result.ok is False
+        assert REASON_CRASH in result.degradation.reasons
+        assert result.degradation.oracle_crashes >= 1
+        assert result.degradation.crash_samples
+
+    def test_report_survives_oracle_reset(self):
+        # An explicitly passed oracle carries its own budget; the report
+        # copies the crash/fallback counters out, so it stays accurate
+        # after the oracle is reset for the next search.
+        oracle = Oracle(max_calls=0)
+        result = explain(TWO_DECLS, oracle=oracle)
+        oracle.reset()
+        assert result.degradation.reasons == [REASON_BUDGET]
+
+    def test_search_config_carries_deadline(self):
+        config = SearchConfig(deadline_seconds=2.5)
+        assert config.deadline_seconds == 2.5
+        assert config.soft_deadline_fraction == 0.85

@@ -143,6 +143,63 @@ class TestTelemetryFlags:
         assert json.loads(trace.read_text())["traceEvents"]
 
 
+class TestExitCodes:
+    """The documented 0/1/2/3 contract — no path leaks a raw traceback."""
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "input error" in out
+        assert "--deadline" in out
+
+    def test_undecodable_file_is_input_error(self, tmp_path, capsys):
+        binary = tmp_path / "blob.ml"
+        binary.write_bytes(b"\x80\x81let x = 1\xff")
+        assert main([str(binary)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_budget_zero_degrades_to_exit_three(self, ml_file, capsys):
+        assert main([str(ml_file), "--max-calls", "0"]) == 3
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+        assert "degraded" in captured.err
+
+    def test_checker_only_ignores_search_budget(self, ml_file, capsys):
+        # --checker-only never runs the search, so the search budget
+        # cannot fail it (this used to raise BudgetExceeded).
+        assert main([str(ml_file), "--checker-only", "--max-calls", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "Type-checker:" in out
+        assert "Search suggestions:" not in out
+
+    def test_checker_only_ok_program(self, ok_file, capsys):
+        assert main([str(ok_file), "--checker-only"]) == 0
+        assert "type-checks" in capsys.readouterr().out
+
+    def test_tiny_deadline_degrades_not_crashes(self, ml_file, capsys):
+        code = main([str(ml_file), "--deadline", "0.000001", "--stats"])
+        assert code in (1, 3)
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert "degraded" in err
+
+    def test_generous_deadline_changes_nothing(self, ml_file, capsys):
+        assert main([str(ml_file), "--deadline", "300"]) == 1
+        captured = capsys.readouterr()
+        assert "Try replacing" in captured.out
+        assert "degraded" not in captured.err
+
+    def test_stats_prints_degradation_line(self, ml_file, capsys):
+        main([str(ml_file), "--stats"])
+        assert "search degradation: none" in capsys.readouterr().err
+
+    def test_fix_budget_zero_exit_three(self, ml_file, capsys):
+        assert main([str(ml_file), "--fix", "--max-calls", "0"]) == 3
+        assert "could not fully repair" in capsys.readouterr().err
+
+
 class TestCppMode:
     def test_extension_selects_cpp(self, cpp_file, capsys):
         assert main([str(cpp_file)]) == 1
