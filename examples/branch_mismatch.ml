@@ -1,0 +1,3 @@
+let describe n =
+  if n > 0 then "positive" else 0
+let answer = describe 7

@@ -1,0 +1,2 @@
+let double x = x * 2
+let total = double 3 + double 4

@@ -5,6 +5,14 @@ type-check pass straight through; ill-typed files get the conventional
 message *and* the ranked search suggestions.  ``--fix`` additionally applies
 the top suggestion(s) and prints the patched source (the quick-fix flow).
 
+Batch mode: ``python -m repro explain [--jobs N] FILE... [--dir DIR]``
+explains many programs per invocation — concurrently across worker
+processes with ``--jobs`` — and prints one summary table (plus full
+reports with ``--verbose``).  ``--jobs`` on the single-file form instead
+parallelizes candidate checks *within* that one search; either way the
+answers are byte-identical to a serial run (see
+:mod:`repro.core.parallel`).
+
 MiniML is assumed for ``.ml`` files; ``--cpp`` (or a ``.cpp``/``.cc``
 extension) selects the MiniCpp front end.
 
@@ -40,7 +48,35 @@ exit codes:
   2  input error: unreadable/undecodable file, or a parse error
   3  ill-typed but no suggestion found — including searches degraded by
      --max-calls, --deadline, or oracle crashes (noted on stderr)
+
+batch mode:
+  python -m repro explain [--jobs N] FILE... [--dir DIR]
+  explains many files per invocation (see `repro explain --help`)
 """
+
+_BATCH_EPILOG = """\
+exit codes (aggregated over the whole batch, worst wins):
+  0  every program type-checks
+  1  at least one program is ill-typed (suggestions were found for all
+     ill-typed programs)
+  2  at least one input error (unreadable file or parse error)
+  3  at least one ill-typed program got no suggestions
+"""
+
+
+def _jobs_arg(value: str):
+    """``--jobs`` accepts a positive integer or the string ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        )
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {n}")
+    return n
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +117,49 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable prefix-reuse incremental typechecking: "
                              "re-infer every candidate from the empty "
                              "environment (escape hatch / benchmarking)")
+    parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
+                        help="check candidates in N worker processes "
+                             "('auto' = one per CPU); answers are "
+                             "byte-identical to the serial default "
+                             "(MiniML only)")
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="disable the per-search duplicate-candidate "
+                             "memo (never changes answers; ablation)")
+    return parser
+
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Batch mode: search-based type-error messages for many "
+                    "files per invocation, optionally in parallel.",
+        epilog=_BATCH_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("files", nargs="*", metavar="FILE",
+                        help="MiniML source files")
+    parser.add_argument("--dir", metavar="DIR", default=None,
+                        help="also explain every .ml file under DIR "
+                             "(recursive, sorted order)")
+    parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
+                        help="explain up to N programs concurrently in "
+                             "worker processes ('auto' = one per CPU)")
+    parser.add_argument("--top", type=int, default=3, metavar="N",
+                        help="suggestions per program in --verbose reports")
+    parser.add_argument("--no-triage", action="store_true",
+                        help="disable triage in every search")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="disable prefix-reuse incremental typechecking")
+    parser.add_argument("--max-calls", type=int, default=20000, metavar="N",
+                        help="per-program oracle-call budget (default 20000)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-program wall-clock budget")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="print the full report for every ill-typed "
+                             "program after the summary table")
+    parser.add_argument("--stats", action="store_true",
+                        help="print aggregate oracle-call/wall-time totals")
     return parser
 
 
@@ -178,6 +257,8 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         incremental=not args.no_incremental,
         max_oracle_calls=args.max_calls,
         deadline_seconds=args.deadline,
+        jobs=args.jobs,
+        dedup=not args.no_dedup,
         **telemetry_kwargs,
     )
     if result.ok:
@@ -245,7 +326,108 @@ def _run_cpp(source: str, args: argparse.Namespace) -> int:
     return EXIT_NO_ANSWER
 
 
+def _batch_status(entry) -> str:
+    if entry.error is not None:
+        return "input-error"
+    if entry.ok:
+        return "ok"
+    if entry.suggestions:
+        return "ill-typed"
+    return "no-answer"
+
+
+def _run_batch(argv: Sequence[str]) -> int:
+    """``python -m repro explain``: many programs, one summary table."""
+    args = build_batch_parser().parse_args(argv)
+    paths = [pathlib.Path(f) for f in args.files]
+    if args.dir is not None:
+        directory = pathlib.Path(args.dir)
+        if not directory.is_dir():
+            print(f"error: not a directory: {args.dir}", file=sys.stderr)
+            return EXIT_INPUT_ERROR
+        paths.extend(sorted(directory.rglob("*.ml")))
+    if not paths:
+        print("error: no input files (pass FILE... and/or --dir DIR)",
+              file=sys.stderr)
+        return EXIT_INPUT_ERROR
+
+    from repro.core.seminal import BatchEntry, explain_many
+
+    # Read everything up front; unreadable files become error entries in
+    # place (one bad file must not sink the batch), the rest go through
+    # explain_many in input order.
+    labels = [str(p) for p in paths]
+    sources: List[Optional[str]] = []
+    for path in paths:
+        try:
+            sources.append(path.read_text())
+        except (OSError, UnicodeDecodeError) as err:
+            sources.append(None)
+            print(f"error: cannot read {path}: {err}", file=sys.stderr)
+    readable = [i for i, s in enumerate(sources) if s is not None]
+    explained = explain_many(
+        [sources[i] for i in readable],
+        [labels[i] for i in readable],
+        jobs=args.jobs,
+        top=args.top,
+        enable_triage=not args.no_triage,
+        incremental=not args.no_incremental,
+        max_oracle_calls=args.max_calls,
+        deadline_seconds=args.deadline,
+    )
+    entries = [
+        BatchEntry(label=label, error="unreadable file", report="")
+        for label in labels
+    ]
+    for i, entry in zip(readable, explained):
+        entries[i] = entry
+
+    width = max(len(e.label) for e in entries)
+    print(f"{'file'.ljust(width)}  {'status':<11}  {'sugg':>4}  {'calls':>6}  {'time':>7}")
+    for e in entries:
+        status = _batch_status(e)
+        if e.error is not None:
+            sugg = calls = elapsed = "-"
+        else:
+            sugg = str(e.suggestions)
+            calls = str(e.oracle_calls)
+            elapsed = f"{e.elapsed_seconds:.2f}s"
+        mark = " [degraded]" if e.degraded else ""
+        print(f"{e.label.ljust(width)}  {status:<11}  {sugg:>4}  {calls:>6}  {elapsed:>7}{mark}")
+    n_ok = sum(1 for e in entries if e.error is None and e.ok)
+    n_err = sum(1 for e in entries if e.error is not None)
+    n_ill = sum(1 for e in entries if e.error is None and not e.ok)
+    n_no_answer = sum(
+        1 for e in entries if e.error is None and not e.ok and not e.suggestions
+    )
+    total_time = sum(e.elapsed_seconds for e in entries)
+    print(f"{len(entries)} files: {n_ok} ok, {n_ill} ill-typed "
+          f"({n_no_answer} without suggestions), {n_err} input errors")
+    if args.stats:
+        total_calls = sum(e.oracle_calls for e in entries)
+        print(f"[{total_calls} oracle calls, {total_time:.2f}s search time, "
+              f"jobs={args.jobs}]", file=sys.stderr)
+    if args.verbose:
+        for e in entries:
+            if e.error is None and e.ok:
+                continue
+            print(f"\n== {e.label} ==")
+            print(e.report)
+    if n_err:
+        return EXIT_INPUT_ERROR
+    if n_no_answer:
+        return EXIT_NO_ANSWER
+    if n_ill:
+        return EXIT_SUGGESTIONS
+    return EXIT_OK
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "explain":
+        return _run_batch(argv[1:])
     args = build_parser().parse_args(argv)
     path = pathlib.Path(args.file)
     try:

@@ -3,7 +3,11 @@
 Public surface:
 
 * :func:`explain` — one call from source text to ranked suggestions.
+* :func:`explain_many` — the batch mode: many programs per invocation,
+  optionally fanned across worker processes (``jobs=``).
 * :class:`Searcher`, :class:`SearchConfig` — the search procedure.
+* :class:`WorkerPool`/:func:`resolve_jobs` — the parallel candidate-checking
+  layer (:mod:`repro.core.parallel`): deterministic merge, crash-degrading.
 * :class:`Oracle` — the boolean type-checker interface.
 * :class:`MiniMLEnumerator` — the constructive-change catalog.
 * :func:`rank` and the message renderers.
@@ -30,6 +34,7 @@ from .enumerator import (  # noqa: F401
 from .quickfix import AppliedFix, FixAllResult, apply_suggestion, fix_all  # noqa: F401
 from .messages import render_report, render_suggestion, replacement_type  # noqa: F401
 from .oracle import BudgetExceeded, IncrementalMismatch, Oracle  # noqa: F401
+from .parallel import AUTO_JOBS, WorkerPool, resolve_jobs  # noqa: F401
 from .ranker import rank  # noqa: F401
 from .resilience import (  # noqa: F401
     Deadline,
@@ -41,4 +46,4 @@ from .resilience import (  # noqa: F401
     REASON_FALLBACK,
 )
 from .searcher import SearchConfig, Searcher, SearchOutcome, SearchStats  # noqa: F401
-from .seminal import ExplainResult, explain  # noqa: F401
+from .seminal import BatchEntry, ExplainResult, explain, explain_many  # noqa: F401

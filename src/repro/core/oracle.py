@@ -385,6 +385,48 @@ class Oracle:
         """The boolean question the searcher actually asks."""
         return self.check(program).ok
 
+    def account_verdict(self, program, ok: bool) -> bool:
+        """Account a verdict computed *elsewhere* (a pool worker) as if
+        :meth:`check` had computed it here, and return the verdict to use.
+
+        The parallel layer pre-checks candidates in worker processes but
+        the searcher still applies verdicts strictly in enumeration order;
+        this method replays :meth:`_check`'s exact accounting pipeline for
+        one applied verdict — depth pre-check (free rejection), cache hit
+        (free, and the *cached* verdict wins), budget gate (raises
+        :class:`BudgetExceeded` at the same call index a serial run
+        would), cache-miss/call counting, and cache store — without
+        re-running the checker.  This is what makes parallel call counts,
+        budget exhaustion points, and cached-mode behaviour byte-identical
+        to serial.
+        """
+        if self._depth_probe is not None and self._depth_probe.exceeds(
+            program, self.max_depth
+        ):
+            self.depth_rejections += 1
+            self.metrics.incr("oracle.depth_rejected")
+            return False
+        key = None
+        if self._cache is not None:
+            key = (self._prefix_gen, self._key(program))
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                self.metrics.incr("oracle.cache.hits")
+                return hit.ok
+        if self.max_calls is not None and self.calls >= self.max_calls:
+            self.metrics.incr("oracle.budget_exceeded")
+            raise BudgetExceeded(self.max_calls)
+        if self._cache is not None:
+            self.cache_misses += 1
+            self.metrics.incr("oracle.cache.misses")
+        self.calls += 1
+        self.metrics.incr("oracle.calls")
+        self.metrics.incr("oracle.calls.ok" if ok else "oracle.calls.fail")
+        if self._cache is not None:
+            self._cache[key] = CheckResult(ok=ok)
+        return ok
+
     def reset(self) -> None:
         """Clear accounting, cache, and the prefix snapshot between searches.
 

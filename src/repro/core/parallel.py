@@ -1,0 +1,383 @@
+"""Parallel candidate checking: fan oracle calls across worker processes.
+
+SEMINAL's inner loop is embarrassingly parallel (paper Section 2.2): the
+searcher enumerates candidate programs and each oracle check is an
+independent pure yes/no question.  This module adds the batching/sharding
+layer that exploits that:
+
+* :class:`WorkerPool` — ships batches of candidate programs to
+  ``ProcessPoolExecutor`` workers.  Each worker holds its own
+  :class:`~repro.core.oracle.Oracle`, seeded once per search from the same
+  passing prefix the parent's oracle snapshotted (the worker re-derives a
+  :class:`~repro.miniml.infer.PrefixSnapshot` from the pickled prefix
+  declarations), so candidate checks ride the incremental fast path on
+  every worker.  Per candidate only the declarations *after* the prefix are
+  shipped (pickled AST — exact fidelity; the pretty-printer is lossy for
+  synthetic wildcard nodes), correlated by batch slot.
+* :func:`explain_batch_worker` — the per-*program* worker behind
+  :func:`repro.core.seminal.explain_many`: one whole ``explain()`` call per
+  task, for the batch front end (``python -m repro explain --jobs N``).
+
+Determinism
+-----------
+Parallel and serial searches produce **byte-identical** suggestions and
+ranks.  The searcher's worklist is FIFO and lazy expansions only ever
+*append*: every candidate currently queued will be tested no matter how
+earlier candidates turn out, so the searcher may pre-test a whole batch
+concurrently and then *apply* the verdicts strictly in enumeration order
+(recording suggestions, expanding follow-ups, counting budget).  Verdicts
+are pure functions of the candidate program, so only wall-clock test order
+changes — never the sequence of (candidate, verdict) applications the
+search observes.
+
+Fault tolerance
+---------------
+A crashed worker degrades, never raises: any pool failure (a worker
+process dying, a broken executor, a pickling error) marks the pool broken,
+counts ``parallel.worker_crashes``, and returns "unchecked" verdicts — the
+searcher then falls back to checking those candidates serially through its
+own oracle, so the answers (and the determinism guarantee) survive.
+Batches carry the remaining wall-clock budget as a per-batch soft
+deadline: a worker that runs out of time returns the verdicts it has and
+marks the rest unchecked.
+
+Telemetry: ``parallel.batches``, ``parallel.candidates``,
+``parallel.worker_crashes``, ``parallel.fallback_checks``, plus a
+``parallel.worker`` span per worker chunk carrying the worker pid and its
+in-worker seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs import NULL_METRICS, NULL_TRACER
+
+#: ``SearchConfig.jobs`` sentinel: use one worker per CPU.
+AUTO_JOBS = "auto"
+
+Jobs = Union[int, str, None]
+
+
+def resolve_jobs(jobs: Jobs) -> int:
+    """Normalize a ``jobs`` knob to a worker count (1 = serial).
+
+    ``None`` and ``1`` mean serial; :data:`AUTO_JOBS` means one worker per
+    CPU (so on a single-core machine ``"auto"`` *is* serial); an integer
+    is used as given.  Anything else raises ``ValueError``.
+    """
+    if jobs is None or jobs == 1:
+        return 1
+    if jobs == AUTO_JOBS:
+        return max(1, os.cpu_count() or 1)
+    try:
+        n = int(jobs)
+        integral = float(jobs) == n
+    except (TypeError, ValueError):
+        raise ValueError(f"jobs must be a positive int or {AUTO_JOBS!r}, got {jobs!r}")
+    if not integral or n < 1:
+        raise ValueError(f"jobs must be a positive int or {AUTO_JOBS!r}, got {jobs!r}")
+    return n
+
+
+def _fork_context():
+    """Prefer ``fork`` workers (fast start, inherits imports); fall back to
+    the platform default where fork is unavailable."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Worker side: one cached oracle per (search) seed
+# ---------------------------------------------------------------------------
+
+#: Worker-process cache: the last seed's ``(prefix_decls, oracle)``.  One
+#: entry only — a worker serves one search at a time, and a new search's
+#: first batch replaces it.
+_SEED_CACHE: Dict[int, Tuple[tuple, Any]] = {}
+
+
+def _seed_state(seed_token: int, seed_blob: bytes) -> Tuple[tuple, Any]:
+    state = _SEED_CACHE.get(seed_token)
+    if state is not None:
+        return state
+    from repro.core.oracle import Oracle
+    from repro.miniml.ast_nodes import Program
+
+    prefix_decls, incremental, max_depth, fault_plan = pickle.loads(seed_blob)
+    if fault_plan is not None:
+        from repro.faults import ChaosOracle
+
+        oracle = ChaosOracle(fault_plan, incremental=incremental, max_depth=max_depth)
+    else:
+        oracle = Oracle(incremental=incremental, max_depth=max_depth)
+    if prefix_decls and incremental:
+        oracle.arm_prefix(Program(list(prefix_decls)), len(prefix_decls))
+    _SEED_CACHE.clear()
+    state = (tuple(prefix_decls), oracle)
+    _SEED_CACHE[seed_token] = state
+    return state
+
+
+def _check_batch(
+    seed_token: int,
+    seed_blob: bytes,
+    items_blob: bytes,
+    deadline_remaining: Optional[float],
+) -> Dict[str, Any]:
+    """Worker task: verdicts for one chunk of candidate suffixes.
+
+    ``items_blob`` is a pickled list of declaration tuples — the part of
+    each candidate program after the shared prefix.  Verdicts are aligned
+    by index; ``None`` marks a candidate left unchecked because the
+    per-batch soft deadline ran out (the parent re-checks those serially).
+    """
+    from repro.miniml.ast_nodes import Program
+
+    start = time.perf_counter()
+    prefix_decls, oracle = _seed_state(seed_token, seed_blob)
+    suffixes: List[tuple] = pickle.loads(items_blob)
+    before = (
+        oracle.calls,
+        oracle.full_checks,
+        oracle.prefix_reused,
+        oracle.crashes,
+        oracle.depth_rejections,
+    )
+    verdicts: List[Optional[bool]] = []
+    for suffix in suffixes:
+        if (
+            deadline_remaining is not None
+            and time.perf_counter() - start >= deadline_remaining
+        ):
+            verdicts.append(None)
+            continue
+        program = Program(list(prefix_decls) + list(suffix))
+        verdicts.append(oracle.passes(program))
+    return {
+        "verdicts": verdicts,
+        "calls": oracle.calls - before[0],
+        "full_checks": oracle.full_checks - before[1],
+        "prefix_reused": oracle.prefix_reused - before[2],
+        "crashes": oracle.crashes - before[3],
+        "depth_rejections": oracle.depth_rejections - before[4],
+        "pid": os.getpid(),
+        "seconds": time.perf_counter() - start,
+    }
+
+
+class WorkerPool:
+    """A process pool that answers "does this candidate type-check?" in bulk.
+
+    Lifecycle: the searcher creates one pool per ``search_program`` run
+    (when ``SearchConfig.jobs`` resolves to more than one worker), calls
+    :meth:`arm` once after localization with the passing prefix, then
+    :meth:`check_suffixes` per batch, and :meth:`shutdown` in a finally.
+    The underlying executor is created lazily on the first batch, so
+    searches that never reach a batch pay nothing.
+
+    The pool is merge-deterministic: verdicts come back aligned with the
+    submitted order regardless of which worker answered when.  Any worker
+    failure marks the pool :attr:`broken` (all subsequent batches answer
+    "unchecked" immediately) — degradation, never an exception.
+    """
+
+    def __init__(
+        self,
+        jobs: Jobs,
+        *,
+        batch_size: Optional[int] = None,
+        metrics=None,
+        tracer=None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        #: How many candidates the searcher drains per batch round; sized
+        #: so every worker gets a few candidates per round by default.
+        self.batch_size = batch_size if batch_size else max(16, 8 * self.jobs)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.broken = False
+        self.batches = 0
+        self.candidates = 0
+        self.worker_crashes = 0
+        self._executor = None
+        self._seed_token = 0
+        self._seed_blob: Optional[bytes] = None
+
+    # ------------------------------------------------------------------
+    # Seeding
+    # ------------------------------------------------------------------
+
+    def arm(
+        self,
+        prefix_decls: Sequence,
+        *,
+        incremental: bool = True,
+        max_depth: Optional[int] = None,
+        fault_plan=None,
+    ) -> None:
+        """Seed workers for one search: the passing prefix plus oracle knobs.
+
+        The prefix declarations are pickled once here; every batch carries
+        the blob and workers cache the parsed state by ``seed_token``, so
+        each worker re-derives its :class:`PrefixSnapshot` at most once per
+        search.  ``fault_plan`` (a :class:`repro.faults.FaultPlan`) seeds
+        workers with a :class:`~repro.faults.ChaosOracle` instead — the
+        fault-injection route the chaos tests use.
+        """
+        self._seed_token += 1
+        self._seed_blob = pickle.dumps(
+            (tuple(prefix_decls), incremental, max_depth, fault_plan)
+        )
+
+    # ------------------------------------------------------------------
+    # Batch checking
+    # ------------------------------------------------------------------
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = _fork_context()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        return self._executor
+
+    def check_suffixes(
+        self,
+        suffixes: Sequence[Sequence],
+        deadline_remaining: Optional[float] = None,
+        oracle=None,
+    ) -> List[Optional[bool]]:
+        """Check candidate suffixes concurrently; verdicts aligned by index.
+
+        Each element of ``suffixes`` is the list of declarations a
+        candidate appends to the armed prefix.  ``None`` in the result
+        means "unchecked" (broken pool, worker crash, or per-batch
+        deadline) — the caller must fall back to its own oracle for those.
+        ``oracle`` (the parent's) absorbs the workers' reuse/crash
+        accounting so ``--stats`` lines stay faithful in parallel runs.
+        """
+        n = len(suffixes)
+        if n == 0:
+            return []
+        unchecked: List[Optional[bool]] = [None] * n
+        if self.broken or self._seed_blob is None:
+            return unchecked
+        chunk = max(1, -(-n // self.jobs))  # ceil(n / jobs)
+        spans = [(i, min(i + chunk, n)) for i in range(0, n, chunk)]
+        try:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(
+                    _check_batch,
+                    self._seed_token,
+                    self._seed_blob,
+                    pickle.dumps([tuple(s) for s in suffixes[lo:hi]]),
+                    deadline_remaining,
+                )
+                for lo, hi in spans
+            ]
+        except Exception:
+            self._mark_broken()
+            return unchecked
+        verdicts = unchecked
+        self.batches += 1
+        self.candidates += n
+        self.metrics.incr("parallel.batches")
+        self.metrics.incr("parallel.candidates", n)
+        for index, ((lo, hi), future) in enumerate(zip(spans, futures)):
+            with self.tracer.span("parallel.worker", chunk=index) as sp:
+                try:
+                    result = future.result()
+                except Exception:
+                    # One dead worker poisons the executor; degrade the
+                    # whole pool and leave this chunk (and any later ones)
+                    # unchecked for the caller's serial fallback.
+                    self._mark_broken()
+                    sp.set("crashed", True)
+                    continue
+                verdicts[lo:hi] = result["verdicts"]
+                self._absorb(result, oracle)
+                sp.set("pid", result["pid"])
+                sp.set("candidates", hi - lo)
+                sp.set("worker_seconds", round(result["seconds"], 6))
+        return verdicts
+
+    def _absorb(self, result: Dict[str, Any], oracle) -> None:
+        """Fold one worker chunk's oracle accounting into the parent's.
+
+        ``calls`` is deliberately *not* folded: the searcher re-accounts
+        every applied verdict against its own budget (in enumeration
+        order), which keeps call counts and budget behaviour identical to
+        a serial run.
+        """
+        metrics = self.metrics
+        if result["full_checks"]:
+            metrics.incr("oracle.full_checks", result["full_checks"])
+        if result["prefix_reused"]:
+            metrics.incr("oracle.prefix.reused", result["prefix_reused"])
+        if result["crashes"]:
+            metrics.incr("oracle.crashes", result["crashes"])
+        if result["depth_rejections"]:
+            metrics.incr("oracle.depth_rejected", result["depth_rejections"])
+        if oracle is not None:
+            oracle.full_checks += result["full_checks"]
+            oracle.prefix_reused += result["prefix_reused"]
+            oracle.crashes += result["crashes"]
+            oracle.depth_rejections += result["depth_rejections"]
+
+    def _mark_broken(self) -> None:
+        self.broken = True
+        self.worker_crashes += 1
+        self.metrics.incr("parallel.worker_crashes")
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Release worker processes (never raises; never blocks on a hung
+        worker — pending work is cancelled)."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Whole-program batch worker (explain_many / `repro explain`)
+# ---------------------------------------------------------------------------
+
+
+def explain_batch_worker(
+    label: str, source: str, top: int, kwargs_blob: bytes
+) -> bytes:
+    """One whole ``explain()`` call, packaged for a worker process.
+
+    Returns a pickled :class:`repro.core.seminal.BatchEntry` — rendering
+    happens worker-side so the summary survives even if the full
+    :class:`ExplainResult` cannot cross the process boundary (the entry is
+    then shipped with ``result=None``).  Input failures (parse errors,
+    undecodable text) become ``error`` entries, not exceptions: one bad
+    file must never sink the batch.
+    """
+    from repro.core.seminal import _explain_entry
+
+    entry = _explain_entry(label, source, top, pickle.loads(kwargs_blob))
+    try:
+        return pickle.dumps(entry)
+    except Exception:
+        entry.result = None
+        return pickle.dumps(entry)

@@ -120,6 +120,9 @@ class DegradationReport:
     prefix_fallbacks: int = 0
     #: Candidates rejected by the depth pre-check (never typechecked).
     depth_rejections: int = 0
+    #: Parallel worker-process failures (each marks the whole pool broken
+    #: and reroutes the remaining candidates through the serial oracle).
+    worker_crashes: int = 0
     #: Phase name -> number of times the soft deadline shed it.
     phases_shed: Dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
@@ -152,6 +155,8 @@ class DegradationReport:
             parts.append(f"prefix_fallbacks={self.prefix_fallbacks}")
         if self.depth_rejections:
             parts.append(f"depth_rejections={self.depth_rejections}")
+        if self.worker_crashes:
+            parts.append(f"worker_crashes={self.worker_crashes}")
         if self.phases_shed:
             shed = ",".join(f"{k}x{v}" for k, v in sorted(self.phases_shed.items()))
             parts.append(f"shed={shed}")

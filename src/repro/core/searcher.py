@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Optional, Sequence
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.miniml.ast_nodes import (
     Binding,
@@ -36,7 +36,7 @@ from repro.miniml.ast_nodes import (
 )
 from repro.miniml.errors import MiniMLTypeError
 from repro.obs import NULL_METRICS, NULL_TRACER, format_path
-from repro.tree import Node, Path, get_at, node_size, replace_at
+from repro.tree import Node, Path, StructuralKeyer, get_at, node_size, replace_at
 
 from .changes import (
     KIND_ADAPT,
@@ -53,6 +53,7 @@ from .enumerator import (
     wildcard_for,
 )
 from .oracle import BudgetExceeded, Oracle
+from .parallel import WorkerPool, resolve_jobs
 from .resilience import (
     Deadline,
     DeadlineExceeded,
@@ -102,6 +103,25 @@ class SearchConfig:
     eager_enumeration: bool = False
     #: User-supplied change generators (the Section 6 open framework).
     custom_rules: Sequence = ()
+    #: Candidate-checking parallelism for the enumeration phase: ``1``
+    #: (default) is the exact serial code path, an int is that many worker
+    #: processes, ``"auto"`` is one per CPU.  Verdicts are applied in
+    #: enumeration order, so serial and parallel runs produce byte-identical
+    #: suggestions and ranks (see :mod:`repro.core.parallel`).
+    jobs: Union[int, str, None] = 1
+    #: Candidates drained from the worklist per pool round (None = the
+    #: pool's default, ``max(16, 8 * jobs)``).
+    parallel_batch_size: Optional[int] = None
+    #: Skip the oracle call for candidates whose structural key was already
+    #: tested in this ``search_program`` run, replaying the memoized
+    #: verdict instead — suggestions are unchanged by construction; only
+    #: duplicate checks are saved (``search.dedup_skipped``).
+    dedup: bool = True
+    #: Seed pool workers with a :class:`repro.faults.FaultPlan` (workers
+    #: then run a ``ChaosOracle``) — the fault-injection route the chaos
+    #: tests use.  Defaults to the parent oracle's own plan when the
+    #: parent is itself a ``ChaosOracle``.
+    worker_fault_plan: Optional[object] = None
 
 
 @dataclass
@@ -117,6 +137,10 @@ class SearchStats:
     constructive_tests: int = 0
     adaptation_tests: int = 0
     triage_tests: int = 0
+    #: Candidates whose verdict was replayed from the per-search dedup
+    #: memo instead of spending an oracle call (not counted in any of the
+    #: per-phase test counters above).
+    dedup_skipped: int = 0
     rule_successes: Dict[str, int] = field(default_factory=dict)
 
     def record_success(self, rule: str) -> None:
@@ -132,6 +156,8 @@ class SearchStats:
             f"triage={self.triage_tests}",
         ]
         line = "oracle calls by phase: " + " ".join(parts)
+        if self.dedup_skipped:
+            line += f"\nduplicate candidates skipped: {self.dedup_skipped}"
         if self.rule_successes:
             winners = ", ".join(
                 f"{name}x{count}"
@@ -197,6 +223,16 @@ class Searcher:
         self.stats = SearchStats()
         self.degradation = DegradationReport()
         self._deadline: Optional[Deadline] = None
+        #: Per-search parallel state (see :mod:`repro.core.parallel`): the
+        #: worker pool (None on the serial path), the declarations every
+        #: candidate shares with the armed prefix, and the dedup memo
+        #: mapping candidate structural keys to verdicts.
+        self._pool: Optional[WorkerPool] = None
+        self._prefix_decls: Tuple = ()
+        self._dedup_keyer: Optional[StructuralKeyer] = (
+            StructuralKeyer() if self.config.dedup else None
+        )
+        self._tested: Dict[object, bool] = {}
 
     def _tick(self, phase: str) -> None:
         """Count one oracle test against a phase, in both sinks.
@@ -241,6 +277,9 @@ class Searcher:
         """
         self.oracle.reset()
         self.stats = SearchStats()
+        self._tested = {}
+        if self._dedup_keyer is not None:
+            self._dedup_keyer.clear()
         report = DegradationReport(
             budget=self.config.max_oracle_calls,
             deadline_seconds=self.config.deadline_seconds,
@@ -249,6 +288,15 @@ class Searcher:
         self._deadline = Deadline(
             self.config.deadline_seconds, self.config.soft_deadline_fraction
         )
+        if resolve_jobs(self.config.jobs) > 1:
+            # One pool per search; worker processes spawn lazily on the
+            # first batch, so pools that never see one cost nothing.
+            self._pool = WorkerPool(
+                self.config.jobs,
+                batch_size=self.config.parallel_batch_size,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
         with self.tracer.span("search", decls=len(program.decls)) as sp:
             outcome = SearchOutcome(ok=False, program=program, degradation=report)
             try:
@@ -265,6 +313,15 @@ class Searcher:
                     # check candidates incrementally from there.
                     if self.config.incremental:
                         self.oracle.arm_prefix(program, bad)
+                    self._prefix_decls = tuple(program.decls[:bad])
+                    if self._pool is not None:
+                        self._pool.arm(
+                            self._prefix_decls,
+                            incremental=self.config.incremental,
+                            max_depth=self.oracle.max_depth,
+                            fault_plan=self.config.worker_fault_plan
+                            or getattr(self.oracle, "plan", None),
+                        )
                     # Search within the failing prefix: later declarations are
                     # ignored entirely, as in the paper ("It does not examine
                     # the third top-level binding").
@@ -275,9 +332,13 @@ class Searcher:
                 report.note(REASON_BUDGET)
             except DeadlineExceeded:
                 report.note(REASON_DEADLINE)
+            finally:
+                if self._pool is not None:
+                    self._pool.shutdown()
             outcome.oracle_calls = self.oracle.calls
             outcome.stats = self.stats
             self._finalize_degradation(report)
+            self._pool = None
             if not outcome.ok:
                 self.metrics.incr("search.suggestions", len(outcome.suggestions))
             sp.set("oracle_calls", self.oracle.calls)
@@ -291,7 +352,9 @@ class Searcher:
         report.prefix_fallbacks = getattr(oracle, "prefix_fallbacks", 0)
         report.depth_rejections = getattr(oracle, "depth_rejections", 0)
         report.crash_samples = list(getattr(oracle, "crash_samples", ()))
-        if report.oracle_crashes or report.depth_rejections:
+        if self._pool is not None:
+            report.worker_crashes = self._pool.worker_crashes
+        if report.oracle_crashes or report.depth_rejections or report.worker_crashes:
             report.note(REASON_CRASH)
         if report.prefix_fallbacks:
             report.note(REASON_FALLBACK)
@@ -481,28 +544,171 @@ class Searcher:
             span = self.tracer.span("enumerate")
         with span as sp:
             calls_before = self.oracle.calls
-            tested = 0
-            while worklist:
-                change_node = worklist.popleft()
-                change = change_node.change
-                candidate = replace_at(root, change.path, change.replacement)
-                self._tick("constructive_tests")
-                self.metrics.incr(f"enum.tested.{change.rule or 'unknown'}")
-                tested += 1
-                if self._passes(candidate):
-                    if not change.is_probe:
-                        self.stats.record_success(change.rule)
-                        self.metrics.incr(f"enum.success.{change.rule or 'unknown'}")
-                        results.append(self._suggest(change, candidate))
-                    if change_node.on_success is not None:
-                        worklist.extend(self._expanded(change_node.on_success()))
-                else:
-                    if change_node.on_failure is not None:
-                        worklist.extend(self._expanded(change_node.on_failure()))
+            if self._pool is not None:
+                tested = self._drain_pooled(root, worklist, results)
+            else:
+                tested = self._drain_serial(root, worklist, results)
             sp.set("tested", tested)
             sp.set("successes", len(results))
             sp.set("oracle_calls", self.oracle.calls - calls_before)
         return results
+
+    def _drain_serial(
+        self,
+        root: Program,
+        worklist: Deque[ChangeNode],
+        results: List[Suggestion],
+    ) -> int:
+        """The serial worklist loop (the exact pre-parallel code path when
+        ``jobs=1``), plus the per-search dedup memo."""
+        tested = 0
+        keyer = self._dedup_keyer
+        while worklist:
+            change_node = worklist.popleft()
+            change = change_node.change
+            candidate = replace_at(root, change.path, change.replacement)
+            key = keyer(candidate) if keyer is not None else None
+            verdict = self._tested.get(key) if key is not None else None
+            if verdict is None:
+                self._tick("constructive_tests")
+                self.metrics.incr(f"enum.tested.{change.rule or 'unknown'}")
+                tested += 1
+                verdict = self._passes(candidate)
+                if key is not None:
+                    self._tested[key] = verdict
+            else:
+                self._count_dedup_skip()
+            self._apply_verdict(change_node, change, candidate, verdict, results, worklist)
+        return tested
+
+    def _drain_pooled(
+        self,
+        root: Program,
+        worklist: Deque[ChangeNode],
+        results: List[Suggestion],
+    ) -> int:
+        """The parallel worklist loop: pre-check batches in pool workers,
+        apply verdicts in enumeration order.
+
+        Sound because lazy expansions only ever *append* to the FIFO
+        worklist: everything queued right now will be tested no matter how
+        earlier candidates turn out, so checking a whole batch concurrently
+        changes only wall-clock test order — never which (candidate,
+        verdict) pairs the search applies, nor their order.  Every applied
+        verdict is re-accounted against the parent oracle
+        (:meth:`Oracle.account_verdict`), so budgets, call counts, and the
+        dedup memo behave exactly as in a serial run.
+        """
+        tested = 0
+        pool = self._pool
+        keyer = self._dedup_keyer
+        prefix_decls = self._prefix_decls
+        prefix_len = len(prefix_decls)
+        while worklist:
+            if pool.broken:
+                # Degraded: finish this worklist on the serial path.
+                return tested + self._drain_serial(root, worklist, results)
+            # Drain one batch off the front of the worklist.
+            batch = []
+            while worklist and len(batch) < pool.batch_size:
+                change_node = worklist.popleft()
+                change = change_node.change
+                candidate = replace_at(root, change.path, change.replacement)
+                batch.append((change_node, change, candidate))
+            # Ship each distinct unchecked candidate once: its declarations
+            # past the shared prefix, correlated by batch slot.
+            suffixes: List[tuple] = []
+            slot_of_key: Dict[object, int] = {}
+            entries = []
+            for change_node, change, candidate in batch:
+                key = keyer(candidate) if keyer is not None else None
+                slot: Optional[int] = None
+                if key is not None and key in self._tested:
+                    pass  # memo replay at apply time; nothing to ship
+                elif key is not None and key in slot_of_key:
+                    slot = slot_of_key[key]
+                elif self._shares_prefix(candidate, prefix_decls, prefix_len):
+                    slot = len(suffixes)
+                    suffixes.append(tuple(candidate.decls[prefix_len:]))
+                    if key is not None:
+                        slot_of_key[key] = slot
+                # else: unshippable (a change edited the prefix — possible
+                # only via custom rules); checked serially at apply time.
+                entries.append((change_node, change, candidate, key, slot))
+            remaining = (
+                self._deadline.remaining() if self._deadline is not None else None
+            )
+            verdicts = (
+                pool.check_suffixes(suffixes, remaining, self.oracle)
+                if suffixes
+                else []
+            )
+            # Apply in enumeration order; any candidate the pool left
+            # unchecked (crash, per-batch deadline) falls back to the
+            # parent oracle right here, in order.
+            for change_node, change, candidate, key, slot in entries:
+                verdict = self._tested.get(key) if key is not None else None
+                if verdict is not None:
+                    self._count_dedup_skip()
+                else:
+                    pooled = verdicts[slot] if slot is not None else None
+                    self._tick("constructive_tests")
+                    self.metrics.incr(f"enum.tested.{change.rule or 'unknown'}")
+                    tested += 1
+                    if pooled is None:
+                        self.metrics.incr("parallel.fallback_checks")
+                        verdict = self._passes(candidate)
+                    else:
+                        verdict = self.oracle.account_verdict(candidate, pooled)
+                    if key is not None:
+                        self._tested[key] = verdict
+                self._apply_verdict(
+                    change_node, change, candidate, verdict, results, worklist
+                )
+        return tested
+
+    @staticmethod
+    def _shares_prefix(candidate: Program, prefix_decls: Tuple, prefix_len: int) -> bool:
+        """Whether a candidate still holds the armed prefix by identity —
+        the invariant that lets only its suffix cross to workers."""
+        decls = candidate.decls
+        if len(decls) <= prefix_len:
+            return False
+        for i in range(prefix_len):
+            if decls[i] is not prefix_decls[i]:
+                return False
+        return True
+
+    def _count_dedup_skip(self) -> None:
+        self.stats.dedup_skipped += 1
+        self.metrics.incr("search.dedup_skipped")
+
+    def _apply_verdict(
+        self,
+        change_node: ChangeNode,
+        change: Change,
+        candidate: Program,
+        verdict: bool,
+        results: List[Suggestion],
+        worklist: Deque[ChangeNode],
+    ) -> None:
+        """Record one (candidate, verdict) pair: suggestion + expansions.
+
+        This is the only place enumeration outcomes are produced, shared
+        verbatim by the serial, pooled, and memo-replay paths — which is
+        what makes "byte-identical suggestions" a structural property
+        rather than a testing hope.
+        """
+        if verdict:
+            if not change.is_probe:
+                self.stats.record_success(change.rule)
+                self.metrics.incr(f"enum.success.{change.rule or 'unknown'}")
+                results.append(self._suggest(change, candidate))
+            if change_node.on_success is not None:
+                worklist.extend(self._expanded(change_node.on_success()))
+        else:
+            if change_node.on_failure is not None:
+                worklist.extend(self._expanded(change_node.on_failure()))
 
     def _expanded(self, followups: List[ChangeNode]) -> List[ChangeNode]:
         """Count lazily expanded follow-up changes (generated-vs-tested)."""

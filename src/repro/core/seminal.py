@@ -9,8 +9,10 @@ search-based suggestions, so callers (like the empirical study in
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.miniml.ast_nodes import Program
 from repro.miniml.errors import MiniMLTypeError
@@ -96,6 +98,8 @@ def explain(
     custom_rules: Sequence = (),
     tracer=None,
     metrics=None,
+    jobs: Union[int, str, None] = 1,
+    dedup: bool = True,
 ) -> ExplainResult:
     """Search for type-error messages for ``source``.
 
@@ -113,6 +117,13 @@ def explain(
     a :class:`~repro.core.resilience.DegradationReport` in ``degradation``
     saying exactly what was given up.  Parse errors of ``source`` still
     raise (they are input errors, not search failures).
+
+    ``jobs`` fans candidate checks across worker processes (``"auto"`` =
+    one per CPU; see :mod:`repro.core.parallel`).  The default ``1`` is
+    the exact serial code path; any value produces byte-identical
+    suggestions and ranks, so parallelism is purely a wall-clock knob.
+    ``dedup=False`` disables the per-search duplicate-candidate memo (an
+    ablation/debugging escape hatch — the memo never changes answers).
 
     ``tracer``/``metrics`` (see :mod:`repro.obs`) switch on telemetry: a
     :class:`~repro.obs.Tracer` records a Perfetto-loadable span tree of the
@@ -145,6 +156,8 @@ def explain(
         triage_strategy=triage_strategy,
         eager_enumeration=eager_enumeration,
         custom_rules=custom_rules,
+        jobs=jobs,
+        dedup=dedup,
     )
     searcher = Searcher(oracle=oracle, config=config, tracer=tracer, metrics=registry)
     outcome = searcher.search_program(program)
@@ -163,3 +176,132 @@ def explain(
         metrics=metrics,
         degradation=outcome.degradation,
     )
+
+
+# ---------------------------------------------------------------------------
+# Batch mode: many programs per invocation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchEntry:
+    """Outcome of one program in an :func:`explain_many` batch.
+
+    The rendered ``report``/``best`` strings are produced where the search
+    ran (possibly a worker process), so the human-readable summary is
+    always available even if the full :class:`ExplainResult` could not be
+    shipped back (then ``result`` is None).  ``error`` is set for *input*
+    failures — a parse error or an unreadable source — which are recorded
+    per entry, never raised: one bad file must not sink the batch.
+    """
+
+    label: str
+    ok: bool = False
+    #: Input-error text (parse failure etc.); None when the search ran.
+    error: Optional[str] = None
+    #: The full rendered report (checker message + ranked suggestions).
+    report: str = ""
+    #: Just the single best message.
+    best: str = ""
+    suggestions: int = 0
+    oracle_calls: int = 0
+    degraded: bool = False
+    elapsed_seconds: float = 0.0
+    #: PID of the process that ran the search (the parent's for serial).
+    worker_pid: int = 0
+    #: The full result when available (always for serial batches).
+    result: Optional[ExplainResult] = None
+
+
+def _explain_entry(
+    label: str, source: str, top: int, kwargs: Dict
+) -> BatchEntry:
+    """Run one :func:`explain` call and package it as a :class:`BatchEntry`
+    (exceptions become error entries — this must never raise)."""
+    start = time.perf_counter()
+    entry = BatchEntry(label=label, worker_pid=os.getpid())
+    try:
+        result = explain(source, **kwargs)
+    except Exception as err:
+        entry.error = str(err) or type(err).__name__
+        entry.report = f"error: {entry.error}"
+    else:
+        entry.ok = result.ok
+        entry.report = result.render(limit=top)
+        entry.best = result.render_best()
+        entry.suggestions = len(result.suggestions)
+        entry.oracle_calls = result.oracle_calls
+        entry.degraded = result.degraded
+        entry.result = result
+    entry.elapsed_seconds = time.perf_counter() - start
+    return entry
+
+
+def explain_many(
+    sources: Iterable[str],
+    labels: Optional[Sequence[str]] = None,
+    *,
+    jobs: Union[int, str, None] = 1,
+    top: int = 3,
+    **kwargs,
+) -> List[BatchEntry]:
+    """Explain many programs in one call — the batch mode behind
+    ``python -m repro explain --jobs N FILE...``.
+
+    Entries come back in input order, one per source, regardless of which
+    worker finished when.  ``jobs`` parallelizes *across programs* (each
+    worker runs a whole serial ``explain`` per task — no nested pools);
+    per-candidate parallelism within a single program is ``explain``'s own
+    ``jobs`` parameter instead.  Remaining keyword arguments are forwarded
+    to :func:`explain` verbatim; with ``jobs > 1`` they must be picklable
+    (in particular ``oracle``/``tracer``/``metrics`` objects cannot cross
+    process boundaries — leave them unset for parallel batches).
+
+    Fault tolerance matches the candidate pool: a worker-process failure
+    degrades, never raises — affected programs are transparently re-run
+    serially in the parent.
+    """
+    source_list = list(sources)
+    if labels is None:
+        label_list = [f"program[{i}]" for i in range(len(source_list))]
+    else:
+        label_list = [str(label) for label in labels]
+        if len(label_list) != len(source_list):
+            raise ValueError(
+                f"got {len(source_list)} sources but {len(label_list)} labels"
+            )
+    from .parallel import _fork_context, explain_batch_worker, resolve_jobs
+
+    n_jobs = min(resolve_jobs(jobs), max(1, len(source_list)))
+    if n_jobs <= 1:
+        return [
+            _explain_entry(label, source, top, dict(kwargs))
+            for label, source in zip(label_list, source_list)
+        ]
+
+    import pickle
+    from concurrent.futures import ProcessPoolExecutor
+
+    kwargs_blob = pickle.dumps(dict(kwargs))
+    entries: List[Optional[BatchEntry]] = [None] * len(source_list)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_jobs, mp_context=_fork_context()
+        ) as pool:
+            futures = [
+                pool.submit(explain_batch_worker, label, source, top, kwargs_blob)
+                for label, source in zip(label_list, source_list)
+            ]
+            for i, future in enumerate(futures):
+                try:
+                    entries[i] = pickle.loads(future.result())
+                except Exception:
+                    entries[i] = None  # worker died: parent re-runs below
+    except Exception:
+        pass  # a broken executor degrades every pending entry to serial
+    for i, entry in enumerate(entries):
+        if entry is None:
+            entries[i] = _explain_entry(
+                label_list[i], source_list[i], top, dict(kwargs)
+            )
+    return entries

@@ -18,4 +18,10 @@ from .figures import (  # noqa: F401
 )
 from .report import collect, generate_report  # noqa: F401
 from .study import FileOutcome, StudyResult, analyze_file, run_study  # noqa: F401
-from .timing import CONFIGURATIONS, TimingResult, run_timing_study  # noqa: F401
+from .timing import (  # noqa: F401
+    CONFIGURATIONS,
+    ParallelComparison,
+    TimingResult,
+    run_parallel_comparison,
+    run_timing_study,
+)

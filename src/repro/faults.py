@@ -32,6 +32,7 @@ every failure mode on every corpus program (see ``tests/faults``).
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, fields
@@ -61,7 +62,12 @@ class FaultPlan:
     name: str = "chaos"
     #: Raise on every Nth oracle check (1 = every check).
     crash_every: Optional[int] = None
-    #: Exception flavour for injected crashes: "runtime" or "recursion".
+    #: Flavour of injected crashes: "runtime" or "recursion" raise an
+    #: exception through the crash-isolation guard; "hard-exit" kills the
+    #: whole process with ``os._exit`` — no guard can catch that, so it is
+    #: only meaningful routed into a parallel pool worker (via
+    #: ``SearchConfig.worker_fault_plan``), where it exercises true
+    #: worker-death degradation.  In-process it would kill the test runner.
     crash_kind: str = "runtime"
     #: Sleep before every Nth check.
     latency_every: Optional[int] = None
@@ -172,6 +178,8 @@ class ChaosOracle(Oracle):
             self._snapshot = _PoisonedSnapshot(self._snapshot)
         if plan.crash_every and n % plan.crash_every == 0:
             self.injected["crash"] += 1
+            if plan.crash_kind == "hard-exit":
+                os._exit(23)
             raise plan.crash_exception()
         result = super()._check_once(program)
         if (

@@ -19,6 +19,15 @@ from repro.tree import Node, Span
 from .types import Type, types_to_strings
 
 
+def _rebuild_error(cls, args, state):
+    """Unpickle helper: rebuild an error without re-running its
+    ``__init__`` (see :meth:`MiniMLTypeError.__reduce__`)."""
+    err = cls.__new__(cls)
+    Exception.__init__(err, *args)
+    err.__dict__.update(state)
+    return err
+
+
 class MiniMLTypeError(Exception):
     """Base class: any failure of the MiniML type-checker.
 
@@ -32,6 +41,15 @@ class MiniMLTypeError(Exception):
         super().__init__(message)
         self.message = message
         self.node = node
+
+    def __reduce__(self):
+        # The default exception reduce re-invokes ``cls(*self.args)``,
+        # which breaks for subclasses whose __init__ takes other
+        # parameters (e.g. TypeMismatchError's raw Type objects — already
+        # rendered to strings by construction time).  Rebuild from the
+        # final state instead, so errors survive pickling across the
+        # parallel layer's process boundary.
+        return (_rebuild_error, (type(self), self.args, self.__dict__))
 
     @property
     def span(self) -> Optional[Span]:

@@ -1,0 +1,116 @@
+"""Tests for the batch front end: ``python -m repro explain``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+ILL_TYPED = "let f x = x + 1\nlet b = f true\n"
+WELL_TYPED = "let x = 1 + 2\n"
+NO_ANSWER_BUDGET = ILL_TYPED  # paired with --max-calls 1 below
+PARSE_ERROR = "let let = (\n"
+
+
+@pytest.fixture
+def batch_dir(tmp_path):
+    (tmp_path / "bad.ml").write_text(ILL_TYPED)
+    (tmp_path / "ok.ml").write_text(WELL_TYPED)
+    sub = tmp_path / "sub"
+    sub.mkdir()
+    (sub / "nested.ml").write_text(WELL_TYPED)
+    return tmp_path
+
+
+class TestExplainSubcommand:
+    def test_table_and_exit_code(self, batch_dir, capsys):
+        code = main(["explain", str(batch_dir / "bad.ml"), str(batch_dir / "ok.ml")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ill-typed" in out
+        assert "1 ok, 1 ill-typed" in out
+
+    def test_all_ok_exit_zero(self, batch_dir, capsys):
+        assert main(["explain", str(batch_dir / "ok.ml")]) == 0
+        assert "1 ok, 0 ill-typed" in capsys.readouterr().out
+
+    def test_dir_recurses_sorted(self, batch_dir, capsys):
+        code = main(["explain", "--dir", str(batch_dir)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bad.ml" in out
+        assert "nested.ml" in out
+        assert "3 files" in out
+        # sorted order: bad.ml before ok.ml before sub/nested.ml
+        assert out.index("bad.ml") < out.index("ok.ml") < out.index("nested.ml")
+
+    def test_parse_error_exit_two(self, batch_dir, capsys):
+        broken = batch_dir / "broken.ml"
+        broken.write_text(PARSE_ERROR)
+        code = main(["explain", str(broken), str(batch_dir / "ok.ml")])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "input-error" in out
+
+    def test_missing_file_exit_two(self, batch_dir, capsys):
+        code = main(["explain", str(batch_dir / "nope.ml"), str(batch_dir / "ok.ml")])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_no_inputs_exit_two(self, capsys):
+        assert main(["explain"]) == 2
+        assert "no input files" in capsys.readouterr().err
+
+    def test_bad_dir_exit_two(self, tmp_path, capsys):
+        assert main(["explain", "--dir", str(tmp_path / "missing")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_no_answer_exit_three(self, batch_dir, capsys):
+        code = main(
+            ["explain", str(batch_dir / "bad.ml"), "--max-calls", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "no-answer" in out
+        assert "[degraded]" in out
+
+    def test_jobs_2_matches_serial(self, batch_dir, capsys):
+        main(["explain", "--dir", str(batch_dir)])
+        serial_out = capsys.readouterr().out
+        code = main(["explain", "--dir", str(batch_dir), "--jobs", "2"])
+        parallel_out = capsys.readouterr().out
+        assert code == 1
+        # The table includes per-file wall times; compare everything else.
+        strip = lambda text: [
+            line.split("0.")[0] for line in text.splitlines()
+        ]
+        assert strip(parallel_out) == strip(serial_out)
+
+    def test_verbose_prints_reports(self, batch_dir, capsys):
+        main(["explain", str(batch_dir / "bad.ml"), "--verbose"])
+        out = capsys.readouterr().out
+        assert "== " in out
+        assert "within context" in out  # a rendered suggestion made it out
+
+    def test_stats_totals(self, batch_dir, capsys):
+        main(["explain", str(batch_dir / "bad.ml"), "--stats"])
+        err = capsys.readouterr().err
+        assert "oracle calls" in err
+
+    def test_jobs_rejects_garbage(self, batch_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["explain", str(batch_dir / "ok.ml"), "--jobs", "zero"])
+
+
+class TestSingleFileJobs:
+    def test_jobs_flag_byte_identical_output(self, batch_dir, capsys):
+        serial_code = main([str(batch_dir / "bad.ml")])
+        serial_out = capsys.readouterr().out
+        parallel_code = main([str(batch_dir / "bad.ml"), "--jobs", "2"])
+        parallel_out = capsys.readouterr().out
+        assert parallel_code == serial_code == 1
+        assert parallel_out == serial_out
+
+    def test_no_dedup_flag_accepted(self, batch_dir, capsys):
+        assert main([str(batch_dir / "bad.ml"), "--no-dedup"]) == 1
+        capsys.readouterr()
