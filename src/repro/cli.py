@@ -20,6 +20,10 @@ Observability (see :mod:`repro.obs`): ``--trace out.json`` records a
 Perfetto-loadable span trace of the whole search, ``--metrics`` prints the
 full counter/histogram table, ``--cache`` turns on the oracle memo cache
 (whose hit/miss counts then show up under ``--stats``/``--metrics``).
+The flight recorder adds ``--events out.jsonl`` (one schema-versioned JSON
+line per lifecycle event) and ``--report out.json`` (the RunReport summary
+document); ``python -m repro report FILE... [--diff BASELINE]`` reads
+either format back and prints aggregate tables / regression diffs.
 
 Robustness (see :mod:`repro.core.resilience`): ``--deadline SECONDS`` puts
 a wall-clock budget on the search; budget/deadline exhaustion and oracle
@@ -52,6 +56,10 @@ exit codes:
 batch mode:
   python -m repro explain [--jobs N] FILE... [--dir DIR]
   explains many files per invocation (see `repro explain --help`)
+
+report mode:
+  python -m repro report FILE... [--diff BASELINE]
+  aggregates --events/--report output (see `repro report --help`)
 """
 
 _BATCH_EPILOG = """\
@@ -110,6 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(open at https://ui.perfetto.dev)")
     parser.add_argument("--metrics", action="store_true",
                         help="print the full telemetry counter table")
+    parser.add_argument("--events", metavar="PATH", default=None,
+                        help="write the flight-recorder event log (JSONL, "
+                             "one lifecycle event per line; read it back "
+                             "with `python -m repro report`) (MiniML only)")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="write the RunReport summary JSON (metrics + "
+                             "degradation + timing; diffable via "
+                             "`repro report --diff`) (MiniML only)")
     parser.add_argument("--cache", action="store_true",
                         help="memoize oracle results by structural key "
                              "(hit/miss counts appear under --stats)")
@@ -160,14 +176,34 @@ def build_batch_parser() -> argparse.ArgumentParser:
                              "program after the summary table")
     parser.add_argument("--stats", action="store_true",
                         help="print aggregate oracle-call/wall-time totals")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect a metrics registry per program (in "
+                             "the process that ran it), merge the "
+                             "snapshots, and print the combined table")
+    parser.add_argument("--events", metavar="PATH", default=None,
+                        help="write a flight-recorder event log for the "
+                             "batch: one search_finished line per program "
+                             "plus the merged metrics (read it back with "
+                             "`python -m repro report`)")
     return parser
 
 
 def _telemetry(args: argparse.Namespace) -> Tuple[object, object]:
-    """Build the (tracer, metrics) pair the flags ask for (else nulls)."""
+    """Build the (tracer, metrics) pair the flags ask for (else nulls).
+
+    The flight-recorder outputs (``--events``/``--report``) need a real
+    registry even without ``--metrics``/``--stats``: both carry the
+    counter dict.
+    """
     from repro.obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 
-    metrics = MetricsRegistry() if (args.metrics or args.stats) else NULL_METRICS
+    want_metrics = (
+        args.metrics
+        or args.stats
+        or getattr(args, "events", None)
+        or getattr(args, "report", None)
+    )
+    metrics = MetricsRegistry() if want_metrics else NULL_METRICS
     tracer = Tracer(metrics=metrics if metrics is not NULL_METRICS else None) \
         if args.trace else NULL_TRACER
     return tracer, metrics
@@ -183,6 +219,49 @@ def _emit_telemetry(args: argparse.Namespace, tracer, metrics) -> None:
               file=sys.stderr)
     if args.metrics:
         print(metrics.render_table(title="telemetry"), file=sys.stderr)
+
+
+def _event_log(args: argparse.Namespace):
+    """The flight-recorder event log ``--events`` asks for (else the null)."""
+    from repro.obs import EventLog, NULL_EVENTS
+
+    if getattr(args, "events", None):
+        return EventLog(args.events)
+    return NULL_EVENTS
+
+
+def _close_events(args: argparse.Namespace, events, metrics) -> None:
+    """Seal the event log: append the merged counter dict (so the JSONL
+    file is self-contained for ``repro report --diff``) and close it."""
+    from repro.obs import NULL_EVENTS, NULL_METRICS
+
+    if events is NULL_EVENTS:
+        return
+    if metrics is not NULL_METRICS:
+        events.emit("metrics", counters=metrics.counters())
+    events.close()
+    print(f"[event log written to {args.events}]", file=sys.stderr)
+
+
+def _write_run_report(
+    args: argparse.Namespace, metrics, result, elapsed_seconds: float
+) -> None:
+    """Write the RunReport summary document ``--report`` asks for."""
+    if not getattr(args, "report", None):
+        return
+    from repro.core.parallel import resolve_jobs
+    from repro.obs import NULL_METRICS, RunReport, suggestion_rows
+
+    report = RunReport.from_run(
+        metrics if metrics is not NULL_METRICS else None,
+        label=args.file,
+        jobs=resolve_jobs(args.jobs),
+        elapsed_seconds=round(elapsed_seconds, 6),
+        degradation=getattr(result, "degradation", None),
+        suggestions=suggestion_rows(getattr(result, "suggestions", []) or []),
+    )
+    report.write(args.report)
+    print(f"[run report written to {args.report}]", file=sys.stderr)
 
 
 def _checker_only_miniml(source: str) -> int:
@@ -214,6 +293,8 @@ def _note_degradation(result) -> None:
 
 
 def _run_miniml(source: str, args: argparse.Namespace) -> int:
+    import time
+
     from repro.core import Oracle, explain, fix_all
     from repro.obs import NULL_METRICS
 
@@ -221,6 +302,8 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         return _checker_only_miniml(source)
 
     tracer, metrics = _telemetry(args)
+    events = _event_log(args)
+    start = time.perf_counter()
     oracle = None
     if args.cache:
         oracle = Oracle(
@@ -245,6 +328,8 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         print()
         print(result.source, end="" if result.source.endswith("\n") else "\n")
         _emit_telemetry(args, tracer, metrics)
+        _write_run_report(args, metrics, result, time.perf_counter() - start)
+        _close_events(args, events, metrics)
         if result.ok:
             print("-- the program now type-checks", file=sys.stderr)
             return EXIT_OK
@@ -259,6 +344,8 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         deadline_seconds=args.deadline,
         jobs=args.jobs,
         dedup=not args.no_dedup,
+        events=events,
+        label=args.file,
         **telemetry_kwargs,
     )
     if result.ok:
@@ -268,6 +355,8 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         for warning in match_warnings_source(source):
             print(warning.render())
         _emit_telemetry(args, tracer, metrics)
+        _write_run_report(args, metrics, result, time.perf_counter() - start)
+        _close_events(args, events, metrics)
         return EXIT_OK
     print("Type-checker:")
     print("    " + (result.checker_message or "").replace("\n", "\n    "))
@@ -295,6 +384,8 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         print(f"oracle prefix reuse: {reused} incremental, {full} full checks"
               f"{incr_note}", file=sys.stderr)
     _emit_telemetry(args, tracer, metrics)
+    _write_run_report(args, metrics, result, time.perf_counter() - start)
+    _close_events(args, events, metrics)
     return EXIT_SUGGESTIONS if result.suggestions else EXIT_NO_ANSWER
 
 
@@ -365,6 +456,7 @@ def _run_batch(argv: Sequence[str]) -> int:
             sources.append(None)
             print(f"error: cannot read {path}: {err}", file=sys.stderr)
     readable = [i for i, s in enumerate(sources) if s is not None]
+    collect_metrics = bool(args.metrics or args.events)
     explained = explain_many(
         [sources[i] for i in readable],
         [labels[i] for i in readable],
@@ -374,6 +466,7 @@ def _run_batch(argv: Sequence[str]) -> int:
         incremental=not args.no_incremental,
         max_oracle_calls=args.max_calls,
         deadline_seconds=args.deadline,
+        collect_metrics=collect_metrics,
     )
     entries = [
         BatchEntry(label=label, error="unreadable file", report="")
@@ -407,6 +500,34 @@ def _run_batch(argv: Sequence[str]) -> int:
         total_calls = sum(e.oracle_calls for e in entries)
         print(f"[{total_calls} oracle calls, {total_time:.2f}s search time, "
               f"jobs={args.jobs}]", file=sys.stderr)
+    if collect_metrics:
+        # Per-entry registries were snapshotted where each search ran
+        # (possibly a worker process); merge them deterministically here.
+        from repro.obs import MetricsRegistry
+
+        merged = MetricsRegistry()
+        for e in entries:
+            if e.metrics:
+                merged.merge_snapshot(e.metrics)
+        if args.metrics:
+            print(merged.render_table(title="batch telemetry"), file=sys.stderr)
+        if args.events:
+            from repro.obs import EventLog
+
+            with EventLog(args.events) as events:
+                for e in entries:
+                    events.emit(
+                        "search_finished",
+                        label=e.label,
+                        ok=e.ok,
+                        suggestions=e.suggestions,
+                        oracle_calls=e.oracle_calls,
+                        degraded=e.degraded,
+                        elapsed_seconds=round(e.elapsed_seconds, 6),
+                        error=e.error,
+                    )
+                events.emit("metrics", counters=merged.counters())
+            print(f"[event log written to {args.events}]", file=sys.stderr)
     if args.verbose:
         for e in entries:
             if e.error is None and e.ok:
@@ -428,6 +549,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv)
     if argv and argv[0] == "explain":
         return _run_batch(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.obs.report import main as report_main
+
+        return report_main(argv[1:])
     args = build_parser().parse_args(argv)
     path = pathlib.Path(args.file)
     try:

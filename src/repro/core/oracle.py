@@ -61,11 +61,23 @@ import traceback
 from typing import Callable, Dict, List, Optional, Protocol, Union
 
 from repro.miniml.infer import CheckResult, snapshot_prefix, typecheck_program
-from repro.obs import NULL_METRICS
+from repro.obs import NULL_EVENTS, NULL_METRICS
 from repro.tree import DepthProbe, StructuralKeyer
 
 #: Sentinel for "derive ``max_depth`` from the interpreter's limit".
 AUTO_DEPTH = "auto"
+
+#: How a verdict was computed — the accounting "kind" a pool worker
+#: observes per candidate (by diffing its oracle's counters around the
+#: check) and ships home so :meth:`Oracle.account_verdict` can replay the
+#: exact serial accounting for each *applied* verdict.
+VERDICT_FULL = "full"                      #: from-scratch check
+VERDICT_REUSED = "reused"                  #: incremental prefix-reuse path
+VERDICT_DEPTH = "depth"                    #: depth pre-check rejection (free)
+VERDICT_INVALIDATED = "invalidated"        #: snapshot invalidated, then full
+VERDICT_FALLBACK = "fallback"              #: prefix crash healed into a full check
+VERDICT_CRASH = "crash"                    #: counted call crashed (candidate rejected)
+VERDICT_CRASH_UNCOUNTED = "crash_uncounted"  #: bookkeeping crash, never a call
 
 
 def default_max_depth() -> int:
@@ -166,6 +178,7 @@ class Oracle:
         max_depth: Union[int, str, None] = AUTO_DEPTH,
         strict: bool = False,
         crash_sample_limit: int = 5,
+        events=None,
     ):
         self._typecheck = typecheck if typecheck is not None else typecheck_program
         self.max_calls = max_calls
@@ -195,6 +208,7 @@ class Oracle:
             self._keyer = StructuralKeyer()
             self._key = self._keyer
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.events = events if events is not None else NULL_EVENTS
         self.incremental = incremental
         self.cross_check = cross_check
         if snapshot_fn is not None:
@@ -213,12 +227,23 @@ class Oracle:
 
     def _record_crash(self, err: BaseException) -> None:
         """Account one isolated crash (converted to "candidate rejected")."""
+        sample = "".join(
+            traceback.format_exception_only(type(err), err)
+        ).strip()
         self.crashes += 1
         self.metrics.incr("oracle.crashes")
         if len(self.crash_samples) < self.crash_sample_limit:
-            self.crash_samples.append(
-                "".join(traceback.format_exception_only(type(err), err)).strip()
-            )
+            self.crash_samples.append(sample)
+        self.events.emit("oracle_crash", error=sample)
+
+    def _record_crash_sample(self, sample: Optional[str]) -> None:
+        """Account a crash that happened *elsewhere* (a pool worker shipped
+        its traceback sample home with the verdict)."""
+        self.crashes += 1
+        self.metrics.incr("oracle.crashes")
+        if sample and len(self.crash_samples) < self.crash_sample_limit:
+            self.crash_samples.append(sample)
+        self.events.emit("oracle_crash", error=sample or "<worker crash>")
 
     # ------------------------------------------------------------------
     # Prefix reuse
@@ -385,7 +410,7 @@ class Oracle:
         """The boolean question the searcher actually asks."""
         return self.check(program).ok
 
-    def account_verdict(self, program, ok: bool) -> bool:
+    def account_verdict(self, program, verdict) -> bool:
         """Account a verdict computed *elsewhere* (a pool worker) as if
         :meth:`check` had computed it here, and return the verdict to use.
 
@@ -399,12 +424,35 @@ class Oracle:
         re-running the checker.  This is what makes parallel call counts,
         budget exhaustion points, and cached-mode behaviour byte-identical
         to serial.
+
+        ``verdict`` is either a plain bool (back-compat: accounted as a
+        reused check while a snapshot is armed, a full check otherwise) or
+        a record with ``ok``/``kind``/``sample`` attributes (the pool's
+        ``WorkerVerdict``), where ``kind`` is the ``VERDICT_*`` constant
+        the worker observed when it computed the verdict.  Replaying the
+        kind here — instead of bulk-merging worker counters — is what
+        makes the ``oracle.*`` counters of a ``jobs=N`` run identical to
+        a serial run's: every increment happens per *applied* verdict, so
+        candidates a worker checked but the search never applied (e.g.
+        past the budget-exhaustion point) leave no trace, exactly as if
+        they were never checked.
         """
+        if verdict is True or verdict is False:
+            ok = verdict
+            kind = VERDICT_REUSED if self._snapshot is not None else VERDICT_FULL
+            sample = None
+        else:
+            ok, kind, sample = verdict.ok, verdict.kind, verdict.sample
         if self._depth_probe is not None and self._depth_probe.exceeds(
             program, self.max_depth
         ):
             self.depth_rejections += 1
             self.metrics.incr("oracle.depth_rejected")
+            return False
+        if kind == VERDICT_CRASH_UNCOUNTED:
+            # Serial analogue: a bookkeeping crash in :meth:`check`'s outer
+            # guard — crashes counted, but never a call (or a cache miss).
+            self._record_crash_sample(sample)
             return False
         key = None
         if self._cache is not None:
@@ -421,10 +469,42 @@ class Oracle:
             self.cache_misses += 1
             self.metrics.incr("oracle.cache.misses")
         self.calls += 1
+        if kind == VERDICT_REUSED:
+            self.prefix_reused += 1
+            self.metrics.incr("oracle.prefix.reused")
+        elif kind == VERDICT_FALLBACK:
+            # Prefix crash healed into a from-scratch re-run; mirror the
+            # serial self-healing, including disarming the snapshot.
+            self._drop_snapshot()
+            self.prefix_fallbacks += 1
+            self.metrics.incr("oracle.prefix.fallbacks")
+            self._record_crash_sample(sample)
+            self.full_checks += 1
+            self.metrics.incr("oracle.full_checks")
+        elif kind == VERDICT_INVALIDATED:
+            self._drop_snapshot()
+            self.prefix_invalidated += 1
+            self.metrics.incr("oracle.prefix.invalidated")
+            self.full_checks += 1
+            self.metrics.incr("oracle.full_checks")
+        elif kind == VERDICT_CRASH:
+            # The counted check crashed after entering the full path
+            # (serial increments full_checks before the checker runs);
+            # the candidate is rejected.
+            self._record_crash_sample(sample)
+            self.full_checks += 1
+            self.metrics.incr("oracle.full_checks")
+            ok = False
+        else:  # VERDICT_FULL — and any unknown kind degrades to it
+            self.full_checks += 1
+            self.metrics.incr("oracle.full_checks")
         self.metrics.incr("oracle.calls")
         self.metrics.incr("oracle.calls.ok" if ok else "oracle.calls.fail")
         if self._cache is not None:
-            self._cache[key] = CheckResult(ok=ok)
+            # Re-tag with the *current* generation, as _check does: the
+            # fallback/invalidated kinds bumped it above, and the verdict
+            # belongs to the new regime.
+            self._cache[(self._prefix_gen, key[1])] = CheckResult(ok=ok)
         return ok
 
     def reset(self) -> None:

@@ -41,10 +41,29 @@ Batches carry the remaining wall-clock budget as a per-batch soft
 deadline: a worker that runs out of time returns the verdicts it has and
 marks the rest unchecked.
 
-Telemetry: ``parallel.batches``, ``parallel.candidates``,
-``parallel.worker_crashes``, ``parallel.fallback_checks``, plus a
-``parallel.worker`` span per worker chunk carrying the worker pid and its
-in-worker seconds.
+Telemetry (the flight-recorder contract)
+----------------------------------------
+Verdicts come home as :class:`WorkerVerdict` records carrying not just the
+boolean but *how* it was computed (a ``VERDICT_*`` accounting kind plus an
+optional crash-traceback sample), observed worker-side by diffing the
+worker oracle's counters around each check.  The searcher replays each
+applied record through :meth:`~repro.core.oracle.Oracle.account_verdict`,
+so every ``oracle.*`` counter increment happens in the parent, per applied
+verdict — which is why a ``jobs=N`` run's merged counters are identical to
+a serial run's.  When the pool's registry/tracer are live, each worker
+additionally runs a real per-batch :class:`~repro.obs.MetricsRegistry` and
+:class:`~repro.obs.Tracer` and ships the snapshot home with the batch: the
+pool merges worker histograms (``span.worker.*``) and non-oracle counters
+deterministically (worker ``oracle.*`` counters are *dropped* — the parent
+replays those), and re-parents worker trace events under the
+``parallel.batch`` span that awaited them (timestamps rebased into the
+parent's timebase, ``tid`` set to the worker pid so each worker gets its
+own Perfetto lane, args annotated with batch/chunk/worker_pid).
+
+Pool counters: ``parallel.batches``, ``parallel.candidates``,
+``parallel.worker_crashes``, ``parallel.fallback_checks``; a
+``worker_crash`` event is emitted to the pool's event log when a worker
+dies.
 """
 
 from __future__ import annotations
@@ -52,9 +71,33 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
-from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.core.oracle import (
+    VERDICT_CRASH,
+    VERDICT_CRASH_UNCOUNTED,
+    VERDICT_DEPTH,
+    VERDICT_FALLBACK,
+    VERDICT_FULL,
+    VERDICT_INVALIDATED,
+    VERDICT_REUSED,
+)
+from repro.obs import NULL_EVENTS, NULL_METRICS, NULL_TRACER
+
+
+class WorkerVerdict(NamedTuple):
+    """One pre-checked candidate: the verdict plus its accounting story.
+
+    ``kind`` is the ``VERDICT_*`` constant the worker observed (how the
+    check was computed: reused / full / crash / ...); ``sample`` carries a
+    crash-traceback line when the check crashed, so the parent's
+    degradation report keeps real samples even when the crash happened in
+    another process.
+    """
+
+    ok: bool
+    kind: str
+    sample: Optional[str] = None
 
 #: ``SearchConfig.jobs`` sentinel: use one worker per CPU.
 AUTO_JOBS = "auto"
@@ -126,50 +169,107 @@ def _seed_state(seed_token: int, seed_blob: bytes) -> Tuple[tuple, Any]:
     return state
 
 
+def _count_state(oracle) -> Tuple[int, ...]:
+    """The oracle counters whose per-check delta classifies a verdict."""
+    return (
+        oracle.calls,
+        oracle.full_checks,
+        oracle.prefix_reused,
+        oracle.prefix_fallbacks,
+        oracle.prefix_invalidated,
+        oracle.crashes,
+        oracle.depth_rejections,
+        len(oracle.crash_samples),
+    )
+
+
+def _classify(oracle, before: Tuple[int, ...], ok: bool) -> WorkerVerdict:
+    """Turn the counter delta of one ``check`` call into a verdict record.
+
+    Mirrors the serial accounting paths of :meth:`Oracle._check` — each
+    observable outcome maps to exactly one ``VERDICT_*`` kind, so the
+    parent's replay reproduces the serial counter increments.
+    """
+    after = _count_state(oracle)
+    (d_calls, _d_full, d_reused, d_fallback, d_invalid,
+     d_crash, d_depth, d_samples) = tuple(a - b for a, b in zip(after, before))
+    sample = oracle.crash_samples[-1] if d_samples else None
+    if d_depth:
+        kind = VERDICT_DEPTH
+    elif d_fallback:
+        kind = VERDICT_FALLBACK
+    elif d_crash and not d_calls:
+        kind = VERDICT_CRASH_UNCOUNTED
+    elif d_crash:
+        kind = VERDICT_CRASH
+    elif d_invalid:
+        kind = VERDICT_INVALIDATED
+    elif d_reused:
+        kind = VERDICT_REUSED
+    else:
+        kind = VERDICT_FULL
+    return WorkerVerdict(ok, kind, sample)
+
+
 def _check_batch(
     seed_token: int,
     seed_blob: bytes,
     items_blob: bytes,
     deadline_remaining: Optional[float],
+    want_metrics: bool = False,
+    want_trace: bool = False,
 ) -> Dict[str, Any]:
-    """Worker task: verdicts for one chunk of candidate suffixes.
+    """Worker task: verdict records for one chunk of candidate suffixes.
 
     ``items_blob`` is a pickled list of declaration tuples — the part of
     each candidate program after the shared prefix.  Verdicts are aligned
     by index; ``None`` marks a candidate left unchecked because the
     per-batch soft deadline ran out (the parent re-checks those serially).
+
+    When the parent's telemetry is live (``want_metrics``/``want_trace``),
+    the chunk runs under a real per-batch registry and tracer — a
+    ``worker.batch`` span around the chunk, a ``worker.check`` span per
+    candidate — and the result carries the registry snapshot and the raw
+    trace events for the pool to merge and re-parent.
     """
     from repro.miniml.ast_nodes import Program
 
     start = time.perf_counter()
     prefix_decls, oracle = _seed_state(seed_token, seed_blob)
     suffixes: List[tuple] = pickle.loads(items_blob)
-    before = (
-        oracle.calls,
-        oracle.full_checks,
-        oracle.prefix_reused,
-        oracle.crashes,
-        oracle.depth_rejections,
-    )
-    verdicts: List[Optional[bool]] = []
-    for suffix in suffixes:
-        if (
-            deadline_remaining is not None
-            and time.perf_counter() - start >= deadline_remaining
-        ):
-            verdicts.append(None)
-            continue
-        program = Program(list(prefix_decls) + list(suffix))
-        verdicts.append(oracle.passes(program))
+    registry = None
+    tracer = NULL_TRACER
+    if want_metrics or want_trace:
+        from repro.obs import MetricsRegistry, Tracer
+
+        registry = MetricsRegistry() if want_metrics else None
+        tracer = Tracer(metrics=registry, keep_events=want_trace)
+    saved_metrics = oracle.metrics
+    if registry is not None:
+        oracle.metrics = registry
+    verdicts: List[Optional[WorkerVerdict]] = []
+    try:
+        with tracer.span("worker.batch", candidates=len(suffixes)):
+            for suffix in suffixes:
+                if (
+                    deadline_remaining is not None
+                    and time.perf_counter() - start >= deadline_remaining
+                ):
+                    verdicts.append(None)
+                    continue
+                program = Program(list(prefix_decls) + list(suffix))
+                before = _count_state(oracle)
+                with tracer.span("worker.check"):
+                    ok = oracle.check(program).ok
+                verdicts.append(_classify(oracle, before, ok))
+    finally:
+        oracle.metrics = saved_metrics
     return {
         "verdicts": verdicts,
-        "calls": oracle.calls - before[0],
-        "full_checks": oracle.full_checks - before[1],
-        "prefix_reused": oracle.prefix_reused - before[2],
-        "crashes": oracle.crashes - before[3],
-        "depth_rejections": oracle.depth_rejections - before[4],
         "pid": os.getpid(),
         "seconds": time.perf_counter() - start,
+        "metrics": registry.snapshot() if registry is not None else None,
+        "trace": list(tracer.events) if want_trace else None,
     }
 
 
@@ -196,6 +296,7 @@ class WorkerPool:
         batch_size: Optional[int] = None,
         metrics=None,
         tracer=None,
+        events=None,
     ):
         self.jobs = resolve_jobs(jobs)
         #: How many candidates the searcher drains per batch round; sized
@@ -203,6 +304,7 @@ class WorkerPool:
         self.batch_size = batch_size if batch_size else max(16, 8 * self.jobs)
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.events = events if events is not None else NULL_EVENTS
         self.broken = False
         self.batches = 0
         self.candidates = 0
@@ -256,22 +358,27 @@ class WorkerPool:
         suffixes: Sequence[Sequence],
         deadline_remaining: Optional[float] = None,
         oracle=None,
-    ) -> List[Optional[bool]]:
+    ) -> List[Optional[WorkerVerdict]]:
         """Check candidate suffixes concurrently; verdicts aligned by index.
 
         Each element of ``suffixes`` is the list of declarations a
-        candidate appends to the armed prefix.  ``None`` in the result
-        means "unchecked" (broken pool, worker crash, or per-batch
-        deadline) — the caller must fall back to its own oracle for those.
-        ``oracle`` (the parent's) absorbs the workers' reuse/crash
-        accounting so ``--stats`` lines stay faithful in parallel runs.
+        candidate appends to the armed prefix.  The result holds one
+        :class:`WorkerVerdict` record per candidate (the boolean plus the
+        accounting kind the caller replays via ``account_verdict``);
+        ``None`` means "unchecked" (broken pool, worker crash, or
+        per-batch deadline) — the caller must fall back to its own oracle
+        for those.  ``oracle`` is accepted for backwards compatibility and
+        no longer consulted: all oracle accounting now flows through the
+        caller's per-verdict replay.
         """
         n = len(suffixes)
         if n == 0:
             return []
-        unchecked: List[Optional[bool]] = [None] * n
+        unchecked: List[Optional[WorkerVerdict]] = [None] * n
         if self.broken or self._seed_blob is None:
             return unchecked
+        want_metrics = self.metrics is not NULL_METRICS
+        want_trace = bool(getattr(self.tracer, "enabled", False))
         chunk = max(1, -(-n // self.jobs))  # ceil(n / jobs)
         spans = [(i, min(i + chunk, n)) for i in range(0, n, chunk)]
         try:
@@ -283,6 +390,8 @@ class WorkerPool:
                     self._seed_blob,
                     pickle.dumps([tuple(s) for s in suffixes[lo:hi]]),
                     deadline_remaining,
+                    want_metrics,
+                    want_trace,
                 )
                 for lo, hi in spans
             ]
@@ -291,11 +400,14 @@ class WorkerPool:
             return unchecked
         verdicts = unchecked
         self.batches += 1
+        batch_id = self.batches
         self.candidates += n
         self.metrics.incr("parallel.batches")
         self.metrics.incr("parallel.candidates", n)
         for index, ((lo, hi), future) in enumerate(zip(spans, futures)):
-            with self.tracer.span("parallel.worker", chunk=index) as sp:
+            with self.tracer.span(
+                "parallel.batch", batch=batch_id, chunk=index
+            ) as sp:
                 try:
                     result = future.result()
                 except Exception:
@@ -306,39 +418,36 @@ class WorkerPool:
                     sp.set("crashed", True)
                     continue
                 verdicts[lo:hi] = result["verdicts"]
-                self._absorb(result, oracle)
                 sp.set("pid", result["pid"])
                 sp.set("candidates", hi - lo)
                 sp.set("worker_seconds", round(result["seconds"], 6))
+                if result["metrics"]:
+                    # Worker oracle.* counters are dropped: the searcher
+                    # replays that accounting per applied verdict, and
+                    # merging both would double-count (or count checks the
+                    # search never applied).  Histograms and worker-local
+                    # counters merge freely.
+                    self.metrics.merge_snapshot(
+                        result["metrics"], skip_counter_prefixes=("oracle.",)
+                    )
+                if result["trace"]:
+                    self.tracer.merge_events(
+                        result["trace"],
+                        base_ts_us=sp.start_ts_us,
+                        tid=result["pid"],
+                        extra_args={
+                            "batch": batch_id,
+                            "chunk": index,
+                            "worker_pid": result["pid"],
+                        },
+                    )
         return verdicts
-
-    def _absorb(self, result: Dict[str, Any], oracle) -> None:
-        """Fold one worker chunk's oracle accounting into the parent's.
-
-        ``calls`` is deliberately *not* folded: the searcher re-accounts
-        every applied verdict against its own budget (in enumeration
-        order), which keeps call counts and budget behaviour identical to
-        a serial run.
-        """
-        metrics = self.metrics
-        if result["full_checks"]:
-            metrics.incr("oracle.full_checks", result["full_checks"])
-        if result["prefix_reused"]:
-            metrics.incr("oracle.prefix.reused", result["prefix_reused"])
-        if result["crashes"]:
-            metrics.incr("oracle.crashes", result["crashes"])
-        if result["depth_rejections"]:
-            metrics.incr("oracle.depth_rejected", result["depth_rejections"])
-        if oracle is not None:
-            oracle.full_checks += result["full_checks"]
-            oracle.prefix_reused += result["prefix_reused"]
-            oracle.crashes += result["crashes"]
-            oracle.depth_rejections += result["depth_rejections"]
 
     def _mark_broken(self) -> None:
         self.broken = True
         self.worker_crashes += 1
         self.metrics.incr("parallel.worker_crashes")
+        self.events.emit("worker_crash", batches=self.batches)
 
     # ------------------------------------------------------------------
     # Teardown

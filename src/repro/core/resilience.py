@@ -131,6 +131,27 @@ class DegradationReport:
     #: Bounded sample of crash tracebacks (see ``Oracle.crash_samples``).
     crash_samples: List[str] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # The flight-recorder hook; not a dataclass field so it stays out
+        # of __eq__/repr and (via __getstate__) out of pickles — reports
+        # cross process boundaries in batch mode, event sinks do not.
+        self._events = None
+
+    def attach_events(self, events) -> None:
+        """Hook a :class:`~repro.obs.EventLog`: every newly noted reason
+        emits a ``degraded`` event, every first shed of a phase a
+        ``phase_shed`` event, as they happen."""
+        self._events = events
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_events", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._events = None
+
     @property
     def degraded(self) -> bool:
         return bool(self.reasons)
@@ -139,10 +160,15 @@ class DegradationReport:
         """Record one degradation cause (idempotent)."""
         if reason not in self.reasons:
             self.reasons.append(reason)
+            if self._events is not None:
+                self._events.emit("degraded", reason=reason)
 
     def note_shed(self, phase: str) -> None:
         """Record that the soft deadline shed one unit of ``phase`` work."""
+        first = phase not in self.phases_shed
         self.phases_shed[phase] = self.phases_shed.get(phase, 0) + 1
+        if first and self._events is not None:
+            self._events.emit("phase_shed", phase=phase)
 
     def summary(self) -> str:
         """One-line human-readable account (the ``--stats`` line)."""

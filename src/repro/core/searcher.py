@@ -35,7 +35,7 @@ from repro.miniml.ast_nodes import (
     Program,
 )
 from repro.miniml.errors import MiniMLTypeError
-from repro.obs import NULL_METRICS, NULL_TRACER, format_path
+from repro.obs import NULL_EVENTS, NULL_METRICS, NULL_TRACER, format_path
 from repro.tree import Node, Path, StructuralKeyer, get_at, node_size, replace_at
 
 from .changes import (
@@ -201,17 +201,23 @@ class Searcher:
         config: Optional[SearchConfig] = None,
         tracer=None,
         metrics=None,
+        events=None,
     ):
         self.config = config or SearchConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.events = events if events is not None else NULL_EVENTS
         self.oracle = oracle or Oracle(
             max_calls=self.config.max_oracle_calls, metrics=self.metrics
         )
         # Adopt a caller-supplied oracle into this search's registry unless
-        # it was already wired to one of its own.
+        # it was already wired to one of its own (same for the event log).
         if self.metrics is not NULL_METRICS and self.oracle.metrics is NULL_METRICS:
             self.oracle.metrics = self.metrics
+        if self.events is not NULL_EVENTS and getattr(
+            self.oracle, "events", NULL_EVENTS
+        ) is NULL_EVENTS:
+            self.oracle.events = self.events
         self.enumerator = enumerator or MiniMLEnumerator(
             self.config.disabled_rules,
             eager=self.config.eager_enumeration,
@@ -284,6 +290,7 @@ class Searcher:
             budget=self.config.max_oracle_calls,
             deadline_seconds=self.config.deadline_seconds,
         )
+        report.attach_events(self.events)
         self.degradation = report
         self._deadline = Deadline(
             self.config.deadline_seconds, self.config.soft_deadline_fraction
@@ -296,6 +303,7 @@ class Searcher:
                 batch_size=self.config.parallel_batch_size,
                 metrics=self.metrics,
                 tracer=self.tracer,
+                events=self.events,
             )
         with self.tracer.span("search", decls=len(program.decls)) as sp:
             outcome = SearchOutcome(ok=False, program=program, degradation=report)

@@ -17,7 +17,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 from repro.miniml.ast_nodes import Program
 from repro.miniml.errors import MiniMLTypeError
 from repro.miniml.parser import parse_program
-from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs import (
+    NULL_EVENTS,
+    NULL_METRICS,
+    NULL_TRACER,
+    degradation_as_dict,
+    suggestion_rows,
+)
 
 from .changes import Suggestion
 from .enumerator import MiniMLEnumerator
@@ -98,6 +104,8 @@ def explain(
     custom_rules: Sequence = (),
     tracer=None,
     metrics=None,
+    events=None,
+    label: str = "",
     jobs: Union[int, str, None] = 1,
     dedup: bool = True,
 ) -> ExplainResult:
@@ -125,12 +133,16 @@ def explain(
     ``dedup=False`` disables the per-search duplicate-candidate memo (an
     ablation/debugging escape hatch — the memo never changes answers).
 
-    ``tracer``/``metrics`` (see :mod:`repro.obs`) switch on telemetry: a
-    :class:`~repro.obs.Tracer` records a Perfetto-loadable span tree of the
-    whole search, and a :class:`~repro.obs.MetricsRegistry` accumulates the
-    counters (oracle calls by outcome, per-rule change accounting, triage
-    rounds, suggestions ranked).  Both default to shared null objects with
-    no measurable overhead.
+    ``tracer``/``metrics``/``events`` (see :mod:`repro.obs`) switch on
+    telemetry: a :class:`~repro.obs.Tracer` records a Perfetto-loadable
+    span tree of the whole search, a :class:`~repro.obs.MetricsRegistry`
+    accumulates the counters (oracle calls by outcome, per-rule change
+    accounting, triage rounds, suggestions ranked), and an
+    :class:`~repro.obs.EventLog` receives the lifecycle record
+    (``search_started``/``search_finished``, oracle crashes, shed phases,
+    the ranked ``suggestions``, a ``degradation`` event when the search
+    gave anything up).  All default to shared null objects with no
+    measurable overhead.  ``label`` names the run in event lines.
 
     >>> result = explain('let x = 1 + true')
     >>> result.ok
@@ -140,11 +152,16 @@ def explain(
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     registry = metrics if metrics is not None else NULL_METRICS
+    events = events if events is not None else NULL_EVENTS
+    start = time.perf_counter()
     if isinstance(source, str):
         with tracer.span("parse", chars=len(source)):
             program = parse_program(source)
     else:
         program = source
+    events.emit(
+        "search_started", label=label, decls=len(program.decls), jobs=jobs
+    )
     config = SearchConfig(
         max_oracle_calls=max_oracle_calls,
         deadline_seconds=deadline_seconds,
@@ -159,11 +176,35 @@ def explain(
         jobs=jobs,
         dedup=dedup,
     )
-    searcher = Searcher(oracle=oracle, config=config, tracer=tracer, metrics=registry)
+    searcher = Searcher(
+        oracle=oracle,
+        config=config,
+        tracer=tracer,
+        metrics=registry,
+        events=events,
+    )
     outcome = searcher.search_program(program)
     with tracer.span("rank", candidates=len(outcome.suggestions)):
         ranked = rank(outcome.suggestions)
     registry.incr("rank.suggestions_ranked", len(ranked))
+    if events.enabled:
+        if ranked:
+            events.emit("suggestions", label=label, ranks=suggestion_rows(ranked))
+        if outcome.degradation is not None and outcome.degradation.degraded:
+            events.emit(
+                "degradation", **degradation_as_dict(outcome.degradation)
+            )
+        events.emit(
+            "search_finished",
+            label=label,
+            ok=outcome.ok,
+            suggestions=len(ranked),
+            oracle_calls=outcome.oracle_calls,
+            degraded=bool(
+                outcome.degradation is not None and outcome.degradation.degraded
+            ),
+            elapsed_seconds=round(time.perf_counter() - start, 6),
+        )
     return ExplainResult(
         ok=outcome.ok,
         program=program,
@@ -209,6 +250,10 @@ class BatchEntry:
     elapsed_seconds: float = 0.0
     #: PID of the process that ran the search (the parent's for serial).
     worker_pid: int = 0
+    #: The per-entry metrics snapshot (``MetricsRegistry.snapshot()``) when
+    #: the batch was run with ``collect_metrics=True`` — plain picklable
+    #: data, so it crosses process boundaries even when ``result`` cannot.
+    metrics: Optional[Dict] = None
     #: The full result when available (always for serial batches).
     result: Optional[ExplainResult] = None
 
@@ -217,9 +262,23 @@ def _explain_entry(
     label: str, source: str, top: int, kwargs: Dict
 ) -> BatchEntry:
     """Run one :func:`explain` call and package it as a :class:`BatchEntry`
-    (exceptions become error entries — this must never raise)."""
+    (exceptions become error entries — this must never raise).
+
+    ``collect_metrics=True`` in ``kwargs`` (consumed here, not forwarded)
+    runs the search under a fresh :class:`~repro.obs.MetricsRegistry` and
+    ships its snapshot in :attr:`BatchEntry.metrics` — the route batch
+    telemetry takes home from worker processes, since a live registry
+    cannot cross the boundary.
+    """
     start = time.perf_counter()
     entry = BatchEntry(label=label, worker_pid=os.getpid())
+    registry = None
+    if kwargs.pop("collect_metrics", False) and kwargs.get("metrics") is None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        kwargs["metrics"] = registry
+    kwargs.setdefault("label", label)
     try:
         result = explain(source, **kwargs)
     except Exception as err:
@@ -233,6 +292,8 @@ def _explain_entry(
         entry.oracle_calls = result.oracle_calls
         entry.degraded = result.degraded
         entry.result = result
+    if registry is not None:
+        entry.metrics = registry.snapshot()
     entry.elapsed_seconds = time.perf_counter() - start
     return entry
 
@@ -254,8 +315,12 @@ def explain_many(
     per-candidate parallelism within a single program is ``explain``'s own
     ``jobs`` parameter instead.  Remaining keyword arguments are forwarded
     to :func:`explain` verbatim; with ``jobs > 1`` they must be picklable
-    (in particular ``oracle``/``tracer``/``metrics`` objects cannot cross
-    process boundaries — leave them unset for parallel batches).
+    (in particular ``oracle``/``tracer``/``metrics``/``events`` objects
+    cannot cross process boundaries — leave them unset for parallel
+    batches).  ``collect_metrics=True`` instead runs each entry under a
+    fresh registry *where the search runs* and ships the snapshot back in
+    :attr:`BatchEntry.metrics` for the caller to merge
+    (``MetricsRegistry.merge_snapshot``).
 
     Fault tolerance matches the candidate pool: a worker-process failure
     degrades, never raises — affected programs are transparently re-run

@@ -101,6 +101,24 @@ class TimingResult:
                 out[phase] = registry.histogram(hist_name).total
         return out
 
+    def to_run_report(self, name: str, jobs: int = 1) -> "RunReport":
+        """One configuration's registry as a :class:`~repro.obs.RunReport`.
+
+        The resulting document is what ``repro report --diff`` consumes, so
+        a timing-study configuration can serve as a checked-in regression
+        baseline: counters are the deterministic diff surface, histogram
+        summaries carry the (machine-dependent) timing.
+        """
+        from repro.obs import RunReport
+
+        registry = self.metrics[name]
+        return RunReport.from_run(
+            registry,
+            label=name,
+            jobs=jobs,
+            elapsed_seconds=sum(self.curves.get(name, ())),
+        )
+
     def render_breakdown(self, name: str) -> str:
         """One-configuration per-phase summary (calls and seconds)."""
         calls = self.phase_breakdown(name)

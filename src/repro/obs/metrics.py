@@ -15,9 +15,19 @@ every call and records nothing.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 Number = Union[int, float]
+
+#: Fixed histogram bucket boundaries (seconds-flavoured, Prometheus style).
+#: Shared by every process so bucket counts merge exactly: a worker's
+#: histogram snapshot and the parent's registry bucket identically, and the
+#: Prometheus exposition (:func:`repro.obs.export.render_prometheus`) is
+#: stable across hosts.  ``+Inf`` is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
 
 class Counter:
@@ -42,14 +52,20 @@ class Histogram:
     Keeping raw samples (rather than fixed buckets) is deliberate: the
     evaluation layer builds the paper's CDF curves straight from
     :attr:`values`, and corpora are small enough (hundreds of files) that
-    memory is a non-issue.
+    memory is a non-issue.  :data:`DEFAULT_BUCKETS` supplies the fixed
+    bucket boundaries every process shares, so :meth:`bucket_counts` (the
+    Prometheus view) and :meth:`merge` agree no matter which side of a
+    process boundary the samples were observed on.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "buckets")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, buckets: Optional[Tuple[float, ...]] = None):
         self.name = name
         self.values: List[float] = []
+        self.buckets: Tuple[float, ...] = (
+            tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        )
 
     def observe(self, value: Number) -> None:
         self.values.append(float(value))
@@ -81,6 +97,56 @@ class Histogram:
         ordered = sorted(self.values)
         index = min(len(ordered) - 1, max(0, int(round(p * (len(ordered) - 1)))))
         return ordered[index]
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolation quantile, ``q`` in [0, 1].
+
+        The estimator ``repro report`` prints (p50/p90/p99 columns): with
+        no samples the answer is 0.0, with one sample it is that sample,
+        otherwise the value is interpolated between the two order
+        statistics bracketing rank ``q * (n - 1)``.
+        """
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        q = min(1.0, max(0.0, q))
+        rank = q * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def bucket_counts(self) -> List[int]:
+        """Cumulative sample counts per bucket boundary, plus ``+Inf``.
+
+        ``len(result) == len(self.buckets) + 1``; the last entry equals
+        :attr:`count` (the implicit ``+Inf`` bucket), matching Prometheus
+        histogram semantics (``le`` is inclusive).
+        """
+        counts = [0] * (len(self.buckets) + 1)
+        for value in self.values:
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+        # Make counts cumulative (Prometheus ``le`` buckets are cumulative).
+        for i in range(1, len(counts)):
+            counts[i] += counts[i - 1]
+        return counts
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one.
+
+        Append-only, so the operation is associative: merging worker
+        snapshots ``a, b, c`` groups the same way regardless of arrival
+        order ``((a+b)+c == a+(b+c))`` — the determinism the parallel
+        aggregation relies on.
+        """
+        self.values.extend(other.values)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}, n={self.count})"
@@ -184,10 +250,50 @@ class MetricsRegistry:
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry's numbers into this one."""
-        for name, counter in other._counters.items():
+        for name, counter in sorted(other._counters.items()):
             self.incr(name, counter.value)
-        for name, hist in other._histograms.items():
-            self.histogram(name).values.extend(hist.values)
+        for name, hist in sorted(other._histograms.items()):
+            self.histogram(name).merge(hist)
+
+    # -- cross-process transport ----------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-data copy of the whole registry.
+
+        The wire format worker processes ship back to the pool (and the
+        ``metrics`` section of a :class:`~repro.obs.export.RunReport`):
+        JSON- and pickle-friendly, no live objects.
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "histograms": {
+                n: list(h.values) for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(
+        self, snapshot: Dict[str, Any], *, skip_counter_prefixes: Iterable[str] = ()
+    ) -> None:
+        """Fold a :meth:`snapshot` dict into this registry, in name order.
+
+        ``skip_counter_prefixes`` drops counters the receiver re-accounts
+        itself — the pool uses it to exclude worker-side ``oracle.*``
+        counters, which the parent oracle replays per *applied* verdict so
+        that ``jobs=N`` counter totals stay byte-identical to serial (a
+        worker may check candidates the search never applies, e.g. past a
+        budget-exhaustion point).
+        """
+        prefixes = tuple(skip_counter_prefixes)
+        for name in sorted(snapshot.get("counters", ())):
+            if prefixes and name.startswith(prefixes):
+                continue
+            value = snapshot["counters"][name]
+            if value:
+                self.incr(name, value)
+        for name in sorted(snapshot.get("histograms", ())):
+            values = snapshot["histograms"][name]
+            if values:
+                self.histogram(name).values.extend(values)
 
 
 class _NullCounter:
@@ -243,6 +349,15 @@ class NullMetrics:
         return f"{title}: (disabled)"
 
     def reset(self) -> None:
+        pass
+
+    def merge(self, other) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "histograms": {}}
+
+    def merge_snapshot(self, snapshot, *, skip_counter_prefixes=()) -> None:
         pass
 
 

@@ -92,7 +92,9 @@ class TestWorkerPool:
             verdicts = pool.check_suffixes(
                 [tuple(good.decls[1:]), tuple(bad.decls[1:])]
             )
-            assert verdicts == [True, False]
+            assert [v.ok for v in verdicts] == [True, False]
+            # Workers arm the incremental prefix, so both checks ride it.
+            assert [v.kind for v in verdicts] == ["reused", "reused"]
             assert pool.batches == 1
             assert pool.candidates == 2
         finally:

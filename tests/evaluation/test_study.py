@@ -95,6 +95,21 @@ class TestTimingStudy:
         pooled = run_timing_study(corpus, max_files=3, jobs=2)
         assert pooled.oracle_calls == serial.oracle_calls
 
+    def test_to_run_report_bridge(self, corpus, tmp_path):
+        from repro.obs import RunReport
+
+        timing = run_timing_study(corpus, max_files=2)
+        report = timing.to_run_report("full tool")
+        assert report.label == "full tool"
+        assert report.counters["oracle.calls"] > 0
+        assert report.elapsed_seconds == pytest.approx(
+            sum(timing.curves["full tool"])
+        )
+        # The bridge produces a valid --diff baseline document.
+        path = tmp_path / "baseline.json"
+        report.write(path)
+        assert RunReport.load(path).counters == report.counters
+
 
 class TestParallelComparison:
     def test_serial_vs_parallel_wall_time(self, corpus):

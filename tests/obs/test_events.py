@@ -1,0 +1,144 @@
+"""Tests for the flight recorder's JSONL event log."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_EVENTS,
+    SCHEMA_VERSION,
+    EventLog,
+    EventSchemaError,
+    NullEventLog,
+    events_of,
+    read_events,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances by ``step`` per reading."""
+
+    def __init__(self, step=0.5):
+        self.now = 100.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestEventLog:
+    def test_header_and_footer(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path)
+        log.emit("search_started", label="x")
+        log.close()
+        events = read_events(path)
+        assert events[0]["type"] == "log_started"
+        assert "pid" in events[0]
+        assert events[-1]["type"] == "log_closed"
+        assert events[-1]["events"] == 2
+
+    def test_sequence_numbers_monotonic(self):
+        sink = io.StringIO()
+        log = EventLog(sink)
+        for _ in range(3):
+            log.emit("tick")
+        log.close()
+        events = read_events(sink.getvalue().splitlines())
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_timestamps_from_injected_clock(self):
+        sink = io.StringIO()
+        log = EventLog(sink, clock=FakeClock(step=0.5))
+        log.emit("tick")
+        events = read_events(sink.getvalue().splitlines())
+        # Epoch read at construction, then one reading per emit.
+        assert events[0]["t"] == pytest.approx(0.5)
+        assert events[1]["t"] == pytest.approx(1.0)
+
+    def test_every_line_carries_schema_version(self):
+        sink = io.StringIO()
+        with EventLog(sink) as log:
+            log.emit("a")
+            log.emit("b", detail=1)
+        for line in sink.getvalue().splitlines():
+            assert json.loads(line)["v"] == SCHEMA_VERSION
+
+    def test_emit_after_close_is_noop(self):
+        sink = io.StringIO()
+        log = EventLog(sink)
+        log.close()
+        before = sink.getvalue()
+        log.emit("late")
+        log.close()
+        assert sink.getvalue() == before
+
+    def test_file_sink_owned_and_closed(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            log.emit("x")
+        assert log._handle.closed
+
+    def test_filelike_sink_left_open(self):
+        sink = io.StringIO()
+        with EventLog(sink):
+            pass
+        assert not sink.closed
+
+    def test_nonserializable_fields_stringified(self):
+        sink = io.StringIO()
+        log = EventLog(sink)
+        log.emit("odd", obj=object())
+        events = read_events(sink.getvalue().splitlines())
+        assert isinstance(events[-1]["obj"], str)
+
+
+class TestReadEvents:
+    def test_rejects_unknown_version(self):
+        line = json.dumps({"v": 99, "seq": 0, "t": 0.0, "type": "x"})
+        with pytest.raises(EventSchemaError, match="unknown event schema version 99"):
+            read_events([line])
+
+    def test_rejects_missing_version(self):
+        with pytest.raises(EventSchemaError, match="unknown event schema version"):
+            read_events(['{"type": "x"}'])
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(EventSchemaError, match="not valid JSON"):
+            read_events(["{truncated"])
+
+    def test_rejects_non_object_line(self):
+        with pytest.raises(EventSchemaError, match="not an event object"):
+            read_events(["[1, 2, 3]"])
+
+    def test_skips_blank_lines(self):
+        line = json.dumps({"v": SCHEMA_VERSION, "seq": 0, "t": 0.0, "type": "x"})
+        assert len(read_events([line, "", "   ", line])) == 2
+
+    def test_error_names_offending_line(self):
+        good = json.dumps({"v": SCHEMA_VERSION, "seq": 0, "t": 0.0, "type": "x"})
+        bad = json.dumps({"v": 2, "type": "y"})
+        with pytest.raises(EventSchemaError, match="line 2"):
+            read_events([good, bad])
+
+
+class TestEventsOf:
+    def test_filters_by_type(self):
+        events = [{"type": "a"}, {"type": "b"}, {"type": "a"}]
+        assert len(events_of(events, "a")) == 2
+        assert events_of(events, "missing") == []
+
+
+class TestNullEventLog:
+    def test_singleton_disabled(self):
+        assert isinstance(NULL_EVENTS, NullEventLog)
+        assert NULL_EVENTS.enabled is False
+
+    def test_all_operations_are_noops(self):
+        NULL_EVENTS.emit("anything", arbitrary="field")
+        NULL_EVENTS.close()
+        with NULL_EVENTS as log:
+            log.emit("inside")

@@ -1,0 +1,198 @@
+"""Flight-recorder integration: cross-process aggregation, trace
+re-parenting, and lifecycle events from real searches.
+
+The acceptance bar for the telemetry aggregation is *counter identity*:
+for every corpus program, the merged metrics of a ``jobs=N`` run must be
+byte-identical to the serial run on every counter the serial path
+produces (``oracle.*``, ``search.*``, ``enum.*``); only the
+parallel-bookkeeping ``parallel.*`` counters may differ (they do not
+exist serially).  Workers may legitimately check candidates the search
+never applies, so this only holds because the pool discards worker-side
+``oracle.*`` counts and the parent oracle re-accounts each *applied*
+verdict — see ``Oracle.account_verdict`` and ``WorkerPool.check_suffixes``.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core.seminal import explain
+from repro.corpus import generate_corpus
+from repro.faults import ChaosOracle, standard_fault_plans
+from repro.obs import EventLog, MetricsRegistry, Tracer, events_of, read_events
+
+CORPUS = generate_corpus(scale=0.15, seed=11)
+
+
+def serial_comparable(registry: MetricsRegistry) -> dict:
+    """The counters the serial path produces (``parallel.*`` excluded)."""
+    return {
+        name: value
+        for name, value in registry.counters().items()
+        if not name.startswith("parallel.")
+    }
+
+
+def run_with_metrics(program: str, jobs: int) -> tuple:
+    registry = MetricsRegistry()
+    outcome = explain(program, jobs=jobs, metrics=registry)
+    return outcome, registry
+
+
+class TestParallelCounterIdentity:
+    @pytest.mark.parametrize(
+        "index", range(len(CORPUS.representatives)),
+        ids=[
+            f"{f.programmer}-{f.assignment}-{i}"
+            for i, f in enumerate(CORPUS.representatives)
+        ],
+    )
+    def test_jobs4_counters_byte_identical_to_serial(self, index):
+        program = CORPUS.representatives[index].program
+        serial_outcome, serial_reg = run_with_metrics(program, jobs=1)
+        pooled_outcome, pooled_reg = run_with_metrics(program, jobs=4)
+        assert serial_comparable(pooled_reg) == serial_comparable(serial_reg)
+        assert pooled_outcome.oracle_calls == serial_outcome.oracle_calls
+
+    def test_jobs2_metric_dicts_identical_on_corpus_program(self):
+        """The regression test for the historical under-counting bug:
+        worker-side oracle activity must neither vanish from nor
+        double-count into the merged registry."""
+        program = CORPUS.representatives[0].program
+        _, serial_reg = run_with_metrics(program, jobs=1)
+        _, pooled_reg = run_with_metrics(program, jobs=2)
+        serial = serial_comparable(serial_reg)
+        pooled = serial_comparable(pooled_reg)
+        assert pooled == serial
+        # The dict is non-trivial — the assertion above compared real work.
+        assert serial["oracle.calls"] > 0
+        assert any(k.startswith("search.") for k in serial)
+        assert any(k.startswith("enum.") for k in serial)
+
+    def test_parallel_only_counters_exist_in_pooled_run(self):
+        program = CORPUS.representatives[0].program
+        _, pooled_reg = run_with_metrics(program, jobs=2)
+        assert pooled_reg.value("parallel.batches") > 0
+        assert pooled_reg.value("parallel.candidates") > 0
+
+
+class TestTraceReparenting:
+    def test_worker_spans_reparented_under_parallel_batch(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(metrics=registry, keep_events=True)
+        program = CORPUS.representatives[0].program
+        explain(program, jobs=2, metrics=registry, tracer=tracer)
+
+        trace = json.loads(tracer.to_json())
+        events = trace["traceEvents"]
+        batches = [e for e in events if e["name"] == "parallel.batch"]
+        workers = [e for e in events if e["name"].startswith("worker.")]
+        assert batches, "no parallel.batch spans in a jobs=2 trace"
+        assert workers, "no worker spans shipped back from the pool"
+
+        batch_ids = {e["args"]["batch"] for e in batches}
+        own_pid = {e["pid"] for e in batches}.pop()
+        for worker_event in workers:
+            args = worker_event["args"]
+            # Every worker span is annotated with the parent batch it was
+            # re-parented under, and that batch span really exists.
+            assert args["batch"] in batch_ids
+            assert args["worker_pid"] == worker_event["tid"]
+            assert worker_event["pid"] == own_pid
+            parent = next(
+                e for e in batches if e["args"]["batch"] == args["batch"]
+            )
+            # Re-based timestamps: the worker span starts at or after its
+            # parent batch span's start.
+            assert worker_event["ts"] >= parent["ts"]
+
+    def test_worker_check_durations_merge_into_metrics(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(metrics=registry, keep_events=True)
+        explain(
+            CORPUS.representatives[0].program,
+            jobs=2,
+            metrics=registry,
+            tracer=tracer,
+        )
+        assert registry.values_of("span.worker.check.seconds")
+
+
+class TestLifecycleEvents:
+    def explain_events(self, program: str, **kwargs) -> list:
+        sink = io.StringIO()
+        events = EventLog(sink)
+        explain(program, events=events, label="test.ml", **kwargs)
+        events.close()
+        return read_events(sink.getvalue().splitlines())
+
+    def test_search_lifecycle_events(self):
+        events = self.explain_events(CORPUS.representatives[0].program)
+        assert events_of(events, "search_started")
+        finished = events_of(events, "search_finished")
+        assert len(finished) == 1
+        assert finished[0]["label"] == "test.ml"
+        assert finished[0]["oracle_calls"] > 0
+        assert events_of(events, "suggestions")
+
+    def test_deadline_run_emits_degraded_event(self):
+        events = self.explain_events(
+            CORPUS.representatives[0].program, deadline_seconds=1e-9
+        )
+        reasons = {e["reason"] for e in events_of(events, "degraded")}
+        assert "deadline" in reasons
+        assert events_of(events, "search_finished")[0]["degraded"] is True
+
+
+#: What each standard fault plan must leave in the event log.  The
+#: latency and cache-corruption plans do not degrade a search by
+#: themselves, so they run under a tiny deadline — the deterministic way
+#: to make the flight recorder show *something* for them too.
+FAULT_PLAN_EXPECTATIONS = {
+    "crash-every-1": ("oracle_crash", {}),
+    "crash-every-3": ("oracle_crash", {}),
+    "recursion-crash": ("oracle_crash", {}),
+    "snapshot-poison": ("degraded", {}),
+    "latency": ("degraded", {"deadline_seconds": 1e-9}),
+    "cache-corruption": ("degraded", {"deadline_seconds": 1e-9}),
+}
+
+
+class TestFaultPlanEvents:
+    """Satellite (c): every chaos plan shows up in the event log."""
+
+    @pytest.mark.parametrize("plan_name", sorted(standard_fault_plans()))
+    def test_plan_yields_matching_event(self, plan_name):
+        assert plan_name in FAULT_PLAN_EXPECTATIONS, (
+            f"new fault plan {plan_name!r}: declare which event it must emit"
+        )
+        expected_type, extra_kwargs = FAULT_PLAN_EXPECTATIONS[plan_name]
+        plan = standard_fault_plans()[plan_name]
+        # A prefix that typechecks (so snapshots arm) then a real error.
+        source = "let x = 1\nlet y = x + true"
+        sink = io.StringIO()
+        events = EventLog(sink)
+        oracle = ChaosOracle(plan, cache=True)
+        explain(source, oracle=oracle, events=events, **extra_kwargs)
+        events.close()
+        parsed = read_events(sink.getvalue().splitlines())
+        matching = events_of(parsed, expected_type)
+        assert matching, (
+            f"plan {plan_name} produced no {expected_type!r} event; "
+            f"got {[e['type'] for e in parsed]}"
+        )
+
+    def test_crash_event_carries_traceback_sample(self):
+        plan = standard_fault_plans()["crash-every-1"]
+        sink = io.StringIO()
+        events = EventLog(sink)
+        explain(
+            "let x = 1\nlet y = x + true",
+            oracle=ChaosOracle(plan),
+            events=events,
+        )
+        events.close()
+        crashes = events_of(read_events(sink.getvalue().splitlines()), "oracle_crash")
+        assert crashes
+        assert "injected oracle crash" in crashes[0]["error"]

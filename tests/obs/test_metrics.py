@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.obs import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs import DEFAULT_BUCKETS, NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.metrics import Histogram
 
 
 class TestCounters:
@@ -107,6 +108,141 @@ class TestRendering:
         a.merge(b)
         assert a.value("c") == 3
         assert a.values_of("h") == [4.0]
+
+
+class TestHistogramBuckets:
+    def test_default_buckets_shared(self):
+        h = Histogram("t")
+        assert h.buckets == DEFAULT_BUCKETS
+
+    def test_bucket_counts_length(self):
+        h = Histogram("t")
+        assert len(h.bucket_counts()) == len(h.buckets) + 1
+
+    def test_bucket_counts_are_cumulative(self):
+        h = Histogram("t", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts() == [1, 3, 4, 5]
+
+    def test_bucket_boundary_is_inclusive(self):
+        h = Histogram("t", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.bucket_counts() == [1, 1, 1]
+
+    def test_empty_bucket_counts(self):
+        h = Histogram("t", buckets=(1.0,))
+        assert h.bucket_counts() == [0, 0]
+
+
+class TestHistogramQuantile:
+    def test_empty_is_zero(self):
+        assert Histogram("t").quantile(0.5) == 0.0
+
+    def test_single_sample_is_that_sample(self):
+        h = Histogram("t")
+        h.observe(7.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 7.25
+
+    def test_interpolates_between_order_statistics(self):
+        h = Histogram("t")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(2.5)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_clamps_out_of_range(self):
+        h = Histogram("t")
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.quantile(-1.0) == 1.0
+        assert h.quantile(2.0) == 2.0
+
+    def test_order_independent(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in (5.0, 1.0, 3.0):
+            a.observe(v)
+        for v in (1.0, 3.0, 5.0):
+            b.observe(v)
+        assert a.quantile(0.9) == b.quantile(0.9)
+
+
+class TestHistogramMerge:
+    def test_merge_folds_samples(self):
+        a, b = Histogram("a"), Histogram("b")
+        a.observe(1.0)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.total == 3.0
+
+    def test_merge_is_associative(self):
+        def build(*samples):
+            h = Histogram("h")
+            for s in samples:
+                h.observe(s)
+            return h
+
+        # ((a+b)+c) vs (a+(b+c)) — same multiset, same stats and buckets.
+        left = build(1.0, 2.0)
+        left.merge(build(3.0))
+        left.merge(build(0.001, 9.0))
+
+        bc = build(3.0)
+        bc.merge(build(0.001, 9.0))
+        right = build(1.0, 2.0)
+        right.merge(bc)
+
+        assert sorted(left.values) == sorted(right.values)
+        assert left.bucket_counts() == right.bucket_counts()
+        assert left.quantile(0.5) == right.quantile(0.5)
+
+    def test_merge_empty_is_identity(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        h.merge(Histogram("other"))
+        assert h.values == [1.0]
+
+
+class TestSnapshotTransport:
+    def test_snapshot_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.incr("oracle.calls", 3)
+        reg.observe("span.x.seconds", 0.5)
+        other = MetricsRegistry()
+        other.merge_snapshot(reg.snapshot())
+        assert other.value("oracle.calls") == 3
+        assert other.values_of("span.x.seconds") == [0.5]
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.observe("b", 1.5)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_merge_snapshot_skips_prefixes(self):
+        reg = MetricsRegistry()
+        reg.incr("oracle.calls", 9)
+        reg.incr("enum.tested.removal", 2)
+        reg.observe("span.worker.check.seconds", 0.1)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(reg.snapshot(), skip_counter_prefixes=("oracle.",))
+        assert parent.value("oracle.calls") == 0
+        assert parent.value("enum.tested.removal") == 2
+        # Histograms are never skipped — timing merges freely.
+        assert parent.values_of("span.worker.check.seconds") == [0.1]
+
+    def test_merge_snapshot_is_deterministic_order(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        snap = {"counters": {"z": 1, "a": 2}, "histograms": {"h": [1.0]}}
+        a.merge_snapshot(snap)
+        b.merge_snapshot({"counters": {"a": 2, "z": 1}, "histograms": {"h": [1.0]}})
+        assert a.counters() == b.counters()
 
 
 class TestNullMetrics:

@@ -146,6 +146,53 @@ class TestTelemetryFlags:
 class TestExitCodes:
     """The documented 0/1/2/3 contract — no path leaks a raw traceback."""
 
+    def test_events_flag_writes_jsonl(self, ml_file, tmp_path, capsys):
+        from repro.obs import events_of, read_events
+
+        path = tmp_path / "run.jsonl"
+        assert main([str(ml_file), "--events", str(path)]) == 1
+        events = read_events(path)
+        assert events[0]["type"] == "log_started"
+        assert events[-1]["type"] == "log_closed"
+        assert events_of(events, "search_started")
+        finished = events_of(events, "search_finished")
+        assert finished[0]["label"] == str(ml_file)
+        assert events_of(events, "suggestions")
+        assert events_of(events, "metrics")
+
+    def test_report_flag_writes_run_report(self, ml_file, tmp_path, capsys):
+        from repro.obs import RunReport
+
+        path = tmp_path / "run.json"
+        assert main([str(ml_file), "--report", str(path)]) == 1
+        report = RunReport.load(path)
+        assert report.label == str(ml_file)
+        assert report.counters["oracle.calls"] > 0
+        assert report.suggestions[0]["rank"] == 1
+        assert report.elapsed_seconds > 0
+
+    def test_events_on_ok_program(self, ok_file, tmp_path, capsys):
+        from repro.obs import events_of, read_events
+
+        path = tmp_path / "ok.jsonl"
+        assert main([str(ok_file), "--events", str(path)]) == 0
+        finished = events_of(read_events(path), "search_finished")
+        assert finished[0]["ok"] is True
+
+    def test_report_subcommand_dispatch(self, ml_file, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        main([str(ml_file), "--events", str(events)])
+        capsys.readouterr()
+        assert main(["report", str(events)]) == 0
+        assert "flight recorder" in capsys.readouterr().out
+
+    def test_report_subcommand_diff_cycle(self, ml_file, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        baseline = tmp_path / "base.json"
+        main([str(ml_file), "--events", str(events)])
+        assert main(["report", str(events), "--save", str(baseline)]) == 0
+        assert main(["report", str(events), "--diff", str(baseline)]) == 0
+
     def test_help_documents_exit_codes(self, capsys):
         with pytest.raises(SystemExit):
             main(["--help"])

@@ -111,6 +111,38 @@ class TestSingleFileJobs:
         assert parallel_code == serial_code == 1
         assert parallel_out == serial_out
 
+    def test_metrics_flag_prints_merged_telemetry(self, batch_dir, capsys):
+        code = main(["explain", "--dir", str(batch_dir), "--metrics"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "batch telemetry" in err
+        assert "oracle.calls" in err
+
+    def test_events_flag_writes_per_file_events(self, batch_dir, tmp_path, capsys):
+        from repro.obs import events_of, read_events
+
+        path = tmp_path / "batch.jsonl"
+        code = main(["explain", "--dir", str(batch_dir), "--events", str(path)])
+        assert code == 1
+        events = read_events(path)
+        finished = events_of(events, "search_finished")
+        # One search_finished row per input file, in table order.
+        assert len(finished) == 3
+        labels = [e["label"] for e in finished]
+        assert labels == sorted(labels)
+        assert {e["ok"] for e in finished} == {True, False}
+        metrics = events_of(events, "metrics")
+        assert len(metrics) == 1
+        assert metrics[0]["counters"]["oracle.calls"] > 0
+
+    def test_batch_events_feed_report_subcommand(self, batch_dir, tmp_path, capsys):
+        path = tmp_path / "batch.jsonl"
+        main(["explain", "--dir", str(batch_dir), "--events", str(path)])
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 search(es)" in out
+
     def test_no_dedup_flag_accepted(self, batch_dir, capsys):
         assert main([str(batch_dir / "bad.ml"), "--no-dedup"]) == 1
         capsys.readouterr()
