@@ -60,6 +60,10 @@ batch mode:
 report mode:
   python -m repro report FILE... [--diff BASELINE]
   aggregates --events/--report output (see `repro report --help`)
+
+cache mode:
+  python -m repro cache stats|clear|compact --store PATH
+  inspects/maintains a persistent verdict store (see `repro cache --help`)
 """
 
 _BATCH_EPILOG = """\
@@ -129,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache", action="store_true",
                         help="memoize oracle results by structural key "
                              "(hit/miss counts appear under --stats)")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="persistent cross-run verdict store directory: "
+                             "warm-start the oracle from verdicts persisted "
+                             "by earlier runs, and persist this run's "
+                             "(answers are byte-identical either way; "
+                             "maintain with `python -m repro cache`) "
+                             "(MiniML only)")
     parser.add_argument("--no-incremental", action="store_true",
                         help="disable prefix-reuse incremental typechecking: "
                              "re-infer every candidate from the empty "
@@ -185,6 +196,11 @@ def build_batch_parser() -> argparse.ArgumentParser:
                              "batch: one search_finished line per program "
                              "plus the merged metrics (read it back with "
                              "`python -m repro report`)")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="persistent cross-run verdict store directory "
+                             "shared by every program in the batch (and by "
+                             "future runs); answers are byte-identical "
+                             "with or without it")
     return parser
 
 
@@ -312,7 +328,9 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
             incremental=not args.no_incremental,
             metrics=metrics if metrics is not NULL_METRICS else None,
         )
-    telemetry_kwargs = dict(tracer=tracer, metrics=metrics, oracle=oracle)
+    telemetry_kwargs = dict(
+        tracer=tracer, metrics=metrics, oracle=oracle, store=args.store
+    )
 
     if args.fix:
         result = fix_all(
@@ -437,6 +455,22 @@ def _run_batch(argv: Sequence[str]) -> int:
             print(f"error: not a directory: {args.dir}", file=sys.stderr)
             return EXIT_INPUT_ERROR
         paths.extend(sorted(directory.rglob("*.ml")))
+    # One row (and one search) per distinct file: a path given as FILE that
+    # also lives under --dir — or simply listed twice — is explained once,
+    # under its first-seen spelling.  Dedup by resolved path so `a.ml`,
+    # `./a.ml`, and the --dir walk's absolute form all collapse.
+    seen_resolved = set()
+    unique_paths = []
+    for path in paths:
+        try:
+            resolved = path.resolve()
+        except OSError:
+            resolved = path
+        if resolved in seen_resolved:
+            continue
+        seen_resolved.add(resolved)
+        unique_paths.append(path)
+    paths = unique_paths
     if not paths:
         print("error: no input files (pass FILE... and/or --dir DIR)",
               file=sys.stderr)
@@ -467,6 +501,7 @@ def _run_batch(argv: Sequence[str]) -> int:
         max_oracle_calls=args.max_calls,
         deadline_seconds=args.deadline,
         collect_metrics=collect_metrics,
+        store=args.store,
     )
     entries = [
         BatchEntry(label=label, error="unreadable file", report="")
@@ -553,6 +588,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.obs.report import main as report_main
 
         return report_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.store.cli import cache_main
+
+        return cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     path = pathlib.Path(args.file)
     try:

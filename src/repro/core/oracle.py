@@ -60,8 +60,11 @@ import sys
 import traceback
 from typing import Callable, Dict, List, Optional, Protocol, Union
 
+from repro.miniml.errors import MiniMLTypeError
 from repro.miniml.infer import CheckResult, snapshot_prefix, typecheck_program
 from repro.obs import NULL_EVENTS, NULL_METRICS
+from repro.store.fingerprint import NO_PREFIX_FP, prefix_fingerprint
+from repro.store.verdicts import STORABLE_KINDS
 from repro.tree import DepthProbe, StructuralKeyer
 
 #: Sentinel for "derive ``max_depth`` from the interpreter's limit".
@@ -110,6 +113,23 @@ class TypecheckFn(Protocol):
 
 def _error_text(result: CheckResult) -> Optional[str]:
     return result.error.render() if result.error is not None else None
+
+
+class StoredError(MiniMLTypeError):
+    """A checker message replayed from the persistent verdict store.
+
+    The store persists the *rendered* text (which already includes the
+    location line), so reconstruction is exact for every display path;
+    the original error's ``kind`` tag rides along for fidelity.  The
+    ``node`` payload is not persisted — store-served verdicts answer the
+    searcher's boolean question and the CLI's message display, not
+    span-level grading (which re-checks from scratch anyway).
+    """
+
+    def __init__(self, text: str, kind: Optional[str] = None):
+        super().__init__(text)
+        if kind:
+            self.kind = kind
 
 
 class Oracle:
@@ -179,6 +199,7 @@ class Oracle:
         strict: bool = False,
         crash_sample_limit: int = 5,
         events=None,
+        store=None,
     ):
         self._typecheck = typecheck if typecheck is not None else typecheck_program
         self.max_calls = max_calls
@@ -220,6 +241,18 @@ class Oracle:
         #: healed / reset): part of the memo key, so cached verdicts are
         #: scoped to the snapshot regime they were computed under.
         self._prefix_gen = 0
+        #: Content-addressed analogue of ``_prefix_gen`` for the disk
+        #: tier: the fingerprint of the armed snapshot's declarations, or
+        #: :data:`~repro.store.fingerprint.NO_PREFIX_FP` when unarmed.
+        #: ``None`` disables the store for the current regime (e.g. the
+        #: snapshot could not be fingerprinted).
+        self._prefix_fp: Optional[str] = NO_PREFIX_FP
+        self.store = None
+        self.store_hits = 0
+        self.store_misses = 0
+        self.store_writes = 0
+        if store is not None:
+            self.attach_store(store)
 
     # ------------------------------------------------------------------
     # Resilience accounting
@@ -244,6 +277,87 @@ class Oracle:
         if sample and len(self.crash_samples) < self.crash_sample_limit:
             self.crash_samples.append(sample)
         self.events.emit("oracle_crash", error=sample or "<worker crash>")
+
+    # ------------------------------------------------------------------
+    # The persistent verdict store (disk tier behind the memo)
+    # ------------------------------------------------------------------
+
+    def attach_store(self, store) -> None:
+        """Attach a :class:`~repro.store.VerdictStore` as the disk tier.
+
+        Probe order per check: memory memo → store → real check (the
+        verdict is written back to the store on the way out).  Store hits
+        still count toward ``self.calls`` (the budget and ``--stats``
+        accounting, which must be byte-identical warm or cold) but *not*
+        toward the ``oracle.calls`` metric, which counts real checker
+        invocations — that split is what makes a warm run's metric
+        strictly smaller while everything user-visible stays identical.
+        Disabled under ``cross_check`` (the point of that mode is to
+        re-run checks, not to skip them).
+        """
+        self.store = store
+        n = store.take_invalidated()
+        if n:
+            self.metrics.incr("oracle.store.invalidated", n)
+
+    @property
+    def _store_active(self) -> bool:
+        return (
+            self.store is not None
+            and not self.cross_check
+            and self._prefix_fp is not None
+        )
+
+    def _stored_result(self, entry) -> CheckResult:
+        error = None
+        if not entry.ok and entry.err is not None:
+            error = StoredError(entry.err, entry.err_kind)
+        return CheckResult(ok=entry.ok, error=error)
+
+    def _replay_stored_kind(self, kind: str) -> None:
+        """Replay the accounting a real check of this ``kind`` would have
+        done, so prefix-reuse counters (and hence ``--stats``) are
+        byte-identical whether the verdict was computed or recalled."""
+        if kind == VERDICT_REUSED:
+            self.prefix_reused += 1
+            self.metrics.incr("oracle.prefix.reused")
+            return
+        if kind == VERDICT_INVALIDATED:
+            # The original check dropped the snapshot before re-checking
+            # from scratch; mirror that so subsequent checks run (and
+            # probe the store) under the same no-prefix regime.
+            self._drop_snapshot()
+            self.prefix_invalidated += 1
+            self.metrics.incr("oracle.prefix.invalidated")
+        self.full_checks += 1
+        self.metrics.incr("oracle.full_checks")
+
+    def _store_write(self, prefix_fp, skey, result, counters_before) -> None:
+        """Persist a freshly computed verdict (parent/serial process only).
+
+        The kind is classified from the counter deltas around the check,
+        exactly as pool workers classify theirs; crash and fallback
+        outcomes are never persisted — they are checker failures, not
+        answers.  Write failures degrade silently (the store is a cache).
+        """
+        crashes, fallbacks, reused, invalidated = counters_before
+        if self.crashes != crashes or self.prefix_fallbacks != fallbacks:
+            return
+        if self.prefix_reused > reused:
+            kind = VERDICT_REUSED
+        elif self.prefix_invalidated > invalidated:
+            kind = VERDICT_INVALIDATED
+        else:
+            kind = VERDICT_FULL
+        try:
+            err = _error_text(result) if not result.ok else None
+            err_kind = getattr(result.error, "kind", None) if result.error else None
+            if self.store.put(prefix_fp, skey, result.ok, kind, err, err_kind):
+                self.store_writes += 1
+                self.metrics.incr("oracle.store.writes")
+        except Exception:
+            if self.strict:
+                raise
 
     # ------------------------------------------------------------------
     # Prefix reuse
@@ -279,6 +393,16 @@ class Oracle:
             return False
         self._snapshot = snapshot
         self._prefix_gen += 1
+        if self.store is not None:
+            try:
+                self._prefix_fp = prefix_fingerprint(
+                    self._key(decl) for decl in snapshot.decls
+                )
+            except Exception:
+                # Unfingerprintable snapshot (custom key_fn, odd decls):
+                # disable the disk tier for this regime rather than risk
+                # serving another regime's verdicts.
+                self._prefix_fp = None
         self.metrics.incr("oracle.prefix.armed")
         return True
 
@@ -286,6 +410,7 @@ class Oracle:
         if self._snapshot is not None:
             self._snapshot = None
             self._prefix_gen += 1
+        self._prefix_fp = NO_PREFIX_FP
 
     def _check_once(self, program) -> CheckResult:
         """One logical typecheck, via the armed prefix when possible."""
@@ -373,10 +498,10 @@ class Oracle:
             self.depth_rejections += 1
             self.metrics.incr("oracle.depth_rejected")
             return CheckResult(ok=False)
-        key = None
+        skey = None
         if self._cache is not None:
-            key = (self._prefix_gen, self._key(program))
-            hit = self._cache.get(key)
+            skey = self._key(program)
+            hit = self._cache.get((self._prefix_gen, skey))
             if hit is not None:
                 self.cache_hits += 1
                 self.metrics.incr("oracle.cache.hits")
@@ -388,6 +513,39 @@ class Oracle:
             self.cache_misses += 1
             self.metrics.incr("oracle.cache.misses")
         self.calls += 1
+        store_fp = None
+        if self._store_active:
+            # Disk tier: probed after the memo and *after* the budget
+            # gate and call counting — a store hit spends budget exactly
+            # like a real check, so the budget-exhaustion point (and the
+            # whole downstream search) is identical warm or cold.
+            if skey is None:
+                skey = self._key(program)
+            store_fp = self._prefix_fp
+            try:
+                stored = self.store.get(store_fp, skey)
+            except Exception:
+                # A broken probe degrades to a miss — it must never leak
+                # into the outer crash guard and reject the candidate.
+                if self.strict:
+                    raise
+                stored = None
+            if stored is not None:
+                self.store_hits += 1
+                self.metrics.incr("oracle.store.hits")
+                self._replay_stored_kind(stored.kind)
+                result = self._stored_result(stored)
+                if self._cache is not None:
+                    self._cache[(self._prefix_gen, skey)] = result
+                return result
+            self.store_misses += 1
+            self.metrics.incr("oracle.store.misses")
+        before = (
+            self.crashes,
+            self.prefix_fallbacks,
+            self.prefix_reused,
+            self.prefix_invalidated,
+        )
         try:
             result = self._check_once(program)
         except IncrementalMismatch:
@@ -399,11 +557,13 @@ class Oracle:
             result = CheckResult(ok=False)
         self.metrics.incr("oracle.calls")
         self.metrics.incr("oracle.calls.ok" if result.ok else "oracle.calls.fail")
+        if store_fp is not None:
+            self._store_write(store_fp, skey, result, before)
         if self._cache is not None:
             # Re-tag with the *current* generation: if the check itself
             # invalidated or healed away the snapshot, the result was
             # computed from scratch and belongs to the new regime.
-            self._cache[(self._prefix_gen, key[1])] = result
+            self._cache[(self._prefix_gen, skey)] = result
         return result
 
     def passes(self, program) -> bool:
@@ -441,8 +601,10 @@ class Oracle:
             ok = verdict
             kind = VERDICT_REUSED if self._snapshot is not None else VERDICT_FULL
             sample = None
+            vstore = None
         else:
             ok, kind, sample = verdict.ok, verdict.kind, verdict.sample
+            vstore = getattr(verdict, "store", None)
         if self._depth_probe is not None and self._depth_probe.exceeds(
             program, self.max_depth
         ):
@@ -469,6 +631,26 @@ class Oracle:
             self.cache_misses += 1
             self.metrics.incr("oracle.cache.misses")
         self.calls += 1
+        store_fp = self._prefix_fp if (self._store_active and vstore) else None
+        if store_fp is not None and vstore == "hit":
+            # The worker probed the store read-only and hit; replay it
+            # exactly as a serial store hit — the stored kind's counters,
+            # the store-hit metric, recency for compaction, and *no*
+            # ``oracle.calls`` metric (no checker ran anywhere).
+            self.store_hits += 1
+            self.metrics.incr("oracle.store.hits")
+            try:
+                self.store.note_hit(store_fp, self._key(program))
+            except Exception:
+                if self.strict:
+                    raise
+            self._replay_stored_kind(kind)
+            if self._cache is not None:
+                self._cache[(self._prefix_gen, key[1])] = CheckResult(ok=ok)
+            return ok
+        if store_fp is not None:
+            self.store_misses += 1
+            self.metrics.incr("oracle.store.misses")
         if kind == VERDICT_REUSED:
             self.prefix_reused += 1
             self.metrics.incr("oracle.prefix.reused")
@@ -500,6 +682,19 @@ class Oracle:
             self.metrics.incr("oracle.full_checks")
         self.metrics.incr("oracle.calls")
         self.metrics.incr("oracle.calls.ok" if ok else "oracle.calls.fail")
+        if store_fp is not None:
+            # Parent-writes discipline: workers probe read-only, and only
+            # verdicts the search actually *applies* reach this point —
+            # so speculative worker checks never touch the disk.
+            try:
+                err = getattr(verdict, "err", None) if not ok else None
+                err_kind = getattr(verdict, "err_kind", None) if not ok else None
+                if self.store.put(store_fp, self._key(program), ok, kind, err, err_kind):
+                    self.store_writes += 1
+                    self.metrics.incr("oracle.store.writes")
+            except Exception:
+                if self.strict:
+                    raise
         if self._cache is not None:
             # Re-tag with the *current* generation, as _check does: the
             # fallback/invalidated kinds bumped it above, and the verdict
@@ -526,6 +721,10 @@ class Oracle:
         self.crash_samples = []
         self._snapshot = None
         self._prefix_gen = 0
+        self._prefix_fp = NO_PREFIX_FP
+        self.store_hits = 0
+        self.store_misses = 0
+        self.store_writes = 0
         if self._cache is not None:
             self._cache = {}
         if self._keyer is not None:

@@ -93,11 +93,20 @@ class WorkerVerdict(NamedTuple):
     crash-traceback line when the check crashed, so the parent's
     degradation report keeps real samples even when the crash happened in
     another process.
+
+    When a persistent verdict store is wired in, ``store`` records whether
+    the worker's read-only probe hit (``"hit"``/``"miss"``; ``None`` when
+    no store was active) and ``err``/``err_kind`` carry the rendered
+    checker message of a failing miss — the parent, which performs all
+    store writes, persists it when it applies the verdict.
     """
 
     ok: bool
     kind: str
     sample: Optional[str] = None
+    store: Optional[str] = None
+    err: Optional[str] = None
+    err_kind: Optional[str] = None
 
 #: ``SearchConfig.jobs`` sentinel: use one worker per CPU.
 AUTO_JOBS = "auto"
@@ -154,13 +163,25 @@ def _seed_state(seed_token: int, seed_blob: bytes) -> Tuple[tuple, Any]:
     from repro.core.oracle import Oracle
     from repro.miniml.ast_nodes import Program
 
-    prefix_decls, incremental, max_depth, fault_plan = pickle.loads(seed_blob)
+    prefix_decls, incremental, max_depth, fault_plan, store_path = pickle.loads(
+        seed_blob
+    )
     if fault_plan is not None:
         from repro.faults import ChaosOracle
 
         oracle = ChaosOracle(fault_plan, incremental=incremental, max_depth=max_depth)
     else:
         oracle = Oracle(incremental=incremental, max_depth=max_depth)
+    if store_path:
+        # Workers probe the store strictly read-only: the parent performs
+        # every write when it applies verdicts, so speculative checks the
+        # search never applies leave no trace on disk.
+        try:
+            from repro.store import VerdictStore
+
+            oracle.attach_store(VerdictStore(store_path, read_only=True))
+        except Exception:
+            pass  # degrade: the worker just checks everything for real
     if prefix_decls and incremental:
         oracle.arm_prefix(Program(list(prefix_decls)), len(prefix_decls))
     _SEED_CACHE.clear()
@@ -180,10 +201,18 @@ def _count_state(oracle) -> Tuple[int, ...]:
         oracle.crashes,
         oracle.depth_rejections,
         len(oracle.crash_samples),
+        oracle.store_hits,
+        oracle.store_misses,
     )
 
 
-def _classify(oracle, before: Tuple[int, ...], ok: bool) -> WorkerVerdict:
+def _classify(
+    oracle,
+    before: Tuple[int, ...],
+    ok: bool,
+    err: Optional[str] = None,
+    err_kind: Optional[str] = None,
+) -> WorkerVerdict:
     """Turn the counter delta of one ``check`` call into a verdict record.
 
     Mirrors the serial accounting paths of :meth:`Oracle._check` — each
@@ -192,8 +221,10 @@ def _classify(oracle, before: Tuple[int, ...], ok: bool) -> WorkerVerdict:
     """
     after = _count_state(oracle)
     (d_calls, _d_full, d_reused, d_fallback, d_invalid,
-     d_crash, d_depth, d_samples) = tuple(a - b for a, b in zip(after, before))
+     d_crash, d_depth, d_samples,
+     d_store_hit, d_store_miss) = tuple(a - b for a, b in zip(after, before))
     sample = oracle.crash_samples[-1] if d_samples else None
+    store = "hit" if d_store_hit else ("miss" if d_store_miss else None)
     if d_depth:
         kind = VERDICT_DEPTH
     elif d_fallback:
@@ -208,7 +239,7 @@ def _classify(oracle, before: Tuple[int, ...], ok: bool) -> WorkerVerdict:
         kind = VERDICT_REUSED
     else:
         kind = VERDICT_FULL
-    return WorkerVerdict(ok, kind, sample)
+    return WorkerVerdict(ok, kind, sample, store, err, err_kind)
 
 
 def _check_batch(
@@ -260,8 +291,17 @@ def _check_batch(
                 program = Program(list(prefix_decls) + list(suffix))
                 before = _count_state(oracle)
                 with tracer.span("worker.check"):
-                    ok = oracle.check(program).ok
-                verdicts.append(_classify(oracle, before, ok))
+                    res = oracle.check(program)
+                err = err_kind = None
+                if oracle.store is not None and not res.ok and res.error is not None:
+                    # Ship the rendered message home so the parent's store
+                    # write preserves display fidelity for future hits.
+                    try:
+                        err = res.error.render()
+                        err_kind = getattr(res.error, "kind", None)
+                    except Exception:
+                        err = err_kind = None
+                verdicts.append(_classify(oracle, before, res.ok, err, err_kind))
     finally:
         oracle.metrics = saved_metrics
     return {
@@ -324,6 +364,7 @@ class WorkerPool:
         incremental: bool = True,
         max_depth: Optional[int] = None,
         fault_plan=None,
+        store_path: Optional[str] = None,
     ) -> None:
         """Seed workers for one search: the passing prefix plus oracle knobs.
 
@@ -332,11 +373,13 @@ class WorkerPool:
         each worker re-derives its :class:`PrefixSnapshot` at most once per
         search.  ``fault_plan`` (a :class:`repro.faults.FaultPlan`) seeds
         workers with a :class:`~repro.faults.ChaosOracle` instead — the
-        fault-injection route the chaos tests use.
+        fault-injection route the chaos tests use.  ``store_path`` points
+        workers at the parent's persistent verdict store (opened strictly
+        read-only worker-side).
         """
         self._seed_token += 1
         self._seed_blob = pickle.dumps(
-            (tuple(prefix_decls), incremental, max_depth, fault_plan)
+            (tuple(prefix_decls), incremental, max_depth, fault_plan, store_path)
         )
 
     # ------------------------------------------------------------------

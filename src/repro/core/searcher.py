@@ -323,12 +323,14 @@ class Searcher:
                         self.oracle.arm_prefix(program, bad)
                     self._prefix_decls = tuple(program.decls[:bad])
                     if self._pool is not None:
+                        store = getattr(self.oracle, "store", None)
                         self._pool.arm(
                             self._prefix_decls,
                             incremental=self.config.incremental,
                             max_depth=self.oracle.max_depth,
                             fault_plan=self.config.worker_fault_plan
                             or getattr(self.oracle, "plan", None),
+                            store_path=str(store.path) if store is not None else None,
                         )
                     # Search within the failing prefix: later declarations are
                     # ignored entirely, as in the paper ("It does not examine

@@ -108,6 +108,7 @@ def explain(
     label: str = "",
     jobs: Union[int, str, None] = 1,
     dedup: bool = True,
+    store=None,
 ) -> ExplainResult:
     """Search for type-error messages for ``source``.
 
@@ -144,6 +145,15 @@ def explain(
     gave anything up).  All default to shared null objects with no
     measurable overhead.  ``label`` names the run in event lines.
 
+    ``store`` enables the persistent cross-run verdict cache (see
+    :mod:`repro.store`): a directory path (opened here and closed on the
+    way out) or an already-open
+    :class:`~repro.store.VerdictStore` (flushed, but left open for the
+    caller).  Warm runs skip re-checking candidates seen by any earlier
+    run while keeping suggestions, ranks, and ``--stats`` byte-identical
+    to a cold or store-less run; a ``store`` event with hit/miss/write
+    counts is emitted to the event log.
+
     >>> result = explain('let x = 1 + true')
     >>> result.ok
     False
@@ -162,6 +172,25 @@ def explain(
     events.emit(
         "search_started", label=label, decls=len(program.decls), jobs=jobs
     )
+    store_obj = None
+    owns_store = False
+    if store is not None:
+        from repro.store import VerdictStore
+
+        if isinstance(store, VerdictStore):
+            store_obj = store
+        else:
+            store_obj = VerdictStore(store)
+            owns_store = True
+        if oracle is None:
+            oracle = Oracle(
+                max_calls=max_oracle_calls,
+                metrics=registry,
+                incremental=incremental,
+                store=store_obj,
+            )
+        else:
+            oracle.attach_store(store_obj)
     config = SearchConfig(
         max_oracle_calls=max_oracle_calls,
         deadline_seconds=deadline_seconds,
@@ -187,6 +216,23 @@ def explain(
     with tracer.span("rank", candidates=len(outcome.suggestions)):
         ranked = rank(outcome.suggestions)
     registry.incr("rank.suggestions_ranked", len(ranked))
+    if store_obj is not None:
+        try:
+            if owns_store:
+                store_obj.close()
+            else:
+                store_obj.flush()
+        except Exception:
+            pass  # persisting the cache is best-effort; answers stand
+        if events.enabled:
+            events.emit(
+                "store",
+                label=label,
+                path=str(store_obj.path),
+                hits=searcher.oracle.store_hits,
+                misses=searcher.oracle.store_misses,
+                writes=searcher.oracle.store_writes,
+            )
     if events.enabled:
         if ranked:
             events.emit("suggestions", label=label, ranks=suggestion_rows(ranked))

@@ -46,55 +46,114 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
-class Histogram:
-    """A named sample distribution (all observations kept, in order).
+#: How many raw samples a histogram retains (oldest kept).  ``count``,
+#: ``sum``, ``min``, ``max``, and ``bucket_counts`` stay exact forever;
+#: only quantile estimates become approximate past the cap.
+SAMPLE_CAP = 2048
 
-    Keeping raw samples (rather than fixed buckets) is deliberate: the
-    evaluation layer builds the paper's CDF curves straight from
-    :attr:`values`, and corpora are small enough (hundreds of files) that
-    memory is a non-issue.  :data:`DEFAULT_BUCKETS` supplies the fixed
-    bucket boundaries every process shares, so :meth:`bucket_counts` (the
-    Prometheus view) and :meth:`merge` agree no matter which side of a
-    process boundary the samples were observed on.
+
+class Histogram:
+    """A named sample distribution with bounded raw-sample retention.
+
+    The scalar statistics — :attr:`count`, :attr:`total`, :attr:`mean`,
+    :attr:`min`, :attr:`max` — and the fixed-boundary
+    :meth:`bucket_counts` are maintained incrementally and stay **exact**
+    no matter how many samples arrive, so a long-lived served process
+    never grows without bound.  Raw samples are additionally retained
+    (in arrival order) up to ``sample_cap``: below the cap, quantiles and
+    the evaluation layer's CDF curves are exact, as before; past it they
+    are computed from the first ``sample_cap`` observations — a bounded
+    deterministic reservoir, documented as approximate.  First-K
+    retention (rather than random sampling) keeps every operation
+    reproducible and :meth:`merge` associative: concatenate-then-truncate
+    groups the same way regardless of merge order.
+
+    :data:`DEFAULT_BUCKETS` supplies the bucket boundaries every process
+    shares, so :meth:`bucket_counts` (the Prometheus view) and
+    :meth:`merge` agree no matter which side of a process boundary the
+    samples were observed on.
     """
 
-    __slots__ = ("name", "values", "buckets")
+    __slots__ = (
+        "name", "buckets", "sample_cap",
+        "_samples", "_count", "_sum", "_min", "_max", "_raw_buckets",
+    )
 
-    def __init__(self, name: str, buckets: Optional[Tuple[float, ...]] = None):
+    def __init__(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+        sample_cap: int = SAMPLE_CAP,
+    ):
         self.name = name
-        self.values: List[float] = []
         self.buckets: Tuple[float, ...] = (
             tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
         )
+        self.sample_cap = max(1, int(sample_cap))
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
+        #: Per-bucket (non-cumulative) counts, plus the implicit ``+Inf``.
+        self._raw_buckets: List[int] = [0] * (len(self.buckets) + 1)
 
     def observe(self, value: Number) -> None:
-        self.values.append(float(value))
+        v = float(value)
+        if self._count == 0:
+            self._min = self._max = v
+        else:
+            if v < self._min:
+                self._min = v
+            if v > self._max:
+                self._max = v
+        self._count += 1
+        self._sum += v
+        for i, bound in enumerate(self.buckets):
+            if v <= bound:
+                self._raw_buckets[i] += 1
+                break
+        else:
+            self._raw_buckets[-1] += 1
+        if len(self._samples) < self.sample_cap:
+            self._samples.append(v)
+
+    @property
+    def values(self) -> List[float]:
+        """The retained raw samples (a copy; first ``sample_cap`` kept)."""
+        return list(self._samples)
+
+    @property
+    def truncated(self) -> bool:
+        """True once observations beyond ``sample_cap`` were dropped."""
+        return self._count > len(self._samples)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        return self._sum
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.values else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     @property
     def min(self) -> float:
-        return min(self.values) if self.values else 0.0
+        return self._min
 
     @property
     def max(self) -> float:
-        return max(self.values) if self.values else 0.0
+        return self._max
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 1]."""
-        if not self.values:
+        """Nearest-rank percentile, ``p`` in [0, 1] (over the retained
+        samples — approximate past ``sample_cap``)."""
+        if not self._samples:
             return 0.0
-        ordered = sorted(self.values)
+        ordered = sorted(self._samples)
         index = min(len(ordered) - 1, max(0, int(round(p * (len(ordered) - 1)))))
         return ordered[index]
 
@@ -104,11 +163,12 @@ class Histogram:
         The estimator ``repro report`` prints (p50/p90/p99 columns): with
         no samples the answer is 0.0, with one sample it is that sample,
         otherwise the value is interpolated between the two order
-        statistics bracketing rank ``q * (n - 1)``.
+        statistics bracketing rank ``q * (n - 1)``.  Computed over the
+        retained samples, so approximate past ``sample_cap``.
         """
-        if not self.values:
+        if not self._samples:
             return 0.0
-        ordered = sorted(self.values)
+        ordered = sorted(self._samples)
         if len(ordered) == 1:
             return ordered[0]
         q = min(1.0, max(0.0, q))
@@ -123,30 +183,93 @@ class Histogram:
 
         ``len(result) == len(self.buckets) + 1``; the last entry equals
         :attr:`count` (the implicit ``+Inf`` bucket), matching Prometheus
-        histogram semantics (``le`` is inclusive).
+        histogram semantics (``le`` is inclusive).  Exact at any volume —
+        bucket tallies are maintained per observation, not derived from
+        the capped raw samples.
         """
-        counts = [0] * (len(self.buckets) + 1)
-        for value in self.values:
-            for i, bound in enumerate(self.buckets):
-                if value <= bound:
-                    counts[i] += 1
-                    break
-            else:
-                counts[-1] += 1
-        # Make counts cumulative (Prometheus ``le`` buckets are cumulative).
-        for i in range(1, len(counts)):
-            counts[i] += counts[i - 1]
+        counts: List[int] = []
+        running = 0
+        for raw in self._raw_buckets:
+            running += raw
+            counts.append(running)
         return counts
 
     def merge(self, other: "Histogram") -> None:
-        """Fold another histogram's samples into this one.
+        """Fold another histogram's statistics and samples into this one.
 
-        Append-only, so the operation is associative: merging worker
-        snapshots ``a, b, c`` groups the same way regardless of arrival
-        order ``((a+b)+c == a+(b+c))`` — the determinism the parallel
+        Associative: scalar sums/extremes and per-bucket tallies are
+        order-insensitive, and the retained samples concatenate in merge
+        order then truncate to the cap — ``((a+b)+c`` and ``a+(b+c)``
+        retain the identical list — the determinism the parallel
         aggregation relies on.
         """
-        self.values.extend(other.values)
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._min, self._max = other._min, other._max
+        else:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        self._count += other._count
+        self._sum += other._sum
+        if len(other._raw_buckets) == len(self._raw_buckets):
+            for i, raw in enumerate(other._raw_buckets):
+                self._raw_buckets[i] += raw
+        else:  # mismatched boundaries: re-bucket the retained samples
+            for v in other._samples:
+                for i, bound in enumerate(self.buckets):
+                    if v <= bound:
+                        self._raw_buckets[i] += 1
+                        break
+                else:
+                    self._raw_buckets[-1] += 1
+        room = self.sample_cap - len(self._samples)
+        if room > 0:
+            self._samples.extend(other._samples[:room])
+
+    def merge_snapshot_data(self, data: Any) -> None:
+        """Fold one histogram's :meth:`MetricsRegistry.snapshot` entry in.
+
+        Accepts both wire shapes: the compact list of raw samples (the
+        only shape emitted below the cap — and by older writers), and the
+        dict carrying exact scalar/bucket state for truncated histograms.
+        """
+        if isinstance(data, dict):
+            other = Histogram(self.name, self.buckets, sample_cap=self.sample_cap)
+            other._count = int(data.get("count", 0))
+            other._sum = float(data.get("sum", 0.0))
+            other._min = float(data.get("min", 0.0))
+            other._max = float(data.get("max", 0.0))
+            other._samples = [float(v) for v in data.get("samples", [])]
+            raw = data.get("raw_buckets")
+            if raw is not None and len(raw) == len(other._raw_buckets):
+                other._raw_buckets = [int(n) for n in raw]
+            else:  # unknown boundaries: re-bucket what samples we have
+                other._raw_buckets = [0] * (len(other.buckets) + 1)
+                for v in other._samples:
+                    for i, bound in enumerate(other.buckets):
+                        if v <= bound:
+                            other._raw_buckets[i] += 1
+                            break
+                    else:
+                        other._raw_buckets[-1] += 1
+            self.merge(other)
+        else:
+            for v in data:
+                self.observe(float(v))
+
+    def snapshot_data(self) -> Any:
+        """This histogram's wire shape (see :meth:`merge_snapshot_data`)."""
+        if not self.truncated:
+            return list(self._samples)
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "raw_buckets": list(self._raw_buckets),
+            "samples": list(self._samples),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}, n={self.count})"
@@ -267,7 +390,7 @@ class MetricsRegistry:
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "histograms": {
-                n: list(h.values) for n, h in sorted(self._histograms.items())
+                n: h.snapshot_data() for n, h in sorted(self._histograms.items())
             },
         }
 
@@ -291,9 +414,9 @@ class MetricsRegistry:
             if value:
                 self.incr(name, value)
         for name in sorted(snapshot.get("histograms", ())):
-            values = snapshot["histograms"][name]
-            if values:
-                self.histogram(name).values.extend(values)
+            data = snapshot["histograms"][name]
+            if data:
+                self.histogram(name).merge_snapshot_data(data)
 
 
 class _NullCounter:

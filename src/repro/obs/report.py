@@ -294,6 +294,26 @@ def render_aggregate(agg: RunAggregate) -> str:
             rows.append(("dedup skipped", str(dedup)))
         lines.extend(_table(rows))
 
+    s_hits = agg.value("oracle.store.hits")
+    s_misses = agg.value("oracle.store.misses")
+    s_writes = agg.value("oracle.store.writes")
+    s_invalidated = agg.value("oracle.store.invalidated")
+    if s_hits or s_misses or s_writes or s_invalidated:
+        lines.append("")
+        lines.append("persistent store:")
+        rows = [
+            ("hits / misses", f"{s_hits} / {s_misses}"),
+            ("writes", str(s_writes)),
+        ]
+        if s_hits or s_misses:
+            rows.insert(
+                1,
+                ("hit rate", f"{100.0 * s_hits / (s_hits + s_misses):.1f}%"),
+            )
+        if s_invalidated:
+            rows.append(("invalidated", str(s_invalidated)))
+        lines.extend(_table(rows))
+
     crash_rows = [
         ("oracle crashes", agg.value("oracle.crashes")),
         ("depth rejections", agg.value("oracle.depth_rejected")),

@@ -1,0 +1,105 @@
+"""Content-addressed fingerprints for the persistent verdict store.
+
+A stored verdict is only reusable when three things are unchanged:
+
+* **the checker itself** — :func:`checker_fingerprint` hashes the source
+  bytes of every module the MiniML checker is built from (inference,
+  unification, types, the stdlib environment, the AST definitions) plus
+  the store schema version, so editing the type system or the standard
+  library silently invalidates every stale verdict on the next run;
+* **the incremental regime** — :func:`prefix_fingerprint` hashes the
+  structural keys of the declarations an armed
+  :class:`~repro.miniml.infer.PrefixSnapshot` covers (or the
+  :data:`NO_PREFIX_FP` sentinel when no snapshot is armed).  This is the
+  cross-process analogue of the oracle's in-memory ``_prefix_gen`` tag:
+  a verdict computed under prefix reuse is only served to a check asked
+  under the *same* prefix, which is also what makes the stored
+  accounting ``kind`` replayable;
+* **the program being asked about** — :func:`key_digest` hashes its
+  :func:`~repro.tree.structural_key` (spans and formatting never matter,
+  exactly as for the in-memory memo).
+
+All digests are truncated SHA-256 over ``repr()`` of the key material;
+structural keys are nested tuples of class names and scalar leaves, whose
+``repr`` is deterministic across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from typing import Iterable, Optional
+
+#: Bump when the on-disk entry format changes incompatibly; folded into
+#: the checker fingerprint so old segments degrade to "invalidated"
+#: instead of being misread.
+STORE_SCHEMA_VERSION = 1
+
+#: Prefix fingerprint used when no snapshot is armed (full-check regime).
+NO_PREFIX_FP = "-"
+
+#: Modules whose source defines what "the checker" means.  The stdlib is
+#: included because its typings are the environment every program is
+#: checked in; the AST module because structural keys are built from its
+#: class names and field lists.
+_CHECKER_MODULES = (
+    "repro.miniml.infer",
+    "repro.miniml.unify",
+    "repro.miniml.types",
+    "repro.miniml.stdlib",
+    "repro.miniml.ast_nodes",
+    "repro.miniml.errors",
+)
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:32]
+
+
+@lru_cache(maxsize=None)
+def checker_fingerprint() -> str:
+    """Fingerprint of the type-checker implementation currently loaded.
+
+    Cached for the life of the process (module sources cannot change
+    under a running interpreter in any way the store could honour).
+    Modules without reachable source (frozen, zipped) contribute their
+    name only — the fingerprint still distinguishes schema versions.
+    """
+    import importlib
+
+    h = hashlib.sha256()
+    h.update(f"store-schema:{STORE_SCHEMA_VERSION};".encode())
+    for name in _CHECKER_MODULES:
+        h.update(name.encode())
+        h.update(b"=")
+        try:
+            module = importlib.import_module(name)
+            path = getattr(module, "__file__", None)
+            if path:
+                with open(path, "rb") as fh:
+                    h.update(fh.read())
+        except Exception:
+            # Degrade, never raise: an unreadable module just contributes
+            # its name, weakening invalidation rather than crashing.
+            pass
+        h.update(b";")
+    return h.hexdigest()[:32]
+
+
+def key_digest(structural_key: object) -> str:
+    """Digest of one program's structural key (the per-entry address)."""
+    return _digest(repr(structural_key).encode())
+
+
+def prefix_fingerprint(prefix_keys: Optional[Iterable[object]]) -> str:
+    """Digest of the structural keys of an armed snapshot's declarations.
+
+    ``None`` (or an empty iterable) means "no snapshot armed" and maps to
+    the :data:`NO_PREFIX_FP` sentinel.
+    """
+    if prefix_keys is None:
+        return NO_PREFIX_FP
+    keys = tuple(prefix_keys)
+    if not keys:
+        return NO_PREFIX_FP
+    return _digest(repr(keys).encode())

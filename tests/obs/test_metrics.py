@@ -245,6 +245,113 @@ class TestSnapshotTransport:
         assert a.counters() == b.counters()
 
 
+class TestHistogramSampleCap:
+    """Bounded retention: exact scalars forever, capped raw samples."""
+
+    def _full(self, cap=8, extra=4):
+        h = Histogram("t", buckets=(1.0, 10.0), sample_cap=cap)
+        for i in range(cap + extra):
+            h.observe(float(i))
+        return h
+
+    def test_scalars_exact_past_cap(self):
+        h = self._full(cap=8, extra=4)
+        assert h.count == 12
+        assert h.total == sum(float(i) for i in range(12))
+        assert h.min == 0.0
+        assert h.max == 11.0
+        assert h.mean == h.total / 12
+
+    def test_bucket_counts_exact_past_cap(self):
+        h = self._full(cap=8, extra=4)
+        # values 0..11 against bounds (1.0, 10.0): 2 at <=1, 9 at <=10.
+        assert h.bucket_counts() == [2, 11, 12]
+        assert h.bucket_counts()[-1] == h.count
+
+    def test_samples_are_first_k_and_deterministic(self):
+        h = self._full(cap=8, extra=4)
+        assert h.values == [float(i) for i in range(8)]
+        assert h.truncated
+        assert not Histogram("u").truncated
+
+    def test_values_is_a_copy(self):
+        h = Histogram("t")
+        h.observe(1.0)
+        h.values.append(99.0)
+        assert h.values == [1.0]
+
+    def test_quantile_approximate_past_cap(self):
+        h = self._full(cap=8, extra=100)
+        # Quantiles come from the retained prefix — bounded, not exact.
+        assert h.quantile(1.0) == 7.0
+        assert h.max == 107.0
+
+    def test_merge_truncates_associatively(self):
+        def make(lo, n):
+            h = Histogram("t", sample_cap=4)
+            for i in range(lo, lo + n):
+                h.observe(float(i))
+            return h
+
+        left = make(0, 3)
+        left.merge(make(10, 3))
+        left.merge(make(20, 3))
+
+        tail = make(10, 3)
+        tail.merge(make(20, 3))
+        right = make(0, 3)
+        right.merge(tail)
+
+        assert left.values == right.values == [0.0, 1.0, 2.0, 10.0]
+        assert left.count == right.count == 9
+        assert left.total == right.total
+        assert left.max == right.max == 22.0
+        assert left.bucket_counts() == right.bucket_counts()
+
+    def test_merge_empty_keeps_extremes(self):
+        h = Histogram("t")
+        h.observe(5.0)
+        h.merge(Histogram("other"))
+        assert (h.count, h.min, h.max) == (1, 5.0, 5.0)
+
+    def test_snapshot_roundtrip_untruncated_is_plain_list(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        reg.observe("h", 2.0)
+        snap = reg.snapshot()
+        assert snap["histograms"]["h"] == [1.0, 2.0]  # legacy wire shape
+        other = MetricsRegistry()
+        other.merge_snapshot(snap)
+        assert other.values_of("h") == [1.0, 2.0]
+        assert other.histogram("h").count == 2
+
+    def test_snapshot_roundtrip_truncated_keeps_exact_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.sample_cap = 4
+        for i in range(10):
+            h.observe(float(i))
+        snap = reg.snapshot()
+        data = snap["histograms"]["h"]
+        assert isinstance(data, dict)
+        assert data["count"] == 10
+
+        other = MetricsRegistry()
+        other.merge_snapshot(snap)
+        merged = other.histogram("h")
+        assert merged.count == 10
+        assert merged.total == h.total
+        assert merged.max == 9.0
+        assert merged.bucket_counts() == h.bucket_counts()
+
+    def test_merge_snapshot_legacy_list_shape(self):
+        # Old writers shipped bare sample lists; they must still merge.
+        reg = MetricsRegistry()
+        reg.merge_snapshot({"counters": {}, "histograms": {"h": [0.5, 2.0]}})
+        assert reg.histogram("h").count == 2
+        assert reg.values_of("h") == [0.5, 2.0]
+
+
 class TestNullMetrics:
     def test_singleton_identity(self):
         assert NULL_METRICS is NULL_METRICS

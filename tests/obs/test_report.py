@@ -127,6 +127,20 @@ class TestAggregation:
         assert "rank 1" in text
         assert "phases shed" in text
 
+    def test_render_store_section_only_when_present(self):
+        agg = RunAggregate()
+        agg.add_counters({"oracle.calls": 5})
+        assert "persistent store" not in render_aggregate(agg)
+        agg.add_counters(
+            {"oracle.store.hits": 30, "oracle.store.misses": 10,
+             "oracle.store.writes": 10, "oracle.store.invalidated": 2}
+        )
+        text = render_aggregate(agg)
+        assert "persistent store:" in text
+        assert "30 / 10" in text
+        assert "75.0%" in text
+        assert "invalidated" in text
+
     def test_unknown_event_schema_propagates(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"v": 99, "seq": 0, "t": 0, "type": "x"}\n')
@@ -161,6 +175,15 @@ class TestDiff:
         regressions, _ = diff_against(
             self.base_agg(reused=50), self.base_agg(reused=5)
         )
+        assert regressions == []
+
+    def test_store_counters_are_never_cost(self):
+        # A warm run's store hits growing (and misses shrinking) must not
+        # fail a --diff gate against a cold baseline.
+        warm, cold = self.base_agg(), self.base_agg()
+        cold.add_counters({"oracle.store.misses": 40, "oracle.store.writes": 40})
+        warm.add_counters({"oracle.store.hits": 40, "oracle.store.misses": 1})
+        regressions, _ = diff_against(warm, cold)
         assert regressions == []
 
     def test_threshold_tolerates_growth(self):

@@ -101,6 +101,35 @@ class TestExplainSubcommand:
         with pytest.raises(SystemExit):
             main(["explain", str(batch_dir / "ok.ml"), "--jobs", "zero"])
 
+    def test_duplicate_file_listed_once(self, batch_dir, capsys):
+        bad = str(batch_dir / "bad.ml")
+        code = main(["explain", bad, bad])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.count("bad.ml") == 1
+        assert "1 files" in out
+
+    def test_file_also_under_dir_listed_once(self, batch_dir, capsys):
+        # bad.ml passed explicitly AND found by the --dir walk: one row,
+        # under its first-seen spelling (the explicit argument).
+        code = main(
+            ["explain", str(batch_dir / "bad.ml"), "--dir", str(batch_dir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.count("bad.ml") == 1
+        assert "3 files" in out
+        assert "1 ok" not in out.splitlines()[0]  # summary is the last line
+        assert "2 ok, 1 ill-typed" in out
+
+    def test_dedup_is_spelling_insensitive(self, batch_dir, capsys):
+        # `bad.ml` and `sub/../bad.ml` are the same file.
+        alias = str(batch_dir / "sub" / ".." / "bad.ml")
+        code = main(["explain", str(batch_dir / "bad.ml"), alias])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "1 files" in out
+
 
 class TestSingleFileJobs:
     def test_jobs_flag_byte_identical_output(self, batch_dir, capsys):
