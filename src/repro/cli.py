@@ -44,6 +44,8 @@ EXIT_OK = 0
 EXIT_SUGGESTIONS = 1
 EXIT_INPUT_ERROR = 2
 EXIT_NO_ANSWER = 3
+#: Conventional 128+SIGINT: Ctrl-C tears the pool down and exits cleanly.
+EXIT_INTERRUPTED = 130
 
 _EPILOG = """\
 exit codes:
@@ -52,6 +54,7 @@ exit codes:
   2  input error: unreadable/undecodable file, or a parse error
   3  ill-typed but no suggestion found — including searches degraded by
      --max-calls, --deadline, or oracle crashes (noted on stderr)
+  130  interrupted (Ctrl-C): worker processes are torn down promptly
 
 batch mode:
   python -m repro explain [--jobs N] FILE... [--dir DIR]
@@ -89,6 +92,30 @@ def _jobs_arg(value: str):
     if n < 1:
         raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {n}")
     return n
+
+
+def _fraction_arg(value: str) -> float:
+    """``--shed-fraction`` accepts a float in (0, 1]."""
+    try:
+        fraction = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if not (0.0 < fraction <= 1.0):
+        raise argparse.ArgumentTypeError(
+            f"shed fraction must be in (0, 1], got {value}"
+        )
+    return fraction
+
+
+def _positive_float_arg(value: str) -> float:
+    """A strictly positive float (watchdog limits)."""
+    try:
+        number = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}")
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,6 +179,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-dedup", action="store_true",
                         help="disable the per-search duplicate-candidate "
                              "memo (never changes answers; ablation)")
+    parser.add_argument("--shed-fraction", type=_fraction_arg, default=0.85,
+                        metavar="F",
+                        help="fraction of --deadline after which optional "
+                             "phases are shed (default 0.85) (MiniML only)")
+    parser.add_argument("--candidate-timeout", type=_positive_float_arg,
+                        default=None, metavar="SECONDS",
+                        help="per-candidate wall-clock watchdog in pooled "
+                             "workers: a check exceeding this becomes a "
+                             "clean crash verdict (MiniML only)")
+    parser.add_argument("--worker-rss-mb", type=_positive_float_arg,
+                        default=None, metavar="MIB",
+                        help="per-worker RSS ceiling: a worker past this is "
+                             "recycled after its batch, the offending check "
+                             "recorded as a crash verdict (MiniML only)")
     return parser
 
 
@@ -201,6 +242,10 @@ def build_batch_parser() -> argparse.ArgumentParser:
                              "shared by every program in the batch (and by "
                              "future runs); answers are byte-identical "
                              "with or without it")
+    parser.add_argument("--shed-fraction", type=_fraction_arg, default=0.85,
+                        metavar="F",
+                        help="fraction of --deadline after which optional "
+                             "phases are shed (default 0.85)")
     return parser
 
 
@@ -329,7 +374,8 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
             metrics=metrics if metrics is not NULL_METRICS else None,
         )
     telemetry_kwargs = dict(
-        tracer=tracer, metrics=metrics, oracle=oracle, store=args.store
+        tracer=tracer, metrics=metrics, oracle=oracle, store=args.store,
+        shed_fraction=args.shed_fraction,
     )
 
     if args.fix:
@@ -362,6 +408,8 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         deadline_seconds=args.deadline,
         jobs=args.jobs,
         dedup=not args.no_dedup,
+        candidate_timeout_seconds=args.candidate_timeout,
+        worker_rss_limit_mb=args.worker_rss_mb,
         events=events,
         label=args.file,
         **telemetry_kwargs,
@@ -451,10 +499,17 @@ def _run_batch(argv: Sequence[str]) -> int:
     paths = [pathlib.Path(f) for f in args.files]
     if args.dir is not None:
         directory = pathlib.Path(args.dir)
-        if not directory.is_dir():
-            print(f"error: not a directory: {args.dir}", file=sys.stderr)
+        # Both the existence probe and the walk can raise OSError (missing
+        # mount, permission, too-long name ...): any of it is an input
+        # error — one stderr line and exit 2, never a traceback.
+        try:
+            if not directory.is_dir():
+                print(f"error: not a directory: {args.dir}", file=sys.stderr)
+                return EXIT_INPUT_ERROR
+            paths.extend(sorted(directory.rglob("*.ml")))
+        except (OSError, ValueError) as err:
+            print(f"error: cannot scan {args.dir}: {err}", file=sys.stderr)
             return EXIT_INPUT_ERROR
-        paths.extend(sorted(directory.rglob("*.ml")))
     # One row (and one search) per distinct file: a path given as FILE that
     # also lives under --dir — or simply listed twice — is explained once,
     # under its first-seen spelling.  Dedup by resolved path so `a.ml`,
@@ -500,6 +555,7 @@ def _run_batch(argv: Sequence[str]) -> int:
         incremental=not args.no_incremental,
         max_oracle_calls=args.max_calls,
         deadline_seconds=args.deadline,
+        shed_fraction=args.shed_fraction,
         collect_metrics=collect_metrics,
         store=args.store,
     )
@@ -579,6 +635,17 @@ def _run_batch(argv: Sequence[str]) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _dispatch(argv)
+    except KeyboardInterrupt:
+        # Worker pools tear down on the way up (explain_many's executor is
+        # terminated, WorkerPool.shutdown is crash-path-safe); the user
+        # gets the conventional 128+SIGINT status, not a traceback.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+
+
+def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)

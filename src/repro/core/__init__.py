@@ -14,6 +14,10 @@ Public surface:
 * :class:`DegradationReport`/:class:`Deadline` — the fault-tolerance layer
   (:mod:`repro.core.resilience`): every search is best-effort under
   budget, deadline, or oracle crashes.
+* :class:`RestartPolicy`/:class:`CircuitBreaker` — worker-pool supervision
+  (restart backoff, breaker states, quarantine budgets), plus
+  :class:`RetryPolicy`/:func:`with_retry` (:mod:`repro.core.retry`) for
+  retrying transient I/O deterministically.
 """
 
 from .changes import (  # noqa: F401
@@ -37,6 +41,10 @@ from .oracle import BudgetExceeded, IncrementalMismatch, Oracle  # noqa: F401
 from .parallel import AUTO_JOBS, WorkerPool, resolve_jobs  # noqa: F401
 from .ranker import rank  # noqa: F401
 from .resilience import (  # noqa: F401
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
     Deadline,
     DeadlineExceeded,
     DegradationReport,
@@ -44,6 +52,8 @@ from .resilience import (  # noqa: F401
     REASON_CRASH,
     REASON_DEADLINE,
     REASON_FALLBACK,
+    RestartPolicy,
 )
+from .retry import RetryPolicy, retry, with_retry  # noqa: F401
 from .searcher import SearchConfig, Searcher, SearchOutcome, SearchStats  # noqa: F401
 from .seminal import BatchEntry, ExplainResult, explain, explain_many  # noqa: F401

@@ -299,6 +299,28 @@ class Oracle:
         n = store.take_invalidated()
         if n:
             self.metrics.incr("oracle.store.invalidated", n)
+        self._drain_store_io()
+
+    def _drain_store_io(self) -> None:
+        """Surface the store's retried/failed segment I/O (see
+        :meth:`VerdictStore.take_io_counters`) as ``oracle.store.retries``
+        / ``oracle.store.io_errors`` metrics and a ``store_io_error``
+        event — transient ``OSError``s degrade to cache misses, but the
+        supervision table should still show they happened."""
+        if self.store is None:
+            return
+        take = getattr(self.store, "take_io_counters", None)
+        if take is None:
+            return
+        try:
+            retries, errors = take()
+        except Exception:
+            return
+        if retries:
+            self.metrics.incr("oracle.store.retries", retries)
+        if errors:
+            self.metrics.incr("oracle.store.io_errors", errors)
+            self.events.emit("store_io_error", errors=errors, retries=retries)
 
     @property
     def _store_active(self) -> bool:
@@ -358,6 +380,7 @@ class Oracle:
         except Exception:
             if self.strict:
                 raise
+        self._drain_store_io()
 
     # ------------------------------------------------------------------
     # Prefix reuse
@@ -695,6 +718,7 @@ class Oracle:
             except Exception:
                 if self.strict:
                     raise
+            self._drain_store_io()
         if self._cache is not None:
             # Re-tag with the *current* generation, as _check does: the
             # fallback/invalidated kinds bumped it above, and the verdict

@@ -30,16 +30,35 @@ are pure functions of the candidate program, so only wall-clock test order
 changes — never the sequence of (candidate, verdict) applications the
 search observes.
 
-Fault tolerance
----------------
-A crashed worker degrades, never raises: any pool failure (a worker
-process dying, a broken executor, a pickling error) marks the pool broken,
-counts ``parallel.worker_crashes``, and returns "unchecked" verdicts — the
-searcher then falls back to checking those candidates serially through its
-own oracle, so the answers (and the determinism guarantee) survive.
-Batches carry the remaining wall-clock budget as a per-batch soft
-deadline: a worker that runs out of time returns the verdicts it has and
-marks the rest unchecked.
+Supervision (fault tolerance)
+-----------------------------
+A worker death degrades *one batch*, never the pool.  The pool is
+supervised: a crashed or hung worker costs one *restart* — the executor is
+torn down (hung processes terminated) and respawned after a bounded
+jitter-free exponential backoff (:class:`~repro.core.resilience
+.RestartPolicy`).  The failed batch is then *re-checked by bisection*:
+sub-chunks are probed on fresh workers until the specific candidate(s)
+that reproducibly kill workers are isolated.  A candidate that fails
+``poison_confirmations`` consecutive single-candidate probes — each on a
+freshly respawned worker, which absolves candidates that merely sat on an
+unlucky crash schedule — is **quarantined**: it is answered with a clean
+``crash`` verdict (flowing through the parent's ``account_verdict`` path,
+so it is counted as ``oracle.crashes`` exactly like a serial in-process
+crash) and never shipped to a worker again.
+
+Only a restart *storm* — more than ``max_restarts`` failed batches within
+a rolling window — trips the :class:`~repro.core.resilience
+.CircuitBreaker` open: :meth:`WorkerPool.ready` answers ``False`` and the
+searcher drains candidates serially.  After ``cooldown_seconds`` the
+breaker half-opens, the next batch probes the pool, and a clean batch
+restores parallelism mid-search.  Unrecoverable infrastructure failures
+(the submit path itself erroring) still mark the pool :attr:`broken`
+permanently, as before.
+
+Resource watchdogs (both opt-in) convert runaway checks into clean crash
+verdicts: a per-candidate wall-clock limit (worker-side ``SIGALRM``) and a
+per-worker RSS ceiling (checked between candidates; the bloated worker
+pool is recycled without charging the breaker).
 
 Telemetry (the flight-recorder contract)
 ----------------------------------------
@@ -61,15 +80,22 @@ parent's timebase, ``tid`` set to the worker pid so each worker gets its
 own Perfetto lane, args annotated with batch/chunk/worker_pid).
 
 Pool counters: ``parallel.batches``, ``parallel.candidates``,
-``parallel.worker_crashes``, ``parallel.fallback_checks``; a
-``worker_crash`` event is emitted to the pool's event log when a worker
-dies.
+``parallel.worker_crashes``, ``parallel.worker_hangs``,
+``parallel.restarts``, ``parallel.breaker.open`` / ``.half_open`` /
+``.closed``, ``parallel.quarantined``, ``parallel.quarantine.hits``,
+``parallel.quarantine.probes``, ``parallel.watchdog.timeouts``,
+``parallel.watchdog.rss``, ``parallel.fallback_checks``.  Events:
+``worker_crash``, ``worker_hang``, ``worker_restart``, ``breaker_open``,
+``breaker_half_open``, ``breaker_closed``, ``quarantine``,
+``watchdog_kill``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import signal
 import time
 from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
@@ -82,6 +108,7 @@ from repro.core.oracle import (
     VERDICT_INVALIDATED,
     VERDICT_REUSED,
 )
+from repro.core.resilience import CircuitBreaker, RestartPolicy
 from repro.obs import NULL_EVENTS, NULL_METRICS, NULL_TRACER
 
 
@@ -112,6 +139,17 @@ class WorkerVerdict(NamedTuple):
 AUTO_JOBS = "auto"
 
 Jobs = Union[int, str, None]
+
+
+class WatchdogTimeout(BaseException):
+    """A worker-side per-candidate wall-clock watchdog fired.
+
+    Deliberately a ``BaseException``: the oracle's crash guard converts
+    ``Exception`` into a rejection (and the prefix fast path would even
+    retry the check from scratch), but a watchdog kill must abort the
+    check *now* — the worker loop catches it and records a clean crash
+    verdict instead.
+    """
 
 
 def resolve_jobs(jobs: Jobs) -> int:
@@ -146,26 +184,51 @@ def _fork_context():
         return None
 
 
+def terminate_executor(executor) -> None:
+    """Tear a process pool down *promptly*: terminate worker processes
+    (a hung worker would otherwise survive ``shutdown``), then release the
+    executor without waiting.  Never raises — teardown is best-effort."""
+    try:
+        procs = list(getattr(executor, "_processes", {}).values())
+    except Exception:  # pragma: no cover - executor internals moved
+        procs = []
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - teardown best-effort
+        pass
+
+
 # ---------------------------------------------------------------------------
 # Worker side: one cached oracle per (search) seed
 # ---------------------------------------------------------------------------
 
-#: Worker-process cache: the last seed's ``(prefix_decls, oracle)``.  One
-#: entry only — a worker serves one search at a time, and a new search's
-#: first batch replaces it.
-_SEED_CACHE: Dict[int, Tuple[tuple, Any]] = {}
+#: Worker-process cache: the last seed's state tuple.  One entry only — a
+#: worker serves one search at a time, and a new search's first batch
+#: replaces it.
+_SEED_CACHE: Dict[int, Tuple] = {}
 
 
-def _seed_state(seed_token: int, seed_blob: bytes) -> Tuple[tuple, Any]:
+def _seed_state(seed_token: int, seed_blob: bytes) -> Tuple:
     state = _SEED_CACHE.get(seed_token)
     if state is not None:
         return state
     from repro.core.oracle import Oracle
     from repro.miniml.ast_nodes import Program
 
-    prefix_decls, incremental, max_depth, fault_plan, store_path = pickle.loads(
-        seed_blob
-    )
+    (
+        prefix_decls,
+        incremental,
+        max_depth,
+        fault_plan,
+        store_path,
+        candidate_timeout,
+        rss_limit_mb,
+    ) = pickle.loads(seed_blob)
     if fault_plan is not None:
         from repro.faults import ChaosOracle
 
@@ -177,15 +240,27 @@ def _seed_state(seed_token: int, seed_blob: bytes) -> Tuple[tuple, Any]:
         # every write when it applies verdicts, so speculative checks the
         # search never applies leave no trace on disk.
         try:
-            from repro.store import VerdictStore
+            store_cls = None
+            store_kwargs: Dict[str, Any] = {}
+            if fault_plan is not None and getattr(fault_plan, "store_fail_every", None):
+                from repro.faults import FlakyStore
 
-            oracle.attach_store(VerdictStore(store_path, read_only=True))
+                store_cls = FlakyStore
+                store_kwargs = dict(
+                    fail_every=fault_plan.store_fail_every,
+                    fail_streak=fault_plan.store_fail_streak,
+                )
+            if store_cls is None:
+                from repro.store import VerdictStore
+
+                store_cls = VerdictStore
+            oracle.attach_store(store_cls(store_path, read_only=True, **store_kwargs))
         except Exception:
             pass  # degrade: the worker just checks everything for real
     if prefix_decls and incremental:
         oracle.arm_prefix(Program(list(prefix_decls)), len(prefix_decls))
     _SEED_CACHE.clear()
-    state = (tuple(prefix_decls), oracle)
+    state = (tuple(prefix_decls), oracle, candidate_timeout, rss_limit_mb)
     _SEED_CACHE[seed_token] = state
     return state
 
@@ -242,6 +317,27 @@ def _classify(
     return WorkerVerdict(ok, kind, sample, store, err, err_kind)
 
 
+def _rss_mb() -> Optional[float]:
+    """This process's resident set size in MiB (``None`` if unreadable)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii", errors="replace") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # pragma: no cover - non-Linux fallback (peak, not current)
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    except Exception:  # pragma: no cover
+        return None
+
+
+def _raise_watchdog(signum, frame):  # pragma: no cover - fires via SIGALRM
+    raise WatchdogTimeout()
+
+
 def _check_batch(
     seed_token: int,
     seed_blob: bytes,
@@ -255,7 +351,15 @@ def _check_batch(
     ``items_blob`` is a pickled list of declaration tuples — the part of
     each candidate program after the shared prefix.  Verdicts are aligned
     by index; ``None`` marks a candidate left unchecked because the
-    per-batch soft deadline ran out (the parent re-checks those serially).
+    per-batch soft deadline ran out or the RSS watchdog cut the chunk
+    short (the parent re-checks those serially).
+
+    The two resource watchdogs run here, worker-side: a per-candidate
+    ``SIGALRM`` wall-clock limit converts a runaway check into a clean
+    crash verdict (``watchdog_timeouts`` in the result), and an RSS
+    ceiling checked between candidates converts a memory-hogging check to
+    a crash verdict and stops the chunk (``rss_exceeded``) so the parent
+    can recycle this worker pool.
 
     When the parent's telemetry is live (``want_metrics``/``want_trace``),
     the chunk runs under a real per-batch registry and tracer — a
@@ -266,7 +370,9 @@ def _check_batch(
     from repro.miniml.ast_nodes import Program
 
     start = time.perf_counter()
-    prefix_decls, oracle = _seed_state(seed_token, seed_blob)
+    prefix_decls, oracle, candidate_timeout, rss_limit_mb = _seed_state(
+        seed_token, seed_blob
+    )
     suffixes: List[tuple] = pickle.loads(items_blob)
     registry = None
     tracer = NULL_TRACER
@@ -278,6 +384,9 @@ def _check_batch(
     saved_metrics = oracle.metrics
     if registry is not None:
         oracle.metrics = registry
+    use_alarm = bool(candidate_timeout) and hasattr(signal, "SIGALRM")
+    watchdog_timeouts = 0
+    rss_exceeded: Optional[float] = None
     verdicts: List[Optional[WorkerVerdict]] = []
     try:
         with tracer.span("worker.batch", candidates=len(suffixes)):
@@ -290,8 +399,30 @@ def _check_batch(
                     continue
                 program = Program(list(prefix_decls) + list(suffix))
                 before = _count_state(oracle)
-                with tracer.span("worker.check"):
-                    res = oracle.check(program)
+                try:
+                    if use_alarm:
+                        old_handler = signal.signal(signal.SIGALRM, _raise_watchdog)
+                        signal.setitimer(signal.ITIMER_REAL, candidate_timeout)
+                    try:
+                        with tracer.span("worker.check"):
+                            res = oracle.check(program)
+                    finally:
+                        if use_alarm:
+                            signal.setitimer(signal.ITIMER_REAL, 0.0)
+                            signal.signal(signal.SIGALRM, old_handler)
+                except WatchdogTimeout:
+                    watchdog_timeouts += 1
+                    verdicts.append(
+                        WorkerVerdict(
+                            False,
+                            VERDICT_CRASH,
+                            sample=(
+                                "watchdog: check exceeded "
+                                f"{candidate_timeout:g}s wall-clock limit"
+                            ),
+                        )
+                    )
+                    continue
                 err = err_kind = None
                 if oracle.store is not None and not res.ok and res.error is not None:
                     # Ship the rendered message home so the parent's store
@@ -302,19 +433,36 @@ def _check_batch(
                     except Exception:
                         err = err_kind = None
                 verdicts.append(_classify(oracle, before, res.ok, err, err_kind))
+                if rss_limit_mb:
+                    rss = _rss_mb()
+                    if rss is not None and rss > rss_limit_mb:
+                        verdicts[-1] = WorkerVerdict(
+                            False,
+                            VERDICT_CRASH,
+                            sample=(
+                                f"watchdog: worker rss {rss:.0f}MiB exceeded "
+                                f"{rss_limit_mb:g}MiB ceiling"
+                            ),
+                        )
+                        rss_exceeded = rss
+                        break
     finally:
         oracle.metrics = saved_metrics
+    while len(verdicts) < len(suffixes):
+        verdicts.append(None)
     return {
         "verdicts": verdicts,
         "pid": os.getpid(),
         "seconds": time.perf_counter() - start,
         "metrics": registry.snapshot() if registry is not None else None,
         "trace": list(tracer.events) if want_trace else None,
+        "watchdog_timeouts": watchdog_timeouts,
+        "rss_exceeded": rss_exceeded,
     }
 
 
 class WorkerPool:
-    """A process pool that answers "does this candidate type-check?" in bulk.
+    """A supervised process pool answering "does this candidate type-check?".
 
     Lifecycle: the searcher creates one pool per ``search_program`` run
     (when ``SearchConfig.jobs`` resolves to more than one worker), calls
@@ -324,9 +472,14 @@ class WorkerPool:
     searches that never reach a batch pay nothing.
 
     The pool is merge-deterministic: verdicts come back aligned with the
-    submitted order regardless of which worker answered when.  Any worker
-    failure marks the pool :attr:`broken` (all subsequent batches answer
-    "unchecked" immediately) — degradation, never an exception.
+    submitted order regardless of which worker answered when.  Worker
+    deaths are *supervised* (see module docstring): the executor respawns
+    with backoff, the failed batch is bisected, reproducible killers are
+    quarantined, and only a restart storm trips the circuit breaker —
+    :meth:`ready` tells the searcher whether the next batch may go
+    parallel.  :attr:`broken` still marks the rare *permanent* failures
+    (the submit path itself erroring), after which every batch answers
+    "unchecked" immediately — degradation, never an exception.
     """
 
     def __init__(
@@ -337,6 +490,11 @@ class WorkerPool:
         metrics=None,
         tracer=None,
         events=None,
+        supervision: Optional[RestartPolicy] = None,
+        candidate_timeout: Optional[float] = None,
+        rss_limit_mb: Optional[float] = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
     ):
         self.jobs = resolve_jobs(jobs)
         #: How many candidates the searcher drains per batch round; sized
@@ -345,10 +503,26 @@ class WorkerPool:
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.events = events if events is not None else NULL_EVENTS
+        self.supervision = supervision if supervision is not None else RestartPolicy()
+        self.breaker = CircuitBreaker(
+            self.supervision, clock=clock, on_transition=self._on_breaker_transition
+        )
+        self.candidate_timeout = candidate_timeout
+        self.rss_limit_mb = rss_limit_mb
         self.broken = False
         self.batches = 0
         self.candidates = 0
         self.worker_crashes = 0
+        self.worker_hangs = 0
+        self.restarts = 0
+        self.quarantined = 0
+        self.watchdog_timeouts = 0
+        self.watchdog_rss = 0
+        self._sleep = sleep
+        self._quarantine: set = set()
+        self._poison_strikes: Dict[str, int] = {}
+        self._respawn_pending = False
+        self._recycle_pending = False
         self._executor = None
         self._seed_token = 0
         self._seed_blob: Optional[bytes] = None
@@ -379,8 +553,85 @@ class WorkerPool:
         """
         self._seed_token += 1
         self._seed_blob = pickle.dumps(
-            (tuple(prefix_decls), incremental, max_depth, fault_plan, store_path)
+            (
+                tuple(prefix_decls),
+                incremental,
+                max_depth,
+                fault_plan,
+                store_path,
+                self.candidate_timeout,
+                self.rss_limit_mb,
+            )
         )
+
+    # ------------------------------------------------------------------
+    # Supervision plumbing
+    # ------------------------------------------------------------------
+
+    def ready(self) -> bool:
+        """May the next batch go parallel?  ``False`` while the pool is
+        permanently broken or the breaker is open (an open breaker whose
+        cool-down elapsed half-opens here and answers ``True``)."""
+        return (
+            not self.broken
+            and self._seed_blob is not None
+            and self.breaker.allow()
+        )
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        counter = {
+            "open": "parallel.breaker.open",
+            "half-open": "parallel.breaker.half_open",
+            "closed": "parallel.breaker.closed",
+        }.get(new)
+        if counter:
+            self.metrics.incr(counter)
+        event = {
+            "open": "breaker_open",
+            "half-open": "breaker_half_open",
+            "closed": "breaker_closed",
+        }.get(new)
+        if event:
+            self.events.emit(
+                event, from_state=old, failures=self.breaker.recent_failures
+            )
+
+    @staticmethod
+    def _suffix_digest(suffix: Sequence) -> str:
+        """Stable per-process identity for a candidate suffix (quarantine
+        bookkeeping): digest of the same pickle that ships to workers."""
+        return hashlib.sha1(pickle.dumps(tuple(suffix))).hexdigest()
+
+    def _hang_timeout(self, deadline_remaining: Optional[float]) -> Optional[float]:
+        if self.supervision.hang_timeout_seconds is not None:
+            return self.supervision.hang_timeout_seconds
+        if deadline_remaining is not None:
+            # A healthy worker returns by the batch soft deadline; 5s of
+            # grace covers result shipping before we call it hung.
+            return deadline_remaining + 5.0
+        return None
+
+    def _teardown_workers(self) -> None:
+        """Kill the current executor (dead or hung) and schedule a
+        backed-off respawn for the next submission."""
+        executor = self._executor
+        self._executor = None
+        self._respawn_pending = True
+        if executor is not None:
+            terminate_executor(executor)
+
+    def _on_worker_crash(self) -> None:
+        self.worker_crashes += 1
+        self.metrics.incr("parallel.worker_crashes")
+        self.events.emit("worker_crash", batches=self.batches)
+        self._teardown_workers()
+
+    def _on_worker_hang(self) -> None:
+        self.worker_crashes += 1
+        self.worker_hangs += 1
+        self.metrics.incr("parallel.worker_hangs")
+        self.events.emit("worker_hang", batches=self.batches)
+        self._teardown_workers()
 
     # ------------------------------------------------------------------
     # Batch checking
@@ -388,6 +639,19 @@ class WorkerPool:
 
     def _ensure_executor(self):
         if self._executor is None:
+            if self._respawn_pending:
+                restart = self.restarts + 1
+                backoff = self.supervision.backoff_for(restart)
+                if backoff > 0:
+                    self._sleep(backoff)
+                self.restarts = restart
+                self._respawn_pending = False
+                self.metrics.incr("parallel.restarts")
+                self.events.emit(
+                    "worker_restart",
+                    restart=restart,
+                    backoff_seconds=round(backoff, 6),
+                )
             from concurrent.futures import ProcessPoolExecutor
 
             context = _fork_context()
@@ -395,6 +659,25 @@ class WorkerPool:
                 max_workers=self.jobs, mp_context=context
             )
         return self._executor
+
+    def _submit(
+        self,
+        executor,
+        suffixes: Sequence[Sequence],
+        indices: Sequence[int],
+        deadline_remaining: Optional[float],
+        want_metrics: bool,
+        want_trace: bool,
+    ):
+        return executor.submit(
+            _check_batch,
+            self._seed_token,
+            self._seed_blob,
+            pickle.dumps([tuple(suffixes[i]) for i in indices]),
+            deadline_remaining,
+            want_metrics,
+            want_trace,
+        )
 
     def check_suffixes(
         self,
@@ -408,83 +691,295 @@ class WorkerPool:
         candidate appends to the armed prefix.  The result holds one
         :class:`WorkerVerdict` record per candidate (the boolean plus the
         accounting kind the caller replays via ``account_verdict``);
-        ``None`` means "unchecked" (broken pool, worker crash, or
-        per-batch deadline) — the caller must fall back to its own oracle
-        for those.  ``oracle`` is accepted for backwards compatibility and
-        no longer consulted: all oracle accounting now flows through the
-        caller's per-verdict replay.
+        ``None`` means "unchecked" (broken pool, unrecovered worker death,
+        or per-batch deadline) — the caller must fall back to its own
+        oracle for those.  ``oracle`` is accepted for backwards
+        compatibility and no longer consulted: all oracle accounting now
+        flows through the caller's per-verdict replay.
         """
         n = len(suffixes)
         if n == 0:
             return []
-        unchecked: List[Optional[WorkerVerdict]] = [None] * n
-        if self.broken or self._seed_blob is None:
-            return unchecked
+        verdicts: List[Optional[WorkerVerdict]] = [None] * n
+        if self.broken or self._seed_blob is None or not self.breaker.allow():
+            return verdicts
         want_metrics = self.metrics is not NULL_METRICS
         want_trace = bool(getattr(self.tracer, "enabled", False))
-        chunk = max(1, -(-n // self.jobs))  # ceil(n / jobs)
-        spans = [(i, min(i + chunk, n)) for i in range(0, n, chunk)]
+        # Quarantine pre-filter: candidates already convicted of killing
+        # workers are answered locally with a crash verdict — the parent's
+        # account_verdict replay counts them as oracle.crashes, exactly
+        # like a serial in-process crash.
+        live = list(range(n))
+        if self._quarantine:
+            live = []
+            for i in range(n):
+                digest = self._suffix_digest(suffixes[i])
+                if digest in self._quarantine:
+                    verdicts[i] = WorkerVerdict(
+                        False,
+                        VERDICT_CRASH,
+                        sample="quarantined: candidate reproducibly kills workers",
+                    )
+                    self.metrics.incr("parallel.quarantine.hits")
+                else:
+                    live.append(i)
+            if not live:
+                return verdicts
+        chunk = max(1, -(-len(live) // self.jobs))  # ceil(len / jobs)
+        chunks = [live[i : i + chunk] for i in range(0, len(live), chunk)]
+        from concurrent.futures.process import BrokenProcessPool
+
         try:
             executor = self._ensure_executor()
-            futures = [
-                executor.submit(
-                    _check_batch,
-                    self._seed_token,
-                    self._seed_blob,
-                    pickle.dumps([tuple(s) for s in suffixes[lo:hi]]),
-                    deadline_remaining,
-                    want_metrics,
-                    want_trace,
-                )
-                for lo, hi in spans
-            ]
         except Exception:
             self._mark_broken()
-            return unchecked
-        verdicts = unchecked
+            return verdicts
+        futures = []
+        for idxs in chunks:
+            try:
+                futures.append(
+                    self._submit(
+                        executor, suffixes, idxs, deadline_remaining,
+                        want_metrics, want_trace,
+                    )
+                )
+            except BrokenProcessPool:
+                # Fork workers start instantly: a chunk submitted a moment
+                # ago may have already killed its worker, breaking the
+                # executor before the remaining chunks could be submitted.
+                # A supervised death, not infrastructure breakage — the
+                # unsubmitted chunks join the recovery set below.
+                self._on_worker_crash()
+                break
+            except Exception:
+                # The submit path itself failing (pickling error, spawn
+                # failure) is unrecoverable infrastructure breakage.
+                self._mark_broken()
+                return verdicts
         self.batches += 1
         batch_id = self.batches
         self.candidates += n
         self.metrics.incr("parallel.batches")
         self.metrics.incr("parallel.candidates", n)
-        for index, ((lo, hi), future) in enumerate(zip(spans, futures)):
+        hang_timeout = self._hang_timeout(deadline_remaining)
+        # A submit-time death already tore the executor down: salvage what
+        # finished, send everything else (submitted or not) to recovery.
+        died = len(futures) < len(chunks)
+        failed: List[List[int]] = [list(idxs) for idxs in chunks[len(futures):]]
+        for index, (idxs, future) in enumerate(zip(chunks, futures)):
             with self.tracer.span(
                 "parallel.batch", batch=batch_id, chunk=index
             ) as sp:
-                try:
-                    result = future.result()
-                except Exception:
-                    # One dead worker poisons the executor; degrade the
-                    # whole pool and leave this chunk (and any later ones)
-                    # unchecked for the caller's serial fallback.
-                    self._mark_broken()
+                result = None
+                if died:
+                    # The executor is already torn down; salvage chunks
+                    # that finished before the death, leave the rest for
+                    # bisection recovery.
+                    result = self._result_now(future)
+                else:
+                    from concurrent.futures import TimeoutError as FuturesTimeout
+
+                    try:
+                        result = future.result(timeout=hang_timeout)
+                    except FuturesTimeout:
+                        self._on_worker_hang()
+                        died = True
+                    except Exception:
+                        self._on_worker_crash()
+                        died = True
+                if result is None:
+                    failed.append(list(idxs))
                     sp.set("crashed", True)
                     continue
-                verdicts[lo:hi] = result["verdicts"]
-                sp.set("pid", result["pid"])
-                sp.set("candidates", hi - lo)
-                sp.set("worker_seconds", round(result["seconds"], 6))
-                if result["metrics"]:
-                    # Worker oracle.* counters are dropped: the searcher
-                    # replays that accounting per applied verdict, and
-                    # merging both would double-count (or count checks the
-                    # search never applied).  Histograms and worker-local
-                    # counters merge freely.
-                    self.metrics.merge_snapshot(
-                        result["metrics"], skip_counter_prefixes=("oracle.",)
-                    )
-                if result["trace"]:
-                    self.tracer.merge_events(
-                        result["trace"],
-                        base_ts_us=sp.start_ts_us,
-                        tid=result["pid"],
-                        extra_args={
-                            "batch": batch_id,
-                            "chunk": index,
-                            "worker_pid": result["pid"],
-                        },
-                    )
+                self._absorb(result, idxs, verdicts, batch_id, index, sp)
+        if failed:
+            # One breaker charge per failed batch (not per probe): the
+            # breaker counts incidents, bisection diagnoses them.
+            self.breaker.record_failure()
+            self._recover(failed, suffixes, verdicts, deadline_remaining, batch_id)
+        else:
+            self.breaker.record_success()
+        if self._recycle_pending:
+            # An RSS watchdog fired: recycle the bloated workers now that
+            # every future is consumed.  Not a failure — no breaker charge
+            # and no backoff beyond the respawn itself.
+            self._recycle_pending = False
+            self._teardown_workers()
         return verdicts
+
+    def _result_now(self, future):
+        """A completed future's result, else ``None`` (never blocks)."""
+        if not future.done():
+            return None
+        try:
+            return future.result(timeout=0)
+        except Exception:
+            return None
+
+    def _absorb(
+        self, result: Dict[str, Any], idxs: Sequence[int],
+        verdicts: List[Optional[WorkerVerdict]], batch_id: int, chunk_index: int,
+        sp=None,
+    ) -> None:
+        """Fold one worker result into the batch: verdicts by original
+        slot, telemetry merged, watchdog kills counted."""
+        for slot, verdict in zip(idxs, result["verdicts"]):
+            verdicts[slot] = verdict
+        if sp is not None:
+            sp.set("pid", result["pid"])
+            sp.set("candidates", len(idxs))
+            sp.set("worker_seconds", round(result["seconds"], 6))
+        timeouts = result.get("watchdog_timeouts", 0)
+        if timeouts:
+            self.watchdog_timeouts += timeouts
+            self.metrics.incr("parallel.watchdog.timeouts", timeouts)
+            self.events.emit(
+                "watchdog_kill", kind="timeout", count=timeouts, batch=batch_id
+            )
+        rss = result.get("rss_exceeded")
+        if rss:
+            self.watchdog_rss += 1
+            self.metrics.incr("parallel.watchdog.rss")
+            self.events.emit(
+                "watchdog_kill", kind="rss", rss_mb=round(rss, 1), batch=batch_id
+            )
+            self._recycle_pending = True
+        if result.get("metrics"):
+            # Worker oracle.* counters are dropped: the searcher replays
+            # that accounting per applied verdict, and merging both would
+            # double-count (or count checks the search never applied).
+            # Histograms and worker-local counters merge freely.
+            self.metrics.merge_snapshot(
+                result["metrics"], skip_counter_prefixes=("oracle.",)
+            )
+        if result.get("trace") and sp is not None:
+            self.tracer.merge_events(
+                result["trace"],
+                base_ts_us=sp.start_ts_us,
+                tid=result["pid"],
+                extra_args={
+                    "batch": batch_id,
+                    "chunk": chunk_index,
+                    "worker_pid": result["pid"],
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # Bisection recovery + quarantine
+    # ------------------------------------------------------------------
+
+    def _recover(
+        self,
+        failed: List[List[int]],
+        suffixes: Sequence[Sequence],
+        verdicts: List[Optional[WorkerVerdict]],
+        deadline_remaining: Optional[float],
+        batch_id: int,
+    ) -> None:
+        """Re-check the chunks that died, bisecting down to the candidates
+        that reproducibly kill workers.
+
+        Each probe is one worker round trip; a failed probe splits the
+        span (or, at size one, counts a poison strike against that
+        candidate).  A strike only accrues on a *fresh* worker — the
+        executor is respawned after every death — so candidates that
+        merely sat on an unlucky crash schedule are absolved on retry,
+        while content-keyed killers reproduce and get quarantined.
+        Candidates still unresolved when the probe budget (or the breaker)
+        stops the recovery stay ``None`` for the caller's serial fallback.
+        """
+        policy = self.supervision
+        probes = 0
+        stack: List[List[int]] = [list(span) for span in failed]
+        while stack:
+            if self.broken or not self.breaker.allow():
+                return
+            if probes >= policy.max_probes:
+                return
+            span = stack.pop(0)
+            probes += 1
+            self.metrics.incr("parallel.quarantine.probes")
+            result = self._probe(suffixes, span, deadline_remaining)
+            if result is not None:
+                self._absorb(result, span, verdicts, batch_id, -1)
+                if len(span) == 1:
+                    self._poison_strikes.pop(
+                        self._suffix_digest(suffixes[span[0]]), None
+                    )
+                continue
+            if self.broken:
+                return
+            if len(span) == 1:
+                slot = span[0]
+                digest = self._suffix_digest(suffixes[slot])
+                strikes = self._poison_strikes.get(digest, 0) + 1
+                self._poison_strikes[digest] = strikes
+                if strikes >= policy.poison_confirmations:
+                    self._quarantine_candidate(digest, slot, strikes, verdicts)
+                else:
+                    stack.insert(0, span)  # retry on the fresh executor
+            else:
+                mid = len(span) // 2
+                stack.insert(0, span[mid:])
+                stack.insert(0, span[:mid])
+
+    def _probe(
+        self,
+        suffixes: Sequence[Sequence],
+        span: Sequence[int],
+        deadline_remaining: Optional[float],
+    ) -> Optional[Dict[str, Any]]:
+        """One bisection round trip; ``None`` means the worker died again
+        (and the executor is already scheduled for respawn)."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        future = None
+        for retry in (False, True):
+            try:
+                executor = self._ensure_executor()
+                future = self._submit(
+                    executor, suffixes, span, deadline_remaining, False, False
+                )
+                break
+            except BrokenProcessPool:
+                # The retained executor broke since the last round trip (a
+                # late-detected death): respawn and retry once so a stale
+                # executor never counts as a strike against the candidate.
+                self._teardown_workers()
+                if retry:
+                    self._mark_broken()
+                    return None
+            except Exception:
+                self._mark_broken()
+                return None
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        try:
+            return future.result(timeout=self._hang_timeout(deadline_remaining))
+        except FuturesTimeout:
+            self._on_worker_hang()
+            return None
+        except Exception:
+            self._on_worker_crash()
+            return None
+
+    def _quarantine_candidate(
+        self,
+        digest: str,
+        slot: int,
+        strikes: int,
+        verdicts: List[Optional[WorkerVerdict]],
+    ) -> None:
+        self._quarantine.add(digest)
+        self._poison_strikes.pop(digest, None)
+        self.quarantined += 1
+        self.metrics.incr("parallel.quarantined")
+        self.events.emit("quarantine", digest=digest, strikes=strikes)
+        verdicts[slot] = WorkerVerdict(
+            False,
+            VERDICT_CRASH,
+            sample=f"quarantined: candidate killed {strikes} consecutive workers",
+        )
 
     def _mark_broken(self) -> None:
         self.broken = True
@@ -497,15 +992,12 @@ class WorkerPool:
     # ------------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Release worker processes (never raises; never blocks on a hung
-        worker — pending work is cancelled)."""
+        """Release worker processes promptly (never raises; never blocks on
+        a hung worker — processes are terminated, pending work cancelled)."""
         executor = self._executor
         self._executor = None
         if executor is not None:
-            try:
-                executor.shutdown(wait=False, cancel_futures=True)
-            except Exception:  # pragma: no cover - teardown best-effort
-                pass
+            terminate_executor(executor)
 
 
 # ---------------------------------------------------------------------------

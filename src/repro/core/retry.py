@@ -1,0 +1,132 @@
+"""Generic retry with deterministic, jitter-free exponential backoff.
+
+The resilience layer treats transient infrastructure failures — a store
+segment read hitting a momentary ``OSError``, an atomic publish racing a
+filesystem hiccup — as *retryable*, not fatal.  This module is the one
+place that policy lives: a frozen :class:`RetryPolicy` (attempt budget,
+backoff curve, retryable-exception allowlist) plus two entry points, the
+functional :func:`with_retry` and the decorator :func:`retry`.
+
+Backoff is deliberately jitter-free: the whole pipeline promises
+byte-identical results run-to-run, and randomised sleeps would make fault
+-injection tests (``repro.faults``) timing-dependent.  Callers that need
+testable timing inject ``sleep`` (the same pattern as ``Deadline``'s
+injectable clock).
+
+Stdlib-only by design: ``repro.store.verdicts`` imports this lazily to
+avoid the ``repro.core`` <-> ``repro.store`` package cycle, so this module
+must never import back into the package tree.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+#: Signature of the optional per-retry observer: ``(attempt, error)`` where
+#: ``attempt`` is the 1-based count of failures so far.
+OnRetry = Callable[[int, BaseException], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, how long to wait between tries, and for what.
+
+    ``attempts`` is the *total* number of tries (so ``attempts=1`` means
+    "no retries").  The delay before retry *n* (1-based) is
+    ``backoff_seconds * multiplier**(n-1)`` capped at
+    ``max_backoff_seconds`` — deterministic on purpose; see module
+    docstring.  Only exceptions matching ``retryable`` are retried; any
+    other exception propagates immediately.
+    """
+
+    attempts: int = 3
+    backoff_seconds: float = 0.01
+    multiplier: float = 2.0
+    max_backoff_seconds: float = 0.25
+    retryable: Tuple[Type[BaseException], ...] = field(default=(OSError,))
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_backoff_seconds < 0:
+            raise ValueError(
+                "max_backoff_seconds must be >= 0, "
+                f"got {self.max_backoff_seconds}"
+            )
+        if not self.retryable:
+            raise ValueError("retryable must name at least one exception type")
+
+    def delay_for(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = self.backoff_seconds * (self.multiplier ** (attempt - 1))
+        return min(delay, self.max_backoff_seconds)
+
+
+#: Module default: three tries, 10ms/20ms between them, OSError only.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def with_retry(
+    fn: Callable[..., T],
+    policy: Optional[RetryPolicy] = None,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[OnRetry] = None,
+) -> Callable[..., T]:
+    """Wrap ``fn`` so retryable exceptions are re-attempted per ``policy``.
+
+    On exhaustion the *last* exception is re-raised unchanged, so callers'
+    existing ``except OSError`` degradation paths keep working — retry
+    narrows the window for transient failures without changing the
+    contract for persistent ones.
+    """
+    pol = policy if policy is not None else DEFAULT_RETRY_POLICY
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        failures = 0
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except pol.retryable as err:
+                failures += 1
+                if failures >= pol.attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(failures, err)
+                sleep(pol.delay_for(failures))
+
+    return wrapper
+
+
+def retry(
+    policy: Optional[RetryPolicy] = None,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[OnRetry] = None,
+) -> Callable[[Callable[..., T]], Callable[..., T]]:
+    """Decorator form of :func:`with_retry`.
+
+    ::
+
+        @retry(RetryPolicy(attempts=5))
+        def read_segment(path): ...
+    """
+
+    def decorate(fn: Callable[..., T]) -> Callable[..., T]:
+        return with_retry(fn, policy, sleep=sleep, on_retry=on_retry)
+
+    return decorate

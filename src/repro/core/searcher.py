@@ -62,6 +62,7 @@ from .resilience import (
     REASON_CRASH,
     REASON_DEADLINE,
     REASON_FALLBACK,
+    RestartPolicy,
 )
 
 
@@ -84,7 +85,7 @@ class SearchConfig:
     #: Fraction of the deadline after which the searcher sheds its
     #: expensive optional phases (constructive changes, adaptation,
     #: triage) to protect the removal results already in hand.
-    soft_deadline_fraction: float = 0.85
+    shed_fraction: float = 0.85
     enable_triage: bool = True
     enable_adaptation: bool = True
     #: Arm the oracle's prefix snapshot after localization so candidates
@@ -122,6 +123,31 @@ class SearchConfig:
     #: tests use.  Defaults to the parent oracle's own plan when the
     #: parent is itself a ``ChaosOracle``.
     worker_fault_plan: Optional[object] = None
+    #: Worker-pool supervision knobs (restart backoff, circuit breaker,
+    #: bisection/quarantine budgets); ``None`` uses
+    #: :class:`~repro.core.resilience.RestartPolicy` defaults.
+    supervision: Optional[RestartPolicy] = None
+    #: Per-candidate wall-clock watchdog for pool workers (seconds; None =
+    #: off).  A check that exceeds it is converted to a clean crash
+    #: verdict worker-side — this can change answers vs. serial, so it is
+    #: strictly opt-in.
+    candidate_timeout_seconds: Optional[float] = None
+    #: Per-worker RSS ceiling in MiB (None = off).  A worker that crosses
+    #: it after a check converts that check to a crash verdict and the
+    #: pool recycles its processes.  Opt-in, same caveat as above.
+    worker_rss_limit_mb: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.shed_fraction <= 1.0):
+            raise ValueError(
+                f"shed_fraction must be in (0, 1], got {self.shed_fraction!r}"
+            )
+
+    @property
+    def soft_deadline_fraction(self) -> float:
+        """Backward-compatible alias for :attr:`shed_fraction` (the knob's
+        pre-supervision name)."""
+        return self.shed_fraction
 
 
 @dataclass
@@ -293,7 +319,7 @@ class Searcher:
         report.attach_events(self.events)
         self.degradation = report
         self._deadline = Deadline(
-            self.config.deadline_seconds, self.config.soft_deadline_fraction
+            self.config.deadline_seconds, self.config.shed_fraction
         )
         if resolve_jobs(self.config.jobs) > 1:
             # One pool per search; worker processes spawn lazily on the
@@ -304,6 +330,9 @@ class Searcher:
                 metrics=self.metrics,
                 tracer=self.tracer,
                 events=self.events,
+                supervision=self.config.supervision,
+                candidate_timeout=self.config.candidate_timeout_seconds,
+                rss_limit_mb=self.config.worker_rss_limit_mb,
             )
         with self.tracer.span("search", decls=len(program.decls)) as sp:
             outcome = SearchOutcome(ok=False, program=program, degradation=report)
@@ -364,6 +393,11 @@ class Searcher:
         report.crash_samples = list(getattr(oracle, "crash_samples", ()))
         if self._pool is not None:
             report.worker_crashes = self._pool.worker_crashes
+            report.worker_restarts = self._pool.restarts
+            report.quarantined = self._pool.quarantined
+            report.watchdog_kills = (
+                self._pool.watchdog_timeouts + self._pool.watchdog_rss
+            )
         if report.oracle_crashes or report.depth_rejections or report.worker_crashes:
             report.note(REASON_CRASH)
         if report.prefix_fallbacks:
@@ -568,12 +602,19 @@ class Searcher:
         root: Program,
         worklist: Deque[ChangeNode],
         results: List[Suggestion],
+        limit: Optional[int] = None,
     ) -> int:
         """The serial worklist loop (the exact pre-parallel code path when
-        ``jobs=1``), plus the per-search dedup memo."""
+        ``jobs=1``), plus the per-search dedup memo.
+
+        ``limit`` bounds how many candidates are processed before
+        returning (used by the pooled drain while the circuit breaker is
+        open, so it can re-probe the pool between serial batches)."""
         tested = 0
+        processed = 0
         keyer = self._dedup_keyer
-        while worklist:
+        while worklist and (limit is None or processed < limit):
+            processed += 1
             change_node = worklist.popleft()
             change = change_node.change
             candidate = replace_at(root, change.path, change.replacement)
@@ -616,8 +657,16 @@ class Searcher:
         prefix_len = len(prefix_decls)
         while worklist:
             if pool.broken:
-                # Degraded: finish this worklist on the serial path.
+                # Permanently degraded: finish this worklist serially.
                 return tested + self._drain_serial(root, worklist, results)
+            if not pool.ready():
+                # Circuit breaker open: check one batch serially, then ask
+                # again — after the cool-down the breaker half-opens and
+                # the next round goes parallel to probe recovery.
+                tested += self._drain_serial(
+                    root, worklist, results, limit=pool.batch_size
+                )
+                continue
             # Drain one batch off the front of the worklist.
             batch = []
             while worklist and len(batch) < pool.batch_size:

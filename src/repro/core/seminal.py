@@ -109,6 +109,11 @@ def explain(
     jobs: Union[int, str, None] = 1,
     dedup: bool = True,
     store=None,
+    shed_fraction: float = 0.85,
+    supervision=None,
+    candidate_timeout_seconds: Optional[float] = None,
+    worker_rss_limit_mb: Optional[float] = None,
+    worker_fault_plan=None,
 ) -> ExplainResult:
     """Search for type-error messages for ``source``.
 
@@ -133,6 +138,18 @@ def explain(
     suggestions and ranks, so parallelism is purely a wall-clock knob.
     ``dedup=False`` disables the per-search duplicate-candidate memo (an
     ablation/debugging escape hatch — the memo never changes answers).
+
+    Robustness knobs (see :mod:`repro.core.resilience`):
+    ``shed_fraction`` sets the point inside ``deadline_seconds`` at which
+    optional phases start shedding (default 0.85 — the historical
+    behaviour); ``supervision`` is a
+    :class:`~repro.core.resilience.RestartPolicy` governing worker
+    respawn backoff, the circuit breaker, and poison-candidate
+    quarantine; ``candidate_timeout_seconds``/``worker_rss_limit_mb``
+    arm the per-candidate wall-clock and per-worker RSS watchdogs that
+    convert runaway checks into clean ``crash`` verdicts.
+    ``worker_fault_plan`` injects a :class:`~repro.faults.FaultPlan`
+    into pooled workers (chaos testing only).
 
     ``tracer``/``metrics``/``events`` (see :mod:`repro.obs`) switch on
     telemetry: a :class:`~repro.obs.Tracer` records a Perfetto-loadable
@@ -204,6 +221,11 @@ def explain(
         custom_rules=custom_rules,
         jobs=jobs,
         dedup=dedup,
+        shed_fraction=shed_fraction,
+        supervision=supervision,
+        candidate_timeout_seconds=candidate_timeout_seconds,
+        worker_rss_limit_mb=worker_rss_limit_mb,
+        worker_fault_plan=worker_fault_plan,
     )
     searcher = Searcher(
         oracle=oracle,
@@ -393,23 +415,30 @@ def explain_many(
     import pickle
     from concurrent.futures import ProcessPoolExecutor
 
+    from .parallel import terminate_executor
+
     kwargs_blob = pickle.dumps(dict(kwargs))
     entries: List[Optional[BatchEntry]] = [None] * len(source_list)
+    pool = ProcessPoolExecutor(max_workers=n_jobs, mp_context=_fork_context())
     try:
-        with ProcessPoolExecutor(
-            max_workers=n_jobs, mp_context=_fork_context()
-        ) as pool:
-            futures = [
-                pool.submit(explain_batch_worker, label, source, top, kwargs_blob)
-                for label, source in zip(label_list, source_list)
-            ]
-            for i, future in enumerate(futures):
-                try:
-                    entries[i] = pickle.loads(future.result())
-                except Exception:
-                    entries[i] = None  # worker died: parent re-runs below
+        futures = [
+            pool.submit(explain_batch_worker, label, source, top, kwargs_blob)
+            for label, source in zip(label_list, source_list)
+        ]
+        for i, future in enumerate(futures):
+            try:
+                entries[i] = pickle.loads(future.result())
+            except Exception:
+                entries[i] = None  # worker died: parent re-runs below
     except Exception:
         pass  # a broken executor degrades every pending entry to serial
+    except BaseException:
+        # KeyboardInterrupt (or another teardown signal) mid-batch: kill
+        # the workers *now* — shutdown(wait=True) would block on checks
+        # already in flight — then let the interrupt propagate.
+        terminate_executor(pool)
+        raise
+    pool.shutdown(wait=True)
     for i, entry in enumerate(entries):
         if entry is None:
             entries[i] = _explain_entry(

@@ -17,7 +17,20 @@ deterministic, seeded schedule —
   well-formed;
 * **snapshot poisoning** (``poison_snapshot_after``): once armed, the
   prefix snapshot is wrapped so any use of it explodes, exercising the
-  self-healing incremental fallback (``oracle.prefix.fallbacks``).
+  self-healing incremental fallback (``oracle.prefix.fallbacks``);
+* **hangs** (``hang_every``/``hang_seconds``): every Nth check stalls,
+  exercising the pool's hung-worker detection and the per-candidate
+  wall-clock watchdog;
+* **poison candidates** (``poison_digest``/``poison_kind``): any check of
+  the candidate with this structural digest crashes — *reproducibly*, by
+  content rather than schedule — exercising bisection quarantine (see
+  :func:`poison_candidate_plan`);
+* **flaky store I/O** (``store_fail_every``/``store_fail_streak``):
+  :class:`FlakyStore` raises ``OSError`` from the verdict store's segment
+  read/write seams on a deterministic schedule, exercising the
+  ``repro.core.retry`` policy and the degrade-to-cache-miss path;
+* **memory hogging** (``hog_every``/``hog_bytes``): every Nth check leaks
+  a ballast allocation, exercising the per-worker RSS watchdog.
 
 Schedules key off the oracle's own call counter, so a given
 ``(plan, program)`` pair replays identically — chaos tests are ordinary
@@ -39,6 +52,7 @@ from dataclasses import dataclass, fields
 from typing import Callable, Dict, Optional
 
 from repro.core.oracle import Oracle
+from repro.store.verdicts import VerdictStore
 
 
 class ChaosCrash(RuntimeError):
@@ -77,13 +91,35 @@ class FaultPlan:
     corrupt_cache_every: Optional[int] = None
     #: Poison the armed prefix snapshot from the Nth check onward.
     poison_snapshot_after: Optional[int] = None
+    #: Stall (sleep) before every Nth check — a "hung worker" in miniature.
+    hang_every: Optional[int] = None
+    hang_seconds: float = 0.05
+    #: Crash any check of the candidate whose structural digest (see
+    #: :func:`repro.store.fingerprint.key_digest`) matches — content-keyed,
+    #: so it reproduces on retry where schedule crashes do not.
+    poison_digest: Optional[str] = None
+    #: Flavour of the poison crash: "hard-exit" (kill the process; pool
+    #: workers only) or "runtime" (raise through the crash guard).
+    poison_kind: str = "hard-exit"
+    #: Inject an OSError from every Nth verdict-store segment I/O
+    #: operation (via :class:`FlakyStore`), each failure repeating for
+    #: ``store_fail_streak`` consecutive attempts (a streak >= the retry
+    #: policy's attempt budget exhausts the retry and degrades).
+    store_fail_every: Optional[int] = None
+    store_fail_streak: int = 1
+    #: Leak ``hog_bytes`` of ballast before every Nth check.
+    hog_every: Optional[int] = None
+    hog_bytes: int = 1 << 20
     seed: int = 0
 
     @property
     def active(self) -> bool:
         return any(
             getattr(self, f.name) for f in fields(self)
-            if f.name not in ("name", "crash_kind", "seed", "latency_seconds")
+            if f.name not in (
+                "name", "crash_kind", "seed", "latency_seconds",
+                "hang_seconds", "poison_kind", "store_fail_streak", "hog_bytes",
+            )
         )
 
     def crash_exception(self) -> BaseException:
@@ -111,7 +147,36 @@ def standard_fault_plans() -> Dict[str, FaultPlan]:
         "snapshot-poison": FaultPlan(
             name="snapshot-poison", poison_snapshot_after=1
         ),
+        "worker-hang": FaultPlan(
+            name="worker-hang", hang_every=3, hang_seconds=0.0005
+        ),
+        "flaky-store": FaultPlan(name="flaky-store", store_fail_every=2),
+        "memory-hog": FaultPlan(
+            name="memory-hog", hog_every=4, hog_bytes=1 << 16
+        ),
     }
+
+
+def poison_candidate_plan(
+    digest: str, *, kind: str = "hard-exit", name: str = "poison-candidate"
+) -> FaultPlan:
+    """A plan that kills any worker checking one specific candidate.
+
+    ``digest`` is the candidate's structural digest
+    (``key_digest(keyer(program))``); matching is by content, so the
+    crash reproduces on every retry — the shape bisection quarantine
+    exists for.  Never added to :func:`standard_fault_plans`: the default
+    "hard-exit" kind run in-process would kill the test runner; route it
+    into pool workers via ``SearchConfig.worker_fault_plan``.
+    """
+    return FaultPlan(name=name, poison_digest=digest, poison_kind=kind)
+
+
+#: Template for :attr:`ChaosOracle.injected` (one key per fault family).
+_INJECTED_ZERO: Dict[str, int] = {
+    "crash": 0, "latency": 0, "cache": 0, "snapshot": 0,
+    "hang": 0, "poison": 0, "hog": 0,
+}
 
 
 class _PoisonedSnapshot:
@@ -151,14 +216,22 @@ class ChaosOracle(Oracle):
         self.plan = plan
         self._sleep = sleep
         self._rng = random.Random(plan.seed)
-        self.injected: Dict[str, int] = {
-            "crash": 0, "latency": 0, "cache": 0, "snapshot": 0,
-        }
+        self._ballast: list = []
+        self.injected: Dict[str, int] = dict(_INJECTED_ZERO)
 
     def reset(self) -> None:
         super().reset()
         self._rng = random.Random(self.plan.seed)
-        self.injected = {"crash": 0, "latency": 0, "cache": 0, "snapshot": 0}
+        self._ballast = []
+        self.injected = dict(_INJECTED_ZERO)
+
+    def _poison_match(self, program) -> bool:
+        from repro.store.fingerprint import key_digest
+
+        try:
+            return key_digest(self._key(program)) == self.plan.poison_digest
+        except Exception:
+            return False
 
     def _check_once(self, program):
         # ``check`` has already incremented ``calls``, so the schedule
@@ -168,6 +241,17 @@ class ChaosOracle(Oracle):
         if plan.latency_every and n % plan.latency_every == 0:
             self.injected["latency"] += 1
             self._sleep(plan.latency_seconds)
+        if plan.hang_every and n % plan.hang_every == 0:
+            self.injected["hang"] += 1
+            self._sleep(plan.hang_seconds)
+        if plan.hog_every and n % plan.hog_every == 0:
+            self.injected["hog"] += 1
+            self._ballast.append(bytearray(plan.hog_bytes))
+        if plan.poison_digest is not None and self._poison_match(program):
+            self.injected["poison"] += 1
+            if plan.poison_kind == "hard-exit":
+                os._exit(23)
+            raise ChaosCrash(f"[{plan.name}] injected poison-candidate crash")
         if (
             plan.poison_snapshot_after is not None
             and n >= plan.poison_snapshot_after
@@ -204,3 +288,63 @@ class ChaosOracle(Oracle):
         old = self._cache[key]
         self.injected["cache"] += 1
         self._cache[key] = CheckResult(ok=not old.ok)
+
+
+class FlakyStore(VerdictStore):
+    """A :class:`~repro.store.VerdictStore` whose segment I/O fails on a
+    deterministic schedule — the fault route behind the ``flaky-store``
+    plan.
+
+    Every ``fail_every``-th segment I/O attempt raises ``OSError``, and
+    each failure repeats for ``fail_streak - 1`` further attempts: a
+    streak of 1 is a transient blip a single retry absorbs; a streak at
+    or past the retry policy's attempt budget exhausts the retry and
+    exercises the degrade path (read → segment skipped, write → verdicts
+    recomputed by the next process).  The schedule counts attempts
+    (retries included), so a given (plan, workload, policy) triple
+    replays identically.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        fail_every: int = 3,
+        fail_streak: int = 1,
+        fail_reads: bool = True,
+        fail_writes: bool = True,
+        **store_kwargs,
+    ):
+        # Fault state must exist before super().__init__, which calls
+        # _load() straight into the overridden read seam.
+        self._fail_every = max(1, int(fail_every))
+        self._fail_streak = max(1, int(fail_streak))
+        self._fail_reads = fail_reads
+        self._fail_writes = fail_writes
+        self._io_ops = 0
+        self._streak_left = 0
+        self.injected_io_failures = 0
+        super().__init__(path, **store_kwargs)
+
+    def _maybe_fail(self, op: str) -> None:
+        if op == "read" and not self._fail_reads:
+            return
+        if op == "write" and not self._fail_writes:
+            return
+        if self._streak_left:
+            self._streak_left -= 1
+            self.injected_io_failures += 1
+            raise OSError(f"[flaky-store] injected {op} failure (streak)")
+        self._io_ops += 1
+        if self._io_ops % self._fail_every == 0:
+            self._streak_left = self._fail_streak - 1
+            self.injected_io_failures += 1
+            raise OSError(f"[flaky-store] injected {op} failure #{self._io_ops}")
+
+    def _read_segment_text(self, segment):
+        self._maybe_fail("read")
+        return super()._read_segment_text(segment)
+
+    def _write_segment_file(self, tmp, final, body):
+        self._maybe_fail("write")
+        super()._write_segment_file(tmp, final, body)

@@ -16,7 +16,10 @@ Schema (version :data:`SCHEMA_VERSION`): every line is a JSON object with
   ordering survives wall-clock adjustments);
 * ``type`` — the event name (``search_started``, ``phase_shed``,
   ``oracle_crash``, ``degraded``, ``worker_crash``, ``degradation``,
-  ``suggestions``, ``search_finished``, ``metrics``, ...);
+  ``suggestions``, ``search_finished``, ``metrics``, and the supervision
+  family: ``worker_hang``, ``worker_restart``, ``breaker_open``,
+  ``breaker_half_open``, ``breaker_closed``, ``quarantine``,
+  ``watchdog_kill``, ``store_io_error``, ...);
 * any event-specific fields.
 
 The first line is always a ``log_started`` header carrying the producing

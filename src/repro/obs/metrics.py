@@ -11,6 +11,14 @@ collection as a flat dict (machine use) or an aligned text table (CLI
 Zero dependencies, and a :data:`NULL_METRICS` null object so instrumented
 code never branches on "is telemetry on?": the default registry accepts
 every call and records nothing.
+
+Counter names are dotted families, minted where the count happens: the
+oracle's ``oracle.*`` (calls, cache, prefix reuse, ``oracle.store.*`` for
+retried store I/O), the enumerator/searcher's ``changes.*``/``search.*``,
+and the worker pool's ``parallel.*`` — including the supervision family
+(``parallel.restarts``, ``parallel.worker_hangs``, ``parallel.breaker.*``,
+``parallel.quarantine.*``, ``parallel.watchdog.*``) that
+``repro report``'s supervision table reads back.
 """
 
 from __future__ import annotations

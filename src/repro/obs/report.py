@@ -82,7 +82,19 @@ class RunAggregate:
     #: Phase -> shed count (from degradation reports / events).
     phases_shed: Dict[str, int] = field(default_factory=dict)
     crash_samples: List[str] = field(default_factory=list)
+    #: Totals from ``degradation`` summaries (events or RunReport files).
     worker_crashes: int = 0
+    worker_restarts: int = 0
+    quarantined: int = 0
+    watchdog_kills: int = 0
+    #: Tallies of the *per-occurrence* events.  A supervised run records
+    #: each incident twice — once as it happens, once in the end-of-run
+    #: degradation summary — so these are kept apart from the summary
+    #: totals above and reconciled with ``max`` at render time.
+    crash_events: int = 0
+    restart_events: int = 0
+    quarantine_events: int = 0
+    watchdog_events: int = 0
     degraded_runs: int = 0
     elapsed_seconds: float = 0.0
 
@@ -106,6 +118,9 @@ class RunAggregate:
         for phase, count in (deg.get("phases_shed") or {}).items():
             self.phases_shed[phase] = self.phases_shed.get(phase, 0) + count
         self.worker_crashes += deg.get("worker_crashes", 0) or 0
+        self.worker_restarts += deg.get("worker_restarts", 0) or 0
+        self.quarantined += deg.get("quarantined", 0) or 0
+        self.watchdog_kills += deg.get("watchdog_kills", 0) or 0
         self.crash_samples.extend(deg.get("crash_samples") or [])
 
     def add_report(self, report: RunReport, source: str) -> None:
@@ -159,8 +174,14 @@ class RunAggregate:
                 self.add_ranks(event.get("ranks") or [])
             elif kind == "degradation":
                 self.add_degradation(event)
-            elif kind == "worker_crash":
-                self.worker_crashes += 1
+            elif kind in ("worker_crash", "worker_hang"):
+                self.crash_events += 1
+            elif kind == "worker_restart":
+                self.restart_events += 1
+            elif kind == "quarantine":
+                self.quarantine_events += 1
+            elif kind == "watchdog_kill":
+                self.watchdog_events += int(event.get("count", 1) or 1)
             elif kind == "oracle_crash":
                 sample = event.get("error")
                 if sample:
@@ -218,6 +239,13 @@ def aggregate_files(paths: Sequence[str]) -> RunAggregate:
             total.phases_shed[phase] = total.phases_shed.get(phase, 0) + count
         total.crash_samples.extend(part.crash_samples)
         total.worker_crashes += part.worker_crashes
+        total.worker_restarts += part.worker_restarts
+        total.quarantined += part.quarantined
+        total.watchdog_kills += part.watchdog_kills
+        total.crash_events += part.crash_events
+        total.restart_events += part.restart_events
+        total.quarantine_events += part.quarantine_events
+        total.watchdog_events += part.watchdog_events
         total.elapsed_seconds += part.elapsed_seconds
     return total
 
@@ -319,7 +347,8 @@ def render_aggregate(agg: RunAggregate) -> str:
         ("depth rejections", agg.value("oracle.depth_rejected")),
         ("prefix fallbacks", agg.value("oracle.prefix.fallbacks")),
         ("worker crashes",
-         max(agg.worker_crashes, agg.value("parallel.worker_crashes"))),
+         max(agg.worker_crashes, agg.crash_events,
+             agg.value("parallel.worker_crashes"))),
     ]
     shed_total = sum(agg.phases_shed.values())
     if any(v for _, v in crash_rows) or shed_total:
@@ -334,6 +363,57 @@ def render_aggregate(agg: RunAggregate) -> str:
                 for phase, count in sorted(agg.phases_shed.items())
             )
             lines.extend(_table([("phases shed", shed)]))
+
+    restarts = max(agg.worker_restarts, agg.restart_events,
+                   agg.value("parallel.restarts"))
+    quarantined = max(agg.quarantined, agg.quarantine_events,
+                      agg.value("parallel.quarantined"))
+    watchdog = max(
+        agg.watchdog_kills,
+        agg.watchdog_events,
+        agg.value("parallel.watchdog.timeouts") + agg.value("parallel.watchdog.rss"),
+    )
+    hangs = agg.value("parallel.worker_hangs")
+    breaker_opens = agg.value("parallel.breaker.open")
+    breaker_half = agg.value("parallel.breaker.half_open")
+    breaker_closed = agg.value("parallel.breaker.closed")
+    q_hits = agg.value("parallel.quarantine.hits")
+    q_probes = agg.value("parallel.quarantine.probes")
+    io_retries = agg.value("oracle.store.retries")
+    io_errors = agg.value("oracle.store.io_errors")
+    if any(
+        (restarts, quarantined, watchdog, hangs,
+         breaker_opens, breaker_half, breaker_closed,
+         q_hits, q_probes, io_retries, io_errors)
+    ):
+        lines.append("")
+        lines.append("supervision:")
+        rows = []
+        if restarts:
+            rows.append(("worker restarts", str(restarts)))
+        if hangs:
+            rows.append(("worker hangs", str(hangs)))
+        if breaker_opens or breaker_half or breaker_closed:
+            rows.append(
+                ("breaker open/half/closed",
+                 f"{breaker_opens} / {breaker_half} / {breaker_closed}")
+            )
+        if quarantined or q_hits or q_probes:
+            rows.append(("quarantined candidates", str(quarantined)))
+            rows.append(
+                ("quarantine hits / probes", f"{q_hits} / {q_probes}")
+            )
+        if watchdog:
+            rows.append(
+                ("watchdog kills",
+                 f"{watchdog} (timeout={agg.value('parallel.watchdog.timeouts')}"
+                 f" rss={agg.value('parallel.watchdog.rss')})")
+            )
+        if io_retries or io_errors:
+            rows.append(
+                ("store io retries / errors", f"{io_retries} / {io_errors}")
+            )
+        lines.extend(_table(rows))
 
     if agg.span_seconds:
         span_total = sum(agg.span_seconds.values())
@@ -484,13 +564,30 @@ def aggregate_to_report(agg: RunAggregate) -> RunReport:
         for rank, count in sorted(agg.rank_counts.items())
         for _ in range(count)
     ]
-    if agg.phases_shed or agg.worker_crashes or agg.crash_samples:
+    crashes = max(agg.worker_crashes, agg.crash_events,
+                  agg.value("parallel.worker_crashes"))
+    restarts = max(agg.worker_restarts, agg.restart_events,
+                   agg.value("parallel.restarts"))
+    quarantined = max(agg.quarantined, agg.quarantine_events,
+                      agg.value("parallel.quarantined"))
+    watchdog = max(
+        agg.watchdog_kills,
+        agg.watchdog_events,
+        agg.value("parallel.watchdog.timeouts") + agg.value("parallel.watchdog.rss"),
+    )
+    if (
+        agg.phases_shed or crashes or agg.crash_samples
+        or restarts or quarantined or watchdog
+    ):
         report.degradation = {
             "reasons": [],
             "oracle_crashes": agg.value("oracle.crashes"),
             "prefix_fallbacks": agg.value("oracle.prefix.fallbacks"),
             "depth_rejections": agg.value("oracle.depth_rejected"),
-            "worker_crashes": agg.worker_crashes,
+            "worker_crashes": crashes,
+            "worker_restarts": restarts,
+            "quarantined": quarantined,
+            "watchdog_kills": watchdog,
             "phases_shed": dict(agg.phases_shed),
             "elapsed_seconds": agg.elapsed_seconds,
             "deadline_seconds": None,

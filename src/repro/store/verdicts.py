@@ -118,11 +118,30 @@ class VerdictStore:
         read_only: bool = False,
         flush_every: int = 512,
         clock=time.time,
+        retry_policy=None,
+        sleep=time.sleep,
     ):
         self.path = Path(path)
         self.read_only = read_only
         self.flush_every = max(1, int(flush_every))
         self._clock = clock
+        # Deferred import: repro.core's package __init__ imports the
+        # oracle, which imports this module for STORABLE_KINDS — a
+        # module-level ``from repro.core.retry import ...`` here would
+        # close that cycle into an ImportError.
+        if retry_policy is None:
+            from repro.core.retry import RetryPolicy
+
+            retry_policy = RetryPolicy(
+                attempts=3, backoff_seconds=0.005, max_backoff_seconds=0.05
+            )
+        self._retry_policy = retry_policy
+        self._sleep = sleep
+        #: Transient segment I/O failures absorbed by a retry.
+        self.io_retries = 0
+        #: Segment I/O operations that exhausted their retries and
+        #: degraded (read -> segment skipped, write -> cache miss later).
+        self.io_errors = 0
         self._fingerprint = checker_fingerprint()
         self._index: Dict[Tuple[str, str], StoredVerdict] = {}
         self._pending: List[dict] = []
@@ -159,11 +178,36 @@ class VerdictStore:
         for segment in self._segment_files():
             self._load_segment(segment)
 
+    def _with_retry(self, fn):
+        """Wrap one I/O seam in the store's retry policy (lazy import —
+        see ``__init__`` for the package-cycle note)."""
+        from repro.core.retry import with_retry
+
+        def note(attempt, err):
+            self.io_retries += 1
+
+        return with_retry(fn, self._retry_policy, sleep=self._sleep, on_retry=note)
+
+    def _read_segment_text(self, segment: Path) -> str:
+        """The raw-read seam (overridden by fault injection; retried)."""
+        with open(segment, "r", encoding="utf-8", errors="replace") as fh:
+            return fh.read()
+
+    def _write_segment_file(self, tmp: Path, final: Path, body: str) -> None:
+        """The write-and-publish seam (overridden by fault injection;
+        retried as a unit so a republished rename never sees a partial
+        temp file — the temp is rewritten from scratch each attempt)."""
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(body + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+
     def _load_segment(self, segment: Path) -> None:
         try:
-            with open(segment, "r", encoding="utf-8", errors="replace") as fh:
-                lines = fh.read().splitlines()
+            lines = self._with_retry(self._read_segment_text)(segment).splitlines()
         except OSError:
+            self.io_errors += 1
             self.skipped_segments += 1
             return
         if not lines:
@@ -271,6 +315,15 @@ class VerdictStore:
         self._invalidated_unreported = 0
         return n
 
+    def take_io_counters(self) -> Tuple[int, int]:
+        """``(retries, errors)`` accumulated since the last call (the
+        oracle drains these into ``oracle.store.retries`` /
+        ``oracle.store.io_errors`` and a ``store_io_error`` event)."""
+        counters = (self.io_retries, self.io_errors)
+        self.io_retries = 0
+        self.io_errors = 0
+        return counters
+
     # ------------------------------------------------------------------
     # Publication (atomic) and lifecycle
     # ------------------------------------------------------------------
@@ -302,12 +355,9 @@ class VerdictStore:
             [header] + [json.dumps(e, sort_keys=True) for e in self._pending]
         )
         try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                fh.write(body + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, final)
+            self._with_retry(self._write_segment_file)(tmp, final, body)
         except OSError:
+            self.io_errors += 1
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:

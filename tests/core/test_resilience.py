@@ -477,3 +477,39 @@ class TestExplainDegradation:
         config = SearchConfig(deadline_seconds=2.5)
         assert config.deadline_seconds == 2.5
         assert config.soft_deadline_fraction == 0.85
+
+
+class TestShedFraction:
+    """The soft-deadline knob is configurable (``--shed-fraction``) but
+    its default and validation are load-bearing: results under a deadline
+    depend on where the shed point lands."""
+
+    def test_default_is_085(self):
+        config = SearchConfig()
+        assert config.shed_fraction == 0.85
+        assert config.soft_deadline_fraction == config.shed_fraction
+
+    @pytest.mark.parametrize("bad", [0.0, -0.25, 1.0001, 2.0])
+    def test_out_of_range_is_rejected(self, bad):
+        with pytest.raises(ValueError, match="shed_fraction"):
+            SearchConfig(shed_fraction=bad)
+
+    def test_one_is_allowed_and_disables_early_shedding(self):
+        # shed_fraction=1.0 means "shed only at the hard deadline".
+        config = SearchConfig(shed_fraction=1.0)
+        assert config.shed_fraction == 1.0
+
+    def test_explain_forwards_shed_fraction(self):
+        # The kwarg plumbs through explain() to SearchConfig; with no
+        # deadline armed it must not change the answer.
+        default = explain(TWO_DECLS)
+        tuned = explain(TWO_DECLS, shed_fraction=0.5)
+        from repro.core.messages import render_suggestion
+
+        assert [render_suggestion(s) for s in tuned.suggestions] == [
+            render_suggestion(s) for s in default.suggestions
+        ]
+
+    def test_alias_tracks_custom_value(self):
+        config = SearchConfig(shed_fraction=0.4)
+        assert config.soft_deadline_fraction == 0.4

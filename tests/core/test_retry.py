@@ -1,0 +1,115 @@
+"""Tests for the generic retry helper (`repro.core.retry`).
+
+The helper backs the verdict store's segment I/O (transient ``OSError``
+must degrade to a cache miss, not an exception), so the contract here is
+strict determinism: jitter-free bounded exponential backoff, an exact
+attempt budget, and retries only for the allowlisted exception types.
+"""
+
+import pytest
+
+from repro.core.retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry, with_retry
+
+
+class TestRetryPolicy:
+    def test_defaults_are_sane(self):
+        policy = RetryPolicy()
+        assert policy.attempts == 3
+        assert policy.retryable == (OSError,)
+        assert DEFAULT_RETRY_POLICY.attempts == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(attempts=0),
+            dict(backoff_seconds=-0.1),
+            dict(multiplier=0.5),
+            dict(max_backoff_seconds=-1.0),
+            dict(retryable=()),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_sequence_is_bounded_exponential(self):
+        policy = RetryPolicy(
+            attempts=5, backoff_seconds=0.1, multiplier=2.0,
+            max_backoff_seconds=0.35,
+        )
+        delays = [policy.delay_for(n) for n in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.35, 0.35]  # capped, jitter-free
+
+
+class TestWithRetry:
+    def test_success_passes_through(self):
+        slept = []
+        wrapped = with_retry(lambda x: x * 2, sleep=slept.append)
+        assert wrapped(21) == 42
+        assert slept == []
+
+    def test_retries_then_succeeds(self):
+        slept = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(attempts=3, backoff_seconds=0.01, multiplier=2.0)
+        assert with_retry(flaky, policy, sleep=slept.append)() == "ok"
+        assert calls["n"] == 3
+        assert slept == [0.01, 0.02]  # one sleep per retry, exponential
+
+    def test_exhaustion_reraises_the_last_error(self):
+        def always():
+            raise OSError("persistent")
+
+        policy = RetryPolicy(attempts=2, backoff_seconds=0.0)
+        with pytest.raises(OSError, match="persistent"):
+            with_retry(always, policy, sleep=lambda s: None)()
+
+    def test_non_retryable_raises_immediately(self):
+        calls = {"n": 0}
+
+        def boom():
+            calls["n"] += 1
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            with_retry(boom, sleep=lambda s: pytest.fail("must not sleep"))()
+        assert calls["n"] == 1
+
+    def test_on_retry_observer_sees_each_failure(self):
+        seen = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError(f"fail {calls['n']}")
+            return "ok"
+
+        with_retry(
+            flaky,
+            RetryPolicy(attempts=3, backoff_seconds=0.0),
+            sleep=lambda s: None,
+            on_retry=lambda n, err: seen.append((n, str(err))),
+        )()
+        assert seen == [(1, "fail 1"), (2, "fail 2")]
+
+    def test_decorator_form(self):
+        slept = []
+        calls = {"n": 0}
+
+        @retry(RetryPolicy(attempts=2, backoff_seconds=0.05), sleep=slept.append)
+        def flaky(value):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("once")
+            return value
+
+        assert flaky("done") == "done"
+        assert slept == [0.05]

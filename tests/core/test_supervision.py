@@ -1,0 +1,366 @@
+"""Tests for worker-pool supervision (`repro.core.parallel` + resilience).
+
+Three layers, bottom up:
+
+* :class:`CircuitBreaker` / :class:`RestartPolicy` unit tests under a fake
+  clock — trip threshold, rolling window, half-open probing, recovery.
+* Pool supervision integration: a crashing worker costs a supervised
+  respawn (not a broken pool), the failed batch is recovered by bisection,
+  and answers stay byte-identical to the serial run.
+* Resource watchdogs: runaway checks become clean crash verdicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import explain
+from repro.core.messages import render_suggestion
+from repro.core.parallel import WorkerPool
+from repro.core.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    RestartPolicy,
+)
+from repro.core.searcher import SearchConfig, Searcher
+from repro.faults import FaultPlan
+from repro.miniml.parser import parse_program
+from repro.obs import MetricsRegistry
+
+FIG2 = """\
+let map2 f aList bList =
+  List.map (fun (a, b) -> f a b) (List.combine aList bList)
+let lst = map2 (fun (x, y) -> x + y) [1;2;3] [4;5;6]
+"""
+
+WELL_TYPED = "let f x = x + 1\nlet b = f 2\n"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+#: A supervision policy with zero backoff/cooldown sleeps for fast tests.
+FAST = RestartPolicy(backoff_seconds=0.0, cooldown_seconds=0.0)
+
+
+class TestRestartPolicy:
+    def test_backoff_curve(self):
+        policy = RestartPolicy(
+            backoff_seconds=0.05, backoff_multiplier=2.0, max_backoff_seconds=0.15
+        )
+        assert [policy.backoff_for(n) for n in (1, 2, 3, 4)] == [
+            0.05, 0.1, 0.15, 0.15,
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_restarts=-1),
+            dict(window_seconds=0),
+            dict(backoff_seconds=-0.1),
+            dict(backoff_multiplier=0.9),
+            dict(cooldown_seconds=-1),
+            dict(hang_timeout_seconds=0),
+            dict(max_probes=0),
+            dict(poison_confirmations=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RestartPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **policy_kwargs):
+        clock = FakeClock()
+        transitions = []
+        breaker = CircuitBreaker(
+            RestartPolicy(**policy_kwargs),
+            clock=clock,
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        return breaker, clock, transitions
+
+    def test_stays_closed_below_threshold(self):
+        breaker, _, transitions = self._breaker(max_restarts=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+        assert transitions == []
+
+    def test_trips_open_past_threshold(self):
+        breaker, _, transitions = self._breaker(max_restarts=2)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        assert transitions == [(BREAKER_CLOSED, BREAKER_OPEN)]
+
+    def test_rolling_window_forgets_old_failures(self):
+        breaker, clock, _ = self._breaker(max_restarts=1, window_seconds=10.0)
+        breaker.record_failure()
+        clock.advance(11.0)  # first failure ages out of the window
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_opens_after_cooldown(self):
+        breaker, clock, transitions = self._breaker(
+            max_restarts=0, cooldown_seconds=5.0
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # the transition happens in allow()
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert transitions == [
+            (BREAKER_CLOSED, BREAKER_OPEN),
+            (BREAKER_OPEN, BREAKER_HALF_OPEN),
+        ]
+
+    def test_half_open_success_closes_and_clears_history(self):
+        breaker, clock, _ = self._breaker(max_restarts=0, cooldown_seconds=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.recent_failures == 0
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock, _ = self._breaker(max_restarts=0, cooldown_seconds=2.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe batch failed
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(1.0)
+        assert not breaker.allow()  # fresh cool-down, not the old one
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_success_when_closed_is_a_noop(self):
+        breaker, _, transitions = self._breaker()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert transitions == []
+
+
+def _signature(outcome):
+    return (
+        [render_suggestion(s) for s in outcome.suggestions],
+        outcome.oracle_calls,
+    )
+
+
+class TestPoolSupervision:
+    def test_crash_costs_a_restart_not_the_pool(self):
+        """A hard-exit worker death is supervised: the executor respawns,
+        bisection recovers the batch, and answers match the serial run."""
+        serial = Searcher().search_program(parse_program(FIG2))
+        registry = MetricsRegistry()
+        config = SearchConfig(
+            jobs=2,
+            worker_fault_plan=FaultPlan(
+                name="kill-worker", crash_every=3, crash_kind="hard-exit"
+            ),
+            supervision=FAST,
+        )
+        searcher = Searcher(config=config, metrics=registry)
+        outcome = searcher.search_program(parse_program(FIG2))
+        assert _signature(outcome) == _signature(serial)
+        assert outcome.degradation.worker_crashes >= 1
+        assert outcome.degradation.worker_restarts >= 1
+        assert registry.value("parallel.restarts") >= 1
+
+    def test_restart_backoff_is_bounded_and_recorded(self):
+        slept = []
+        pool = WorkerPool(
+            2,
+            supervision=RestartPolicy(
+                backoff_seconds=0.05,
+                backoff_multiplier=2.0,
+                max_backoff_seconds=0.1,
+                cooldown_seconds=0.0,
+                max_restarts=100,
+            ),
+            sleep=slept.append,
+        )
+        try:
+            pool._respawn_pending = True
+            pool._ensure_executor()
+            pool._teardown_workers()
+            pool._ensure_executor()
+            pool._teardown_workers()
+            pool._ensure_executor()
+        finally:
+            pool.shutdown()
+        assert pool.restarts == 3
+        assert slept == [0.05, 0.1, 0.1]
+
+    def test_breaker_trips_to_serial_then_recovers(self):
+        """A restart storm trips the breaker (ready() -> False); after the
+        cool-down the pool half-opens and a clean batch restores it."""
+        clock = FakeClock()
+        pool = WorkerPool(
+            2,
+            supervision=RestartPolicy(
+                max_restarts=0, cooldown_seconds=10.0, backoff_seconds=0.0
+            ),
+            clock=clock,
+            sleep=lambda s: None,
+        )
+        try:
+            program = parse_program(WELL_TYPED)
+            pool.arm(tuple(program.decls[:1]))
+            assert pool.ready()
+            pool.breaker.record_failure()  # one failed batch trips it
+            assert not pool.ready()  # searcher drains serially now
+            clock.advance(10.0)
+            assert pool.ready()  # half-open: probe allowed
+            verdicts = pool.check_suffixes([tuple(program.decls[1:])])
+            assert verdicts[0].ok is True  # clean probe batch ...
+            assert pool.breaker.state == BREAKER_CLOSED  # ... closes it
+            assert pool.ready()
+        finally:
+            pool.shutdown()
+
+    def test_breaker_metrics_and_events(self):
+        registry = MetricsRegistry()
+        events = []
+
+        class Recorder:
+            enabled = True
+
+            def emit(self, type, **fields):
+                events.append(type)
+
+        clock = FakeClock()
+        pool = WorkerPool(
+            2,
+            metrics=registry,
+            events=Recorder(),
+            supervision=RestartPolicy(max_restarts=0, cooldown_seconds=1.0),
+            clock=clock,
+        )
+        try:
+            pool.breaker.record_failure()
+            clock.advance(1.0)
+            pool.breaker.allow()
+            pool.breaker.record_success()
+        finally:
+            pool.shutdown()
+        assert registry.value("parallel.breaker.open") == 1
+        assert registry.value("parallel.breaker.half_open") == 1
+        assert registry.value("parallel.breaker.closed") == 1
+        assert events == ["breaker_open", "breaker_half_open", "breaker_closed"]
+
+    def test_searcher_drains_serially_while_breaker_open(self):
+        """With the breaker permanently open (max_restarts=0 and a huge
+        cool-down after one instant failure) the pooled search falls back
+        to the serial oracle and still matches byte-for-byte."""
+        serial = Searcher().search_program(parse_program(FIG2))
+        config = SearchConfig(
+            jobs=2,
+            worker_fault_plan=FaultPlan(
+                name="kill-worker", crash_every=1, crash_kind="hard-exit"
+            ),
+            supervision=RestartPolicy(
+                max_restarts=0,
+                cooldown_seconds=3600.0,
+                backoff_seconds=0.0,
+                max_probes=1,
+            ),
+        )
+        searcher = Searcher(config=config)
+        outcome = searcher.search_program(parse_program(FIG2))
+        assert _signature(outcome) == _signature(serial)
+        assert outcome.degradation.worker_crashes >= 1
+
+
+class TestWatchdogs:
+    def test_candidate_timeout_converts_hang_to_crash_verdict(self):
+        """A check stalled past the per-candidate wall-clock limit comes
+        back as a clean crash verdict, not a hung worker."""
+        registry = MetricsRegistry()
+        plan = FaultPlan(name="stall", hang_every=1, hang_seconds=5.0)
+        pool = WorkerPool(
+            2, metrics=registry, candidate_timeout=0.2, supervision=FAST
+        )
+        try:
+            program = parse_program(WELL_TYPED)
+            pool.arm(tuple(program.decls[:1]), fault_plan=plan)
+            verdicts = pool.check_suffixes([tuple(program.decls[1:])])
+        finally:
+            pool.shutdown()
+        assert verdicts[0] is not None
+        assert verdicts[0].ok is False
+        assert verdicts[0].kind == "crash"
+        assert "watchdog" in verdicts[0].sample
+        assert pool.watchdog_timeouts == 1
+        assert registry.value("parallel.watchdog.timeouts") == 1
+        assert pool.worker_hangs == 0  # caught in the worker, not by the pool
+
+    def test_rss_ceiling_converts_hog_to_crash_verdict(self):
+        """An absurdly low RSS ceiling trips on the first candidate: crash
+        verdict with a watchdog sample, worker pool recycled."""
+        registry = MetricsRegistry()
+        pool = WorkerPool(2, metrics=registry, rss_limit_mb=1.0, supervision=FAST)
+        try:
+            program = parse_program(WELL_TYPED)
+            pool.arm(tuple(program.decls[:1]))
+            verdicts = pool.check_suffixes([tuple(program.decls[1:])])
+        finally:
+            pool.shutdown()
+        assert verdicts[0].ok is False
+        assert verdicts[0].kind == "crash"
+        assert "rss" in verdicts[0].sample
+        assert pool.watchdog_rss == 1
+        assert registry.value("parallel.watchdog.rss") == 1
+
+    def test_watchdog_kills_reach_the_degradation_report(self):
+        # Every pooled check trips the absurd 1MiB ceiling, so each batch
+        # yields exactly one watchdog crash verdict (the rest re-checked
+        # serially): the search must complete well-formed, never raise,
+        # and the report must carry the kills.
+        result = explain(FIG2, jobs=2, worker_rss_limit_mb=1.0, supervision=FAST)
+        assert isinstance(result.ok, bool)
+        assert result.degradation is not None
+        assert result.degradation.watchdog_kills >= 1
+        assert result.degradation.degraded
+        assert "watchdog_kills=" in result.degradation.summary()
+
+    def test_hang_timeout_override_kills_a_stuck_worker(self):
+        """With no candidate timeout, a genuinely hung worker is killed by
+        the pool-side hang timeout and counted as a hang."""
+        registry = MetricsRegistry()
+        plan = FaultPlan(name="stall", hang_every=1, hang_seconds=30.0)
+        pool = WorkerPool(
+            2,
+            metrics=registry,
+            supervision=RestartPolicy(
+                hang_timeout_seconds=0.3,
+                backoff_seconds=0.0,
+                cooldown_seconds=0.0,
+                max_probes=1,
+            ),
+        )
+        try:
+            program = parse_program(WELL_TYPED)
+            pool.arm(tuple(program.decls[:1]), fault_plan=plan)
+            verdicts = pool.check_suffixes([tuple(program.decls[1:])])
+        finally:
+            pool.shutdown()
+        assert verdicts == [None]  # unresolved: serial fallback territory
+        assert pool.worker_hangs >= 1
+        assert registry.value("parallel.worker_hangs") >= 1

@@ -156,6 +156,13 @@ FAULT_PLAN_EXPECTATIONS = {
     "snapshot-poison": ("degraded", {}),
     "latency": ("degraded", {"deadline_seconds": 1e-9}),
     "cache-corruption": ("degraded", {"deadline_seconds": 1e-9}),
+    # The supervision-era plans target pool workers / the verdict store;
+    # run in-process with neither, their injections are harmless, so the
+    # tiny-deadline trick applies (their real coverage is the supervision
+    # and self-heal suites, which assert restarts/quarantine/io counters).
+    "worker-hang": ("degraded", {"deadline_seconds": 1e-9}),
+    "flaky-store": ("degraded", {"deadline_seconds": 1e-9}),
+    "memory-hog": ("degraded", {"deadline_seconds": 1e-9}),
 }
 
 

@@ -108,3 +108,65 @@ class TestHardExitWriter:
         assert reader.skipped_lines == 0
         # Compaction sweeps the corpse.
         assert VerdictStore(store_dir).compact()["removed_tmp"] == 1
+
+
+#: Runs in a child process: publishes some verdicts, then starts a
+#: segment write that blocks *between* the temp-file write and the
+#: atomic rename, prints a marker, and waits for the parent's SIGINT.
+#: The interrupt therefore provably lands mid-publication — the worst
+#: possible moment — leaving a fully-written ``.tmp-*`` corpse behind.
+INTERRUPTED_WRITER_SCRIPT = """
+import os, sys, time
+from repro.store import NO_PREFIX_FP, VerdictStore
+
+class MidWriteStall(VerdictStore):
+    def _write_segment_file(self, tmp, final, body):
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(body + "\\n")
+        if getattr(self, "stall", False):
+            print("MID-WRITE", flush=True)
+            time.sleep(30)  # SIGINT lands here
+        os.replace(tmp, final)
+
+store = MidWriteStall(sys.argv[1], flush_every=1)
+store.put(NO_PREFIX_FP, ("published-1",), True, "full")
+store.put(NO_PREFIX_FP, ("published-2",), False, "full")
+store.stall = True
+store.put(NO_PREFIX_FP, ("torn",), True, "full")
+print("UNREACHED", flush=True)
+"""
+
+
+class TestSigintWriter:
+    def test_interrupt_mid_publication_leaves_store_clean(self, tmp_path):
+        import os
+        import signal
+        import time
+
+        from repro.store import VerdictStore
+
+        store_dir = tmp_path / "s"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", INTERRUPTED_WRITER_SCRIPT, str(store_dir)],
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            start_new_session=True,
+        )
+        line = proc.stdout.readline().strip()
+        assert line == "MID-WRITE"
+        os.kill(proc.pid, signal.SIGINT)
+        out, _ = proc.communicate(timeout=30)
+        assert "UNREACHED" not in out  # the interrupt really killed it
+        assert proc.returncode != 0
+
+        # The corpse is there — and invisible to the next run.
+        tmps = list(store_dir.glob(".tmp-*"))
+        assert len(tmps) == 1
+        reader = VerdictStore(store_dir)
+        assert len(reader) == 2  # both published verdicts, nothing torn
+        assert reader.skipped_segments == 0
+        assert reader.skipped_lines == 0
+        assert reader.compact()["removed_tmp"] == 1
+        assert list(store_dir.glob(".tmp-*")) == []

@@ -263,3 +263,48 @@ class TestCppMode:
     def test_cpp_stats(self, cpp_file, capsys):
         main([str(cpp_file), "--stats"])
         assert "compiler calls" in capsys.readouterr().err
+
+
+class TestRobustnessFlags:
+    def test_shed_fraction_accepted(self, ml_file, capsys):
+        assert main([str(ml_file), "--shed-fraction", "0.5"]) == 1
+        assert "Try replacing" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("bad", ["0", "-0.5", "1.5", "nan", "junk"])
+    def test_shed_fraction_rejects_out_of_range(self, ml_file, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([str(ml_file), "--shed-fraction", bad])
+        assert exc.value.code == 2
+        assert "--shed-fraction" in capsys.readouterr().err
+
+    def test_candidate_timeout_accepted(self, ml_file, capsys):
+        assert main([str(ml_file), "--candidate-timeout", "30"]) == 1
+        assert "Try replacing" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("flag", ["--candidate-timeout", "--worker-rss-mb"])
+    @pytest.mark.parametrize("bad", ["0", "-1", "junk"])
+    def test_positive_float_flags_reject_nonpositive(self, ml_file, flag, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([str(ml_file), flag, bad])
+        assert exc.value.code == 2
+        assert flag in capsys.readouterr().err
+
+    def test_worker_rss_flag_accepted_serially(self, ml_file, capsys):
+        # Serial runs have no pool; the knob parses and is simply unused.
+        assert main([str(ml_file), "--worker-rss-mb", "512"]) == 1
+
+    def test_help_documents_interruption(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "130" in out
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, ml_file, capsys):
+        import repro.cli as cli_mod
+
+        def boom(argv=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_mod, "_dispatch", boom)
+        assert main([str(ml_file)]) == 130
+        assert "interrupted" in capsys.readouterr().err

@@ -175,3 +175,37 @@ class TestSingleFileJobs:
     def test_no_dedup_flag_accepted(self, batch_dir, capsys):
         assert main([str(batch_dir / "bad.ml"), "--no-dedup"]) == 1
         capsys.readouterr()
+
+
+class TestDirScanHardening:
+    def test_missing_dir_one_line_stderr_no_traceback(self, tmp_path, capsys):
+        code = main(["explain", "--dir", str(tmp_path / "nope")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("error: not a directory:")
+        assert "Traceback" not in err
+
+    def test_dir_pointing_at_file_exit_two(self, batch_dir, capsys):
+        code = main(["explain", "--dir", str(batch_dir / "bad.ml")])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_unreadable_dir_scan_exit_two(self, batch_dir, monkeypatch, capsys):
+        # Root can read chmod-0 dirs, so inject the scan failure instead.
+        import pathlib
+
+        def explode(self, pattern):
+            raise OSError("injected permission failure")
+
+        monkeypatch.setattr(pathlib.Path, "rglob", explode)
+        code = main(["explain", "--dir", str(batch_dir)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot scan")
+        assert "Traceback" not in err
+
+    def test_batch_shed_fraction_flag(self, batch_dir, capsys):
+        code = main(["explain", "--dir", str(batch_dir), "--shed-fraction", "0.9"])
+        assert code in (0, 1)
+        assert "bad.ml" in capsys.readouterr().out
