@@ -1,0 +1,162 @@
+"""Dependency-pruned re-checking: cold vs pruned on the deepest corpus
+programs, emitting the machine-readable ``BENCH_depprune.json``.
+
+Two claims are checked, matching the declaration outcome table's contract:
+
+* **Equivalence** — searches with the table on (running in ``cross_check``
+  mode, so every table-served answer is re-derived from scratch and
+  compared in-process) return bit-for-bit the same results as searches
+  with ``depprune=False``: same verdict, same oracle-call count, same
+  rendered suggestions in the same order.
+* **Pruning** — on multi-declaration programs the table must cut the
+  number of *really inferred* declarations (``oracle.decl.checked``) by
+  at least 2x: after the initial recording pass, localization's prefix
+  checks and every full-path candidate replay recorded schemes for the
+  declarations a change cannot reach.  This is a deterministic counter
+  gate, so it asserts in smoke mode too; the wall-clock comparison is
+  recorded but only asserted outside smoke (shared runners are noisy).
+
+The artifact is written to the repo root as ``BENCH_depprune.json``
+(``BENCH_depprune_smoke.json`` under ``REPRO_BENCH_SMOKE=1``, so CI smoke
+runs never clobber the checked-in baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.core import Oracle, explain
+from repro.core.messages import render_suggestion
+from repro.corpus import generate_corpus
+from repro.obs import MetricsRegistry
+
+#: CI smoke mode: tiny corpus, one timing round, no wall-clock assertion.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+_SCALE = 0.1 if SMOKE else 0.3
+_SEED = 7
+_N_FILES = 3 if SMOKE else 10
+_ROUNDS = 1 if SMOKE else 3
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module")
+def deep_programs():
+    """The deepest (most declarations) representative corpus programs —
+    where the suffix a mutation cannot reach is largest."""
+    corpus = generate_corpus(scale=_SCALE, seed=_SEED)
+    files = sorted(
+        corpus.representatives,
+        key=lambda f: len(f.program.decls),
+        reverse=True,
+    )[:_N_FILES]
+    return [f.program for f in files]
+
+
+def _run_all(programs, **kwargs):
+    return [explain(program, **kwargs) for program in programs]
+
+
+def _time_all(programs, rounds, **kwargs):
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        _run_all(programs, **kwargs)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_depprune_search_is_equivalent(deep_programs):
+    for program in deep_programs:
+        baseline = explain(program, depprune=False)
+        checked = explain(program, oracle=Oracle(cross_check=True))
+        assert checked.ok == baseline.ok
+        assert checked.oracle_calls == baseline.oracle_calls
+        assert checked.bad_decl_index == baseline.bad_decl_index
+        assert [render_suggestion(s) for s in checked.suggestions] == [
+            render_suggestion(s) for s in baseline.suggestions
+        ]
+
+
+def test_depprune_artifact(deep_programs):
+    cold_s = _time_all(deep_programs, _ROUNDS, depprune=False)
+    pruned_s = _time_all(deep_programs, _ROUNDS)
+
+    # Instrumented passes for the per-declaration accounting.  With the
+    # table off, every full-path check really infers every declaration —
+    # that count is the honest "cold" baseline the 2x gate divides.
+    cold = MetricsRegistry()
+    cold_results = _run_all(deep_programs, metrics=cold, depprune=False)
+    pruned = MetricsRegistry()
+    pruned_results = _run_all(deep_programs, metrics=pruned)
+
+    cold_checked = cold.value("oracle.decl.checked")
+    pruned_checked = pruned.value("oracle.decl.checked")
+    replayed = pruned.value("oracle.decl.replayed")
+    skipped = pruned.value("oracle.decl.skipped")
+    degraded = pruned.value("oracle.decl.degraded")
+    fallbacks = pruned.value("oracle.decl.fallbacks")
+    calls = sum(r.oracle_calls for r in pruned_results)
+    assert calls == sum(r.oracle_calls for r in cold_results)
+
+    decls = [len(p.decls) for p in deep_programs]
+    reduction = cold_checked / pruned_checked if pruned_checked else float("inf")
+    speedup = cold_s / pruned_s if pruned_s else float("inf")
+
+    artifact = {
+        "benchmark": "dependency-pruned re-checking (cold vs outcome table)",
+        "smoke": SMOKE,
+        "corpus": {
+            "scale": _SCALE,
+            "seed": _SEED,
+            "files": len(decls),
+            "selection": "deepest by declaration count",
+            "decls": decls,
+        },
+        "rounds": _ROUNDS,
+        "oracle_calls": calls,
+        "decls_checked": {
+            "cold": cold_checked,
+            "pruned": pruned_checked,
+            "reduction": round(reduction, 3),
+        },
+        "decls_replayed": replayed,
+        "decls_prefix_skipped": skipped,
+        "decls_degraded": degraded,
+        "table_fallbacks": fallbacks,
+        "cold_seconds": round(cold_s, 4),
+        "pruned_seconds": round(pruned_s, 4),
+        "speedup": round(speedup, 3),
+    }
+    name = "BENCH_depprune_smoke.json" if SMOKE else "BENCH_depprune.json"
+    path = REPO_ROOT / name
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(
+        f"\ndecls checked: cold={cold_checked} pruned={pruned_checked} "
+        f"({reduction:.2f}x reduction), {replayed} replayed, "
+        f"{skipped} prefix-skipped; wall {cold_s:.3f}s -> {pruned_s:.3f}s "
+        f"({speedup:.2f}x)\n[artifact written to {path}]"
+    )
+
+    # The ISSUE's acceptance gate: >= 2x fewer really-inferred declarations.
+    # Counter-based and deterministic, so it holds in smoke mode too.
+    assert cold_checked >= 2 * pruned_checked
+    assert replayed > 0
+    assert skipped > 0
+    assert degraded == 0
+    assert fallbacks == 0
+    # Wall clock is recorded honestly but gated loosely: the prefix
+    # snapshot already serves the (dominant) enumeration-phase checks, so
+    # the table's wall win concentrates in localization's prefix checks —
+    # a modest share of these short searches.  The hard gate is the
+    # counter reduction above; here we only require replays not to cost
+    # more than the inference they displace.
+    if not SMOKE:
+        assert speedup > 0.9

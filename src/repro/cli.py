@@ -171,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable prefix-reuse incremental typechecking: "
                              "re-infer every candidate from the empty "
                              "environment (escape hatch / benchmarking)")
+    parser.add_argument("--no-depprune", action="store_true",
+                        help="disable dependency-pruned re-checking (the "
+                             "per-declaration outcome table); answers are "
+                             "identical either way (benchmarking)")
     parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
                         help="check candidates in N worker processes "
                              "('auto' = one per CPU); answers are "
@@ -218,6 +222,9 @@ def build_batch_parser() -> argparse.ArgumentParser:
                         help="disable triage in every search")
     parser.add_argument("--no-incremental", action="store_true",
                         help="disable prefix-reuse incremental typechecking")
+    parser.add_argument("--no-depprune", action="store_true",
+                        help="disable dependency-pruned re-checking (the "
+                             "per-declaration outcome table)")
     parser.add_argument("--max-calls", type=int, default=20000, metavar="N",
                         help="per-program oracle-call budget (default 20000)")
     parser.add_argument("--deadline", type=float, default=None,
@@ -371,6 +378,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
             max_calls=args.max_calls,
             cache=True,
             incremental=not args.no_incremental,
+            depprune=not args.no_depprune,
             metrics=metrics if metrics is not NULL_METRICS else None,
         )
     telemetry_kwargs = dict(
@@ -383,6 +391,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
             source,
             enable_triage=not args.no_triage,
             incremental=not args.no_incremental,
+            depprune=not args.no_depprune,
             max_oracle_calls=args.max_calls,
             deadline_seconds=args.deadline,
             **telemetry_kwargs,
@@ -404,6 +413,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         source,
         enable_triage=not args.no_triage,
         incremental=not args.no_incremental,
+        depprune=not args.no_depprune,
         max_oracle_calls=args.max_calls,
         deadline_seconds=args.deadline,
         jobs=args.jobs,
@@ -449,6 +459,13 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
                      if args.no_incremental else "")
         print(f"oracle prefix reuse: {reused} incremental, {full} full checks"
               f"{incr_note}", file=sys.stderr)
+        replayed = metrics.value("oracle.decl.replayed")
+        checked = metrics.value("oracle.decl.checked")
+        skipped = metrics.value("oracle.decl.skipped")
+        dep_note = (" (disabled with --no-depprune)"
+                    if args.no_depprune else "")
+        print(f"oracle decl reuse: {replayed} replayed, {checked} checked, "
+              f"{skipped} prefix-skipped{dep_note}", file=sys.stderr)
     _emit_telemetry(args, tracer, metrics)
     _write_run_report(args, metrics, result, time.perf_counter() - start)
     _close_events(args, events, metrics)
@@ -545,7 +562,7 @@ def _run_batch(argv: Sequence[str]) -> int:
             sources.append(None)
             print(f"error: cannot read {path}: {err}", file=sys.stderr)
     readable = [i for i, s in enumerate(sources) if s is not None]
-    collect_metrics = bool(args.metrics or args.events)
+    collect_metrics = bool(args.metrics or args.events or args.stats)
     explained = explain_many(
         [sources[i] for i in readable],
         [labels[i] for i in readable],
@@ -553,6 +570,7 @@ def _run_batch(argv: Sequence[str]) -> int:
         top=args.top,
         enable_triage=not args.no_triage,
         incremental=not args.no_incremental,
+        depprune=not args.no_depprune,
         max_oracle_calls=args.max_calls,
         deadline_seconds=args.deadline,
         shed_fraction=args.shed_fraction,
@@ -600,6 +618,14 @@ def _run_batch(argv: Sequence[str]) -> int:
         for e in entries:
             if e.metrics:
                 merged.merge_snapshot(e.metrics)
+        if args.stats:
+            replayed = merged.value("oracle.decl.replayed")
+            checked = merged.value("oracle.decl.checked")
+            skipped = merged.value("oracle.decl.skipped")
+            dep_note = (" (disabled with --no-depprune)"
+                        if args.no_depprune else "")
+            print(f"oracle decl reuse: {replayed} replayed, {checked} checked, "
+                  f"{skipped} prefix-skipped{dep_note}", file=sys.stderr)
         if args.metrics:
             print(merged.render_table(title="batch telemetry"), file=sys.stderr)
         if args.events:

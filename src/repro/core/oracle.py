@@ -61,7 +61,13 @@ import traceback
 from typing import Callable, Dict, List, Optional, Protocol, Union
 
 from repro.miniml.errors import MiniMLTypeError
-from repro.miniml.infer import CheckResult, snapshot_prefix, typecheck_program
+from repro.miniml.infer import (
+    CheckResult,
+    record_decl_table,
+    replay_decl_table,
+    snapshot_prefix,
+    typecheck_program,
+)
 from repro.obs import NULL_EVENTS, NULL_METRICS
 from repro.store.fingerprint import NO_PREFIX_FP, prefix_fingerprint
 from repro.store.verdicts import STORABLE_KINDS
@@ -182,6 +188,13 @@ class Oracle:
         instead of rejecting the candidate.  Debug/test mode.
     crash_sample_limit:
         How many crash tracebacks to retain in :attr:`crash_samples`.
+    depprune:
+        Enable the declaration outcome table (dependency-pruned
+        re-checking — the second reuse tier behind prefix snapshots; see
+        :meth:`arm_decl_table`).  On by default; requires ``incremental``
+        and a substrate with record/replay support (the MiniML default).
+        Turning it off never changes answers, only ``oracle.decl.*``
+        telemetry and wall time.
     """
 
     def __init__(
@@ -200,6 +213,7 @@ class Oracle:
         crash_sample_limit: int = 5,
         events=None,
         store=None,
+        depprune: bool = True,
     ):
         self._typecheck = typecheck if typecheck is not None else typecheck_program
         self.max_calls = max_calls
@@ -212,6 +226,13 @@ class Oracle:
         self.prefix_fallbacks = 0
         self.crashes = 0
         self.depth_rejections = 0
+        #: Per-declaration accounting (the dependency-pruning telemetry):
+        #: declarations really inferred / replayed from the outcome table /
+        #: skipped via prefix snapshots / degraded from replay to check.
+        self.decls_checked = 0
+        self.decls_replayed = 0
+        self.decls_skipped = 0
+        self.decls_degraded = 0
         self.crash_samples: List[str] = []
         self.crash_sample_limit = crash_sample_limit
         self.strict = strict
@@ -237,6 +258,19 @@ class Oracle:
         else:
             self._snapshot_fn = snapshot_prefix if typecheck is None else None
         self._snapshot = None
+        #: Dependency-pruned re-checking (the second reuse tier, behind
+        #: prefix snapshots).  Like snapshots, the record/replay functions
+        #: default to the MiniML substrate only when ``typecheck`` is the
+        #: default — a custom checker opts out automatically.
+        self.depprune = depprune
+        self._decl_record_fn: Optional[Callable] = (
+            record_decl_table if typecheck is None else None
+        )
+        self._decl_replay_fn: Optional[Callable] = (
+            replay_decl_table if typecheck is None else None
+        )
+        self._decl_table = None
+        self._decl_pending = None
         #: Bumped whenever the prefix state changes (armed / invalidated /
         #: healed / reset): part of the memo key, so cached verdicts are
         #: scoped to the snapshot regime they were computed under.
@@ -386,6 +420,21 @@ class Oracle:
     # Prefix reuse
     # ------------------------------------------------------------------
 
+    def adopt_keyer(self, keyer) -> bool:
+        """Share a search-owned :class:`~repro.tree.StructuralKeyer`.
+
+        The searcher builds one keyer per search (dedup, oracle cache, and
+        the declaration outcome table all intern into it — the
+        ``search.keys.interned`` metric); adopting replaces the oracle's
+        private default keyer.  No-op (False) when a custom ``key_fn`` was
+        supplied — overriding it could change cache semantics.
+        """
+        if self._keyer is None:
+            return False
+        self._keyer = keyer
+        self._key = keyer
+        return True
+
     @property
     def prefix_armed(self) -> bool:
         return self._snapshot is not None
@@ -435,6 +484,123 @@ class Oracle:
             self._prefix_gen += 1
         self._prefix_fp = NO_PREFIX_FP
 
+    # ------------------------------------------------------------------
+    # Declaration outcome table (dependency-pruned re-checking)
+    # ------------------------------------------------------------------
+
+    @property
+    def decl_table_armed(self) -> bool:
+        return self._decl_table is not None or self._decl_pending is not None
+
+    def arm_decl_table(self, program) -> bool:
+        """Arm the per-declaration outcome table for a baseline program.
+
+        Called by the searcher *before* its initial check.  Arming is
+        lazy: the recording pass runs on the first check that reaches the
+        full (non-snapshot) path — which for the searcher is that initial
+        check itself, so recording costs nothing beyond the check the
+        search was going to pay anyway.  Once recorded, every full-path
+        check replays unaffected declarations from the table and really
+        re-infers only the changed ones and their dependents.  No-op
+        (False) when dependency pruning or incremental reuse is off, or
+        the substrate has no record/replay functions.
+        """
+        self._decl_table = None
+        self._decl_pending = None
+        if (
+            not self.depprune
+            or not self.incremental
+            or self._decl_record_fn is None
+            or self._decl_replay_fn is None
+        ):
+            return False
+        self._decl_pending = program
+        return True
+
+    def ensure_decl_table(self) -> bool:
+        """Run the pending recording pass *now* instead of lazily.
+
+        Pool workers call this while seeding: their per-candidate counter
+        deltas become pure replay/check counts, so a ``jobs=N`` run's
+        per-verdict declaration accounting matches ``jobs=1`` exactly (the
+        parent pays its recording cost on the search's initial check, which
+        happens parent-side in both modes).
+        """
+        if self._decl_pending is not None:
+            self._decl_tier(self._decl_pending)
+        return self._decl_table is not None
+
+    def _drop_decl_table(self) -> None:
+        self._decl_table = None
+        self._decl_pending = None
+
+    def _decl_key_fn(self):
+        # The table interns declaration keys into the same keyer the cache
+        # uses; with a custom key_fn the substrate default applies.
+        return self._keyer
+
+    def _decl_tier(self, program) -> Optional[CheckResult]:
+        """Serve a full-path check from the declaration outcome table.
+
+        Returns ``None`` when the tier cannot answer (not armed, recording
+        produced no table) — the caller falls through to a plain full
+        check.  Any exception inside the tier degrades the same way: the
+        table is dropped, ``oracle.decl.fallbacks`` counts the incident,
+        and the plain check supplies the (always correct) answer.
+        """
+        if self._decl_table is None and self._decl_pending is None:
+            return None
+        try:
+            extra_checked = 0
+            if self._decl_table is None:
+                baseline = self._decl_pending
+                self._decl_pending = None
+                table, base_result = self._decl_record_fn(
+                    baseline, key_fn=self._decl_key_fn()
+                )
+                if table is None:
+                    # Recording failed soundly (e.g. recursion blowup):
+                    # the pass is still a complete check of the baseline.
+                    return base_result if baseline is program else None
+                self._decl_table = table
+                self.metrics.incr("oracle.decl.armed")
+                if baseline is program:
+                    return base_result
+                # The recording pass inferred the baseline's declarations
+                # on behalf of this check; attribute that cost here.
+                extra_checked = base_result.decls_checked
+            result = self._decl_replay_fn(
+                program, self._decl_table, key_fn=self._decl_key_fn()
+            )
+            if extra_checked:
+                result.decls_checked += extra_checked
+            return result
+        except Exception:
+            if self.strict:
+                raise
+            self._drop_decl_table()
+            self.metrics.incr("oracle.decl.fallbacks")
+            return None
+
+    def _account_decls(self, result) -> None:
+        """Fold one check's per-declaration accounting into the counters."""
+        checked = getattr(result, "decls_checked", 0)
+        replayed = getattr(result, "decls_replayed", 0)
+        skipped = getattr(result, "decls_skipped", 0)
+        degraded = getattr(result, "decls_degraded", 0)
+        if checked:
+            self.decls_checked += checked
+            self.metrics.incr("oracle.decl.checked", checked)
+        if replayed:
+            self.decls_replayed += replayed
+            self.metrics.incr("oracle.decl.replayed", replayed)
+        if skipped:
+            self.decls_skipped += skipped
+            self.metrics.incr("oracle.decl.skipped", skipped)
+        if degraded:
+            self.decls_degraded += degraded
+            self.metrics.incr("oracle.decl.degraded", degraded)
+
     def _check_once(self, program) -> CheckResult:
         """One logical typecheck, via the armed prefix when possible."""
         snapshot = self._snapshot
@@ -466,13 +632,29 @@ class Oracle:
                 self._drop_snapshot()
                 self.prefix_invalidated += 1
                 self.metrics.incr("oracle.prefix.invalidated")
+        served = self._decl_tier(program)
+        if served is not None:
+            # Table-served answers are full checks for every existing
+            # counter (calls, full_checks, store kinds): the pruning shows
+            # up only in the oracle.decl.* family, so suggestions, ranks,
+            # and --stats stay byte-identical with pruning on or off.
+            self.full_checks += 1
+            self.metrics.incr("oracle.full_checks")
+            if self.cross_check:
+                self._assert_equivalent(
+                    program, served, metric="oracle.decl.crosschecked"
+                )
+            return served
         self.full_checks += 1
         self.metrics.incr("oracle.full_checks")
         return self._typecheck(program)
 
-    def _assert_equivalent(self, program, incremental: CheckResult) -> None:
+    def _assert_equivalent(
+        self, program, incremental: CheckResult,
+        metric: str = "oracle.prefix.crosschecked",
+    ) -> None:
         """Cross-check an incremental answer against a from-scratch run."""
-        self.metrics.incr("oracle.prefix.crosschecked")
+        self.metrics.incr(metric)
         full = self._typecheck(program)
         if incremental.ok != full.ok or (
             not full.ok and _error_text(incremental) != _error_text(full)
@@ -578,6 +760,7 @@ class Oracle:
                 raise
             self._record_crash(err)
             result = CheckResult(ok=False)
+        self._account_decls(result)
         self.metrics.incr("oracle.calls")
         self.metrics.incr("oracle.calls.ok" if result.ok else "oracle.calls.fail")
         if store_fp is not None:
@@ -703,6 +886,10 @@ class Oracle:
         else:  # VERDICT_FULL — and any unknown kind degrades to it
             self.full_checks += 1
             self.metrics.incr("oracle.full_checks")
+        # Replay the worker's per-declaration accounting for this applied
+        # verdict (legacy bool verdicts carry none), keeping the
+        # oracle.decl.* family byte-identical between jobs=1 and jobs=N.
+        self._account_decls(verdict)
         self.metrics.incr("oracle.calls")
         self.metrics.incr("oracle.calls.ok" if ok else "oracle.calls.fail")
         if store_fp is not None:
@@ -742,8 +929,14 @@ class Oracle:
         self.prefix_fallbacks = 0
         self.crashes = 0
         self.depth_rejections = 0
+        self.decls_checked = 0
+        self.decls_replayed = 0
+        self.decls_skipped = 0
+        self.decls_degraded = 0
         self.crash_samples = []
         self._snapshot = None
+        self._decl_table = None
+        self._decl_pending = None
         self._prefix_gen = 0
         self._prefix_fp = NO_PREFIX_FP
         self.store_hits = 0

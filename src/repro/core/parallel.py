@@ -126,6 +126,11 @@ class WorkerVerdict(NamedTuple):
     no store was active) and ``err``/``err_kind`` carry the rendered
     checker message of a failing miss — the parent, which performs all
     store writes, persists it when it applies the verdict.
+
+    The trailing ``decls_*`` fields carry the check's per-declaration
+    accounting (dependency-pruned re-checking); the parent folds them into
+    its ``oracle.decl.*`` counters per applied verdict, keeping ``jobs=N``
+    identical to ``jobs=1``.
     """
 
     ok: bool
@@ -134,6 +139,10 @@ class WorkerVerdict(NamedTuple):
     store: Optional[str] = None
     err: Optional[str] = None
     err_kind: Optional[str] = None
+    decls_checked: int = 0
+    decls_replayed: int = 0
+    decls_skipped: int = 0
+    decls_degraded: int = 0
 
 #: ``SearchConfig.jobs`` sentinel: use one worker per CPU.
 AUTO_JOBS = "auto"
@@ -228,13 +237,20 @@ def _seed_state(seed_token: int, seed_blob: bytes) -> Tuple:
         store_path,
         candidate_timeout,
         rss_limit_mb,
+        depprune,
+        table_decls,
     ) = pickle.loads(seed_blob)
     if fault_plan is not None:
         from repro.faults import ChaosOracle
 
-        oracle = ChaosOracle(fault_plan, incremental=incremental, max_depth=max_depth)
+        oracle = ChaosOracle(
+            fault_plan,
+            incremental=incremental,
+            max_depth=max_depth,
+            depprune=depprune,
+        )
     else:
-        oracle = Oracle(incremental=incremental, max_depth=max_depth)
+        oracle = Oracle(incremental=incremental, max_depth=max_depth, depprune=depprune)
     if store_path:
         # Workers probe the store strictly read-only: the parent performs
         # every write when it applies verdicts, so speculative checks the
@@ -259,6 +275,13 @@ def _seed_state(seed_token: int, seed_blob: bytes) -> Tuple:
             pass  # degrade: the worker just checks everything for real
     if prefix_decls and incremental:
         oracle.arm_prefix(Program(list(prefix_decls)), len(prefix_decls))
+    if depprune and table_decls:
+        # Record *now*, not lazily: seeding isn't a candidate check, so the
+        # recording cost never lands on any candidate's counter delta —
+        # per-verdict decl accounting stays identical to a serial run
+        # (where the parent pays recording on the search's initial check).
+        if oracle.arm_decl_table(Program(list(table_decls))):
+            oracle.ensure_decl_table()
     _SEED_CACHE.clear()
     state = (tuple(prefix_decls), oracle, candidate_timeout, rss_limit_mb)
     _SEED_CACHE[seed_token] = state
@@ -278,6 +301,10 @@ def _count_state(oracle) -> Tuple[int, ...]:
         len(oracle.crash_samples),
         oracle.store_hits,
         oracle.store_misses,
+        oracle.decls_checked,
+        oracle.decls_replayed,
+        oracle.decls_skipped,
+        oracle.decls_degraded,
     )
 
 
@@ -297,7 +324,9 @@ def _classify(
     after = _count_state(oracle)
     (d_calls, _d_full, d_reused, d_fallback, d_invalid,
      d_crash, d_depth, d_samples,
-     d_store_hit, d_store_miss) = tuple(a - b for a, b in zip(after, before))
+     d_store_hit, d_store_miss,
+     d_decl_checked, d_decl_replayed,
+     d_decl_skipped, d_decl_degraded) = tuple(a - b for a, b in zip(after, before))
     sample = oracle.crash_samples[-1] if d_samples else None
     store = "hit" if d_store_hit else ("miss" if d_store_miss else None)
     if d_depth:
@@ -314,7 +343,10 @@ def _classify(
         kind = VERDICT_REUSED
     else:
         kind = VERDICT_FULL
-    return WorkerVerdict(ok, kind, sample, store, err, err_kind)
+    return WorkerVerdict(
+        ok, kind, sample, store, err, err_kind,
+        d_decl_checked, d_decl_replayed, d_decl_skipped, d_decl_degraded,
+    )
 
 
 def _rss_mb() -> Optional[float]:
@@ -539,6 +571,8 @@ class WorkerPool:
         max_depth: Optional[int] = None,
         fault_plan=None,
         store_path: Optional[str] = None,
+        depprune: bool = True,
+        table_decls: Optional[Sequence] = None,
     ) -> None:
         """Seed workers for one search: the passing prefix plus oracle knobs.
 
@@ -549,7 +583,10 @@ class WorkerPool:
         workers with a :class:`~repro.faults.ChaosOracle` instead — the
         fault-injection route the chaos tests use.  ``store_path`` points
         workers at the parent's persistent verdict store (opened strictly
-        read-only worker-side).
+        read-only worker-side).  ``table_decls`` (the localized baseline's
+        declarations, ``decls[:bad+1]``) seeds each worker's declaration
+        outcome table, recorded eagerly at seed time so ``jobs=N`` decl
+        accounting matches ``jobs=1`` per applied verdict.
         """
         self._seed_token += 1
         self._seed_blob = pickle.dumps(
@@ -561,6 +598,8 @@ class WorkerPool:
                 store_path,
                 self.candidate_timeout,
                 self.rss_limit_mb,
+                depprune,
+                tuple(table_decls) if table_decls is not None else None,
             )
         )
 

@@ -92,6 +92,14 @@ class SearchConfig:
     #: (which only ever mutate the failing declaration) skip re-inferring
     #: the passing prefix.  Answer-preserving; off = from-scratch per call.
     incremental: bool = True
+    #: Arm the oracle's declaration outcome table before the initial check
+    #: (the second reuse tier, behind prefix snapshots): full-path checks —
+    #: chiefly the O(n²) localization prefixes — replay recorded schemes
+    #: for unaffected declarations and really re-infer only changed ones
+    #: and their dependents.  Answer-preserving by construction (replays
+    #: are fingerprint-verified and degrade to real checks); requires
+    #: ``incremental``.
+    depprune: bool = True
     triage_threshold: int = 5
     max_triage_depth: int = 3
     disabled_rules: Sequence[str] = ()
@@ -261,8 +269,15 @@ class Searcher:
         #: mapping candidate structural keys to verdicts.
         self._pool: Optional[WorkerPool] = None
         self._prefix_decls: Tuple = ()
+        #: One structural keyer per search: the dedup memo, the oracle's
+        #: cache/store keys, and the declaration outcome table all intern
+        #: subtree keys into this single identity memo
+        #: (``search.keys.interned``), instead of each call site paying to
+        #: rebuild keys for the same shared subtrees.
+        self._keyer = StructuralKeyer()
+        self.oracle.adopt_keyer(self._keyer)
         self._dedup_keyer: Optional[StructuralKeyer] = (
-            StructuralKeyer() if self.config.dedup else None
+            self._keyer if self.config.dedup else None
         )
         self._tested: Dict[object, bool] = {}
 
@@ -310,8 +325,7 @@ class Searcher:
         self.oracle.reset()
         self.stats = SearchStats()
         self._tested = {}
-        if self._dedup_keyer is not None:
-            self._dedup_keyer.clear()
+        self._keyer.clear()
         report = DegradationReport(
             budget=self.config.max_oracle_calls,
             deadline_seconds=self.config.deadline_seconds,
@@ -337,6 +351,13 @@ class Searcher:
         with self.tracer.span("search", decls=len(program.decls)) as sp:
             outcome = SearchOutcome(ok=False, program=program, degradation=report)
             try:
+                # Arm the declaration outcome table *before* the initial
+                # check: recording piggybacks on that check's full pass, so
+                # every later full-path check (localization prefixes above
+                # all) replays unaffected declarations instead of
+                # re-inferring them.
+                if self.config.depprune and self.config.incremental:
+                    self.oracle.arm_decl_table(program)
                 first = self.oracle.check(program)
                 if first.ok:
                     outcome.ok = True
@@ -360,6 +381,10 @@ class Searcher:
                             fault_plan=self.config.worker_fault_plan
                             or getattr(self.oracle, "plan", None),
                             store_path=str(store.path) if store is not None else None,
+                            depprune=self.config.depprune,
+                            table_decls=tuple(program.decls[: bad + 1])
+                            if self.config.depprune and self.config.incremental
+                            else None,
                         )
                     # Search within the failing prefix: later declarations are
                     # ignored entirely, as in the paper ("It does not examine
@@ -377,6 +402,9 @@ class Searcher:
             outcome.oracle_calls = self.oracle.calls
             outcome.stats = self.stats
             self._finalize_degradation(report)
+            interned = self._keyer.interned
+            if interned:
+                self.metrics.incr("search.keys.interned", interned)
             self._pool = None
             if not outcome.ok:
                 self.metrics.incr("search.suggestions", len(outcome.suggestions))

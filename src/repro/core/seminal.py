@@ -94,6 +94,7 @@ def explain(
     enable_triage: bool = True,
     enable_adaptation: bool = True,
     incremental: bool = True,
+    depprune: bool = True,
     max_oracle_calls: Optional[int] = 20000,
     deadline_seconds: Optional[float] = None,
     triage_threshold: int = 5,
@@ -123,6 +124,10 @@ def explain(
     ``incremental=False`` disables the prefix-reuse oracle (every candidate
     is re-inferred from the empty environment — the pre-optimization
     behaviour, kept as an escape hatch and for benchmarking the win).
+    ``depprune=False`` disables the declaration outcome table (the second
+    reuse tier: full-path checks replay recorded schemes for declarations a
+    change cannot affect) — answers are identical either way; only the
+    ``oracle.decl.*`` telemetry and wall time differ.
 
     The call is best-effort by contract (see :mod:`repro.core.resilience`):
     running out of the oracle budget or the optional wall-clock
@@ -204,6 +209,7 @@ def explain(
                 max_calls=max_oracle_calls,
                 metrics=registry,
                 incremental=incremental,
+                depprune=depprune,
                 store=store_obj,
             )
         else:
@@ -214,6 +220,7 @@ def explain(
         enable_triage=enable_triage,
         enable_adaptation=enable_adaptation,
         incremental=incremental,
+        depprune=depprune,
         triage_threshold=triage_threshold,
         disabled_rules=disabled_rules,
         triage_strategy=triage_strategy,

@@ -110,6 +110,10 @@ class FaultPlan:
     #: Leak ``hog_bytes`` of ballast before every Nth check.
     hog_every: Optional[int] = None
     hog_bytes: int = 1 << 20
+    #: Mark the armed declaration outcome table stale on every Nth check:
+    #: every replay-time fingerprint verification must then refuse,
+    #: degrading replays to real checks — correct answers, never wrong.
+    stale_decl_table: Optional[int] = None
     seed: int = 0
 
     @property
@@ -154,6 +158,9 @@ def standard_fault_plans() -> Dict[str, FaultPlan]:
         "memory-hog": FaultPlan(
             name="memory-hog", hog_every=4, hog_bytes=1 << 16
         ),
+        "stale-decl-table": FaultPlan(
+            name="stale-decl-table", stale_decl_table=1
+        ),
     }
 
 
@@ -175,7 +182,7 @@ def poison_candidate_plan(
 #: Template for :attr:`ChaosOracle.injected` (one key per fault family).
 _INJECTED_ZERO: Dict[str, int] = {
     "crash": 0, "latency": 0, "cache": 0, "snapshot": 0,
-    "hang": 0, "poison": 0, "hog": 0,
+    "hang": 0, "poison": 0, "hog": 0, "stale": 0,
 }
 
 
@@ -260,6 +267,16 @@ class ChaosOracle(Oracle):
         ):
             self.injected["snapshot"] += 1
             self._snapshot = _PoisonedSnapshot(self._snapshot)
+        if (
+            plan.stale_decl_table
+            and n % plan.stale_decl_table == 0
+            and self._decl_table is not None
+        ):
+            # A stale table must *degrade* — every replay refuses its
+            # fingerprint verification and re-checks for real — never
+            # serve a wrong answer.
+            self.injected["stale"] += 1
+            self._decl_table.stale = True
         if plan.crash_every and n % plan.crash_every == 0:
             self.injected["crash"] += 1
             if plan.crash_kind == "hard-exit":

@@ -133,6 +133,14 @@ class CheckResult:
     top_level: Dict[str, Scheme] = field(default_factory=dict)
     #: ``id(expr) -> Type`` when the pass ran with ``record_types``.
     node_types: Dict[int, object] = field(default_factory=dict)
+    #: Declaration accounting for the oracle's reuse telemetry: how many
+    #: top-level declarations this pass really inferred, how many it
+    #: replayed from a recorded outcome table, how many it skipped via a
+    #: prefix snapshot, and how many planned replays degraded to checks.
+    decls_checked: int = 0
+    decls_replayed: int = 0
+    decls_skipped: int = 0
+    decls_degraded: int = 0
 
     def __bool__(self) -> bool:
         return self.ok
@@ -180,6 +188,9 @@ class Inferencer:
         #: oracle's behaviour is unchanged.
         self.record_types = record_types
         self.node_types: Dict[int, Type] = {}
+        #: Top-level declarations actually inferred by this pass (the
+        #: denominator of the dependency-pruning win).
+        self.decls_checked = 0
 
     # ------------------------------------------------------------------
     # Fresh variables and scoping
@@ -201,6 +212,7 @@ class Inferencer:
 
     def check_decl(self, env: TypeEnv, decl, top_level: Dict[str, Scheme]) -> None:
         """Check one top-level declaration, extending ``env``/``top_level``."""
+        self.decls_checked += 1
         if isinstance(decl, DType):
             self._declare_type(decl)
         elif isinstance(decl, DException):
@@ -894,14 +906,32 @@ def _typecheck_from_prefix(
     env = root.child()
     values, top_level = prefix.instantiate_values()
     env.values.update(values)
+    skipped = prefix.n_decls
     try:
         for decl in program.decls[prefix.n_decls :]:
             inferencer.check_decl(env, decl, top_level)
     except MiniMLTypeError as err:
-        return CheckResult(ok=False, error=err, node_types=inferencer.node_types)
+        return CheckResult(
+            ok=False,
+            error=err,
+            node_types=inferencer.node_types,
+            decls_checked=inferencer.decls_checked,
+            decls_skipped=skipped,
+        )
     except RecursionError:
-        return CheckResult(ok=False, error=NestingTooDeepError())
-    return CheckResult(ok=True, top_level=top_level, node_types=inferencer.node_types)
+        return CheckResult(
+            ok=False,
+            error=NestingTooDeepError(),
+            decls_checked=inferencer.decls_checked,
+            decls_skipped=skipped,
+        )
+    return CheckResult(
+        ok=True,
+        top_level=top_level,
+        node_types=inferencer.node_types,
+        decls_checked=inferencer.decls_checked,
+        decls_skipped=skipped,
+    )
 
 
 def typecheck_program(
@@ -928,13 +958,288 @@ def typecheck_program(
     try:
         top_level = inferencer.check_program(program)
     except MiniMLTypeError as err:
-        return CheckResult(ok=False, error=err, node_types=inferencer.node_types)
+        return CheckResult(
+            ok=False,
+            error=err,
+            node_types=inferencer.node_types,
+            decls_checked=inferencer.decls_checked,
+        )
     except RecursionError:
         # Graceful rejection: a program nested past the interpreter's
         # recursion headroom is reported as ill-typed (with a dedicated
         # error) instead of crashing the caller mid-inference.
-        return CheckResult(ok=False, error=NestingTooDeepError())
-    return CheckResult(ok=True, top_level=top_level, node_types=inferencer.node_types)
+        return CheckResult(
+            ok=False,
+            error=NestingTooDeepError(),
+            decls_checked=inferencer.decls_checked,
+        )
+    return CheckResult(
+        ok=True,
+        top_level=top_level,
+        node_types=inferencer.node_types,
+        decls_checked=inferencer.decls_checked,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Declaration outcome tables: the record/replay passes behind the oracle's
+# second reuse tier (dependency-pruned re-checking).  Planning lives in
+# :mod:`repro.core.depgraph`; def/use extraction in :mod:`repro.miniml.deps`.
+# ---------------------------------------------------------------------------
+
+
+def _scheme_fingerprint(scheme: Scheme) -> str:
+    """A canonical rendering of a scheme, stable under free-variable copying.
+
+    Variables are named by first appearance — quantified ones as ``q<n>``,
+    free (value-restriction weak) ones as ``w<n>`` — so two alpha-equivalent
+    schemes print identically regardless of the underlying ``TVar`` ids.
+    Two closed schemes with equal fingerprints are interchangeable for
+    inference, which is what replay-time verification relies on.
+    """
+    quantified = {id(v) for v in scheme.vars}
+    names: Dict[int, str] = {}
+    parts: List[str] = []
+
+    def walk(t: Type) -> None:
+        t = resolve(t)
+        if isinstance(t, TVar):
+            key = id(t)
+            name = names.get(key)
+            if name is None:
+                prefix = "q" if key in quantified else "w"
+                name = names[key] = f"{prefix}{len(names)}"
+            parts.append(name)
+        elif isinstance(t, TCon):
+            parts.append(t.name)
+            if t.args:
+                parts.append("(")
+                for arg in t.args:
+                    walk(arg)
+                    parts.append(",")
+                parts.append(")")
+        elif isinstance(t, TArrow):
+            parts.append("(")
+            walk(t.param)
+            parts.append("->")
+            walk(t.result)
+            parts.append(")")
+        elif isinstance(t, TTuple):
+            parts.append("{")
+            for item in t.items:
+                walk(item)
+                parts.append("*")
+            parts.append("}")
+        else:  # pragma: no cover - no other Type constructors exist
+            parts.append(repr(t))
+
+    walk(scheme.body)
+    return "".join(parts)
+
+
+def _scheme_weak_vars(scheme: Scheme) -> List[TVar]:
+    """Free (un-generalized) type variables of a scheme's body."""
+    quantified = {id(v) for v in scheme.vars}
+    return [v for v in free_type_vars(scheme.body) if id(v) not in quantified]
+
+
+def record_decl_table(program: Program, env: Optional[TypeEnv] = None, key_fn=None):
+    """Fully infer ``program`` once, recording per-declaration outcomes.
+
+    Returns ``(table, result)``: the :class:`repro.core.depgraph.DeclTable`
+    for later :func:`replay_decl_table` calls, and the pass's
+    :class:`CheckResult` (this *is* a complete check — the caller should
+    use it instead of running a second pass).  ``table`` is ``None`` when
+    no meaningful table could be built (e.g. the pass blew the recursion
+    guard mid-inference).
+
+    The table covers every declaration up to and including the first
+    failing one; for a well-typed program it covers them all.  Schemes are
+    recorded by reference and fingerprinted *after* the pass completes, so
+    value-restriction weak variables carry their end-of-pass constraints —
+    the same state a from-scratch check of the identical program reaches.
+    """
+    from repro.core.depgraph import DeclOutcome, DeclTable
+    from .deps import NS_VALUE, decl_use_def
+
+    if key_fn is None:
+        from repro.tree import structural_key as key_fn  # type: ignore[no-redef]
+
+    base = env if env is not None else _default_base()
+    inferencer = Inferencer(base)
+    child = inferencer.root_env.child()
+    top_level: Dict[str, Scheme] = {}
+    entries: List[DeclOutcome] = []
+    used_slices: List[Dict[str, Scheme]] = []
+    bound_so_far: set = set()
+    result: Optional[CheckResult] = None
+
+    for decl in program.decls:
+        use_def = decl_use_def(decl)
+        # The env slice this declaration sees: schemes of used names bound
+        # by *earlier declarations of this program* (base-env bindings are
+        # identical for every candidate and need no verification).
+        used: Dict[str, Scheme] = {}
+        for ns, name in use_def.uses:
+            if ns == NS_VALUE and name in bound_so_far:
+                scheme = child.lookup(name)
+                if scheme is not None:
+                    used[name] = scheme
+        entry = DeclOutcome(skey=key_fn(decl), uses=use_def.uses, defs=use_def.defs)
+        entries.append(entry)
+        used_slices.append(used)
+        try:
+            if isinstance(decl, DLet):
+                inferencer.decls_checked += 1
+                bound = inferencer._check_bindings(child, decl.rec, decl.bindings)
+                top_level.update(bound)
+                entry.bindings = dict(bound)
+                bound_so_far.update(bound)
+            else:
+                inferencer.check_decl(child, decl, top_level)
+        except MiniMLTypeError as err:
+            entry.error = err
+            result = CheckResult(
+                ok=False,
+                error=err,
+                node_types=inferencer.node_types,
+                decls_checked=inferencer.decls_checked,
+            )
+            break
+        except RecursionError:
+            # No sound table: inference state is unknown mid-blowup.
+            return None, CheckResult(
+                ok=False,
+                error=NestingTooDeepError(),
+                decls_checked=inferencer.decls_checked,
+            )
+    if result is None:
+        result = CheckResult(
+            ok=True,
+            top_level=top_level,
+            node_types=inferencer.node_types,
+            decls_checked=inferencer.decls_checked,
+        )
+
+    # Fingerprint everything at end-of-pass, when unification has settled.
+    free_vars: List[TVar] = []
+    seen_vars: set = set()
+    for entry, used in zip(entries, used_slices):
+        entry.env_fp = {name: _scheme_fingerprint(s) for name, s in used.items()}
+        weak: List[str] = []
+        for name, scheme in entry.bindings.items():
+            entry.scheme_fp[name] = _scheme_fingerprint(scheme)
+            weak_vars = _scheme_weak_vars(scheme)
+            if weak_vars:
+                weak.append(name)
+                for v in weak_vars:
+                    if id(v) not in seen_vars:
+                        seen_vars.add(id(v))
+                        free_vars.append(v)
+        entry.weak_names = frozenset(weak)
+    return DeclTable(entries=entries, free_vars=tuple(free_vars)), result
+
+
+def replay_decl_table(
+    program: Program, table, env: Optional[TypeEnv] = None, key_fn=None
+) -> CheckResult:
+    """Check ``program`` against a recorded outcome table.
+
+    Declarations the planner proves unaffected by the candidate's changes
+    replay their recorded schemes (value-restriction weak variables are
+    copied consistently across the whole pass, the ``instantiate_values``
+    discipline); changed declarations and their dependents are really
+    re-inferred.  A replayed declaration whose used-names environment
+    slice no longer matches the recorded fingerprints — which a sound plan
+    never produces, but a stale or corrupted table can — degrades itself
+    and everything after it to real checks, so the answer is never wrong.
+    """
+    from repro.core.depgraph import PLAN_REPLAY, plan_replay
+    from .deps import decl_use_def
+
+    if key_fn is None:
+        from repro.tree import structural_key as key_fn  # type: ignore[no-redef]
+
+    decls = program.decls
+    entries = table.entries
+    skeys = [key_fn(decl) for decl in decls]
+    use_defs = []
+    for i, decl in enumerate(decls):
+        if i < len(entries) and skeys[i] == entries[i].skey:
+            use_defs.append((entries[i].uses, entries[i].defs))
+        else:
+            use_def = decl_use_def(decl)
+            use_defs.append((use_def.uses, use_def.defs))
+    plan = plan_replay(table, skeys, use_defs)
+
+    base = env if env is not None else _default_base()
+    inferencer = Inferencer(base)
+    child = inferencer.root_env.child()
+    top_level: Dict[str, Scheme] = {}
+    mapping: Optional[Dict[TVar, TVar]] = (
+        {v: TVar(v.level) for v in table.free_vars} if table.free_vars else None
+    )
+    #: Canonical schemes of program-bound names as of the current position.
+    current_fp: Dict[str, str] = {}
+    replayed = degraded = 0
+    degrade_rest = bool(table.stale)
+
+    def counts() -> Dict[str, int]:
+        return {
+            "decls_checked": inferencer.decls_checked,
+            "decls_replayed": replayed,
+            "decls_degraded": degraded,
+        }
+
+    for i, decl in enumerate(decls):
+        entry = entries[i] if i < len(entries) else None
+        do_replay = plan[i] == PLAN_REPLAY and entry is not None and not degrade_rest
+        if do_replay:
+            for name, fp in entry.env_fp.items():
+                if current_fp.get(name) != fp:
+                    do_replay = False
+                    break
+        if do_replay:
+            replayed += 1
+            if entry.error is not None:
+                # The recorded first failure: inference stops here, so
+                # later declarations are irrelevant to the verdict.
+                return CheckResult(ok=False, error=entry.error, **counts())
+            if isinstance(decl, DLet):
+                for name, scheme in entry.bindings.items():
+                    if mapping is not None:
+                        scheme = Scheme(scheme.vars, _substitute(scheme.body, mapping))
+                    child.bind(name, scheme)
+                    top_level[name] = scheme
+                    current_fp[name] = entry.scheme_fp[name]
+            elif isinstance(decl, (DType, DException)):
+                # Re-executing a declaration header is deterministic and
+                # cheap (no unification) — it *is* the replay.
+                inferencer.check_decl(child, decl, top_level)
+                inferencer.decls_checked -= 1
+            # A replayed DExpr has no bindings to restore; its only
+            # effects (weak-variable links, or the recorded error) are
+            # already baked into the end-of-pass schemes.
+            continue
+        if plan[i] == PLAN_REPLAY:
+            # Planned replay refused by fingerprint verification (stale or
+            # corrupted table): degrade this and every later declaration.
+            degraded += 1
+            degrade_rest = True
+        try:
+            if isinstance(decl, DLet):
+                inferencer.decls_checked += 1
+                bound = inferencer._check_bindings(child, decl.rec, decl.bindings)
+                top_level.update(bound)
+                for name, scheme in bound.items():
+                    current_fp[name] = _scheme_fingerprint(scheme)
+            else:
+                inferencer.check_decl(child, decl, top_level)
+        except MiniMLTypeError as err:
+            return CheckResult(ok=False, error=err, **counts())
+        except RecursionError:
+            return CheckResult(ok=False, error=NestingTooDeepError(), **counts())
+    return CheckResult(ok=True, top_level=top_level, **counts())
 
 
 def typecheck_source(source: str, env: Optional[TypeEnv] = None) -> CheckResult:

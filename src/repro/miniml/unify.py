@@ -53,6 +53,46 @@ def _adjust_levels(var: TVar, t: Type) -> None:
             _adjust_levels(var, i)
 
 
+def _occurs_collect(var: TVar, t: Type, pending: list) -> bool:
+    """One walk doing the occurs check while gathering the type variables
+    whose level needs lowering; short-circuits the moment ``var`` is found."""
+    t = resolve(t)
+    if t is var:
+        return True
+    if isinstance(t, TVar):
+        if t.level > var.level:
+            pending.append(t)
+        return False
+    if isinstance(t, TCon):
+        return any(_occurs_collect(var, a, pending) for a in t.args)
+    if isinstance(t, TArrow):
+        return _occurs_collect(var, t.param, pending) or _occurs_collect(
+            var, t.result, pending
+        )
+    if isinstance(t, TTuple):
+        return any(_occurs_collect(var, i, pending) for i in t.items)
+    return False
+
+
+def _occurs_check_and_adjust(var: TVar, t: Type) -> bool:
+    """Fused :func:`occurs_in` + :func:`_adjust_levels` in a single pass.
+
+    Collect-then-commit: level adjustments are only applied after the
+    occurs check passes.  That matches the old two-traversal behaviour
+    exactly — a failed occurs check must leave every level untouched,
+    because ``unifiable`` callers catch the error and continue the pass,
+    where a half-lowered level would be observable through later
+    generalization.
+    """
+    pending: list = []
+    if _occurs_collect(var, t, pending):
+        return True
+    level = var.level
+    for tv in pending:
+        tv.level = level
+    return False
+
+
 def unify(t1: Type, t2: Type) -> None:
     """Make ``t1`` and ``t2`` equal, or raise :class:`UnifyError`."""
     t1 = resolve(t1)
@@ -60,9 +100,8 @@ def unify(t1: Type, t2: Type) -> None:
     if t1 is t2:
         return
     if isinstance(t1, TVar):
-        if occurs_in(t1, t2):
+        if _occurs_check_and_adjust(t1, t2):
             raise UnifyError(t1, t2, "occurs check: the type would be cyclic")
-        _adjust_levels(t1, t2)
         t1.link = t2
         return
     if isinstance(t2, TVar):

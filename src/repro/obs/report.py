@@ -40,6 +40,7 @@ COST_COUNTER_PREFIXES: Tuple[str, ...] = (
     "oracle.prefix.invalidated",
     "oracle.budget_exceeded",
     "oracle.cache.misses",
+    "oracle.decl.checked",
     "search.prefix_tests",
     "search.removal_tests",
     "search.constructive_tests",
@@ -317,6 +318,18 @@ def render_aggregate(agg: RunAggregate) -> str:
             rows.append(
                 ("cache hit rate", f"{100.0 * hits / (hits + misses):.1f}%")
             )
+        d_replayed = agg.value("oracle.decl.replayed")
+        d_checked = agg.value("oracle.decl.checked")
+        d_degraded = agg.value("oracle.decl.degraded")
+        if d_replayed or d_degraded:
+            rows.append(("decls replayed / checked", f"{d_replayed} / {d_checked}"))
+            total = d_replayed + d_checked
+            if total:
+                rows.append(
+                    ("decl-replay rate", f"{100.0 * d_replayed / total:.1f}%")
+                )
+            if d_degraded:
+                rows.append(("decls degraded", str(d_degraded)))
         dedup = agg.value("search.dedup_skipped")
         if dedup:
             rows.append(("dedup skipped", str(dedup)))

@@ -333,6 +333,11 @@ class StructuralKeyer:
     def clear(self) -> None:
         self._memo.clear()
 
+    @property
+    def interned(self) -> int:
+        """How many distinct subtrees this keyer has interned so far."""
+        return len(self._memo)
+
     def __call__(self, root: Node) -> Tuple:
         try:
             return self._key(root)

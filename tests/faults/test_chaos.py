@@ -161,7 +161,7 @@ class TestTransparency:
         explain(corpus_files[0].program, oracle=oracle)
         assert oracle.injected == {
             "crash": 0, "latency": 0, "cache": 0, "snapshot": 0,
-            "hang": 0, "poison": 0, "hog": 0,
+            "hang": 0, "poison": 0, "hog": 0, "stale": 0,
         }
 
 
@@ -202,3 +202,35 @@ class TestPoisonedSnapshotObject:
         assert poisoned.matches(None) is True
         with pytest.raises(SnapshotPoisoned):
             poisoned.env
+
+
+class TestStaleDeclTable:
+    """The `stale-decl-table` plan: a poisoned outcome table may only ever
+    cost speed.  Every planned replay must refuse its fingerprint
+    verification and re-check for real — same suggestions, same ranks,
+    nonzero ``oracle.decl.degraded``, zero wrong answers."""
+
+    def test_degrades_to_full_checks_never_lies(self, corpus_files):
+        from repro.obs.metrics import MetricsRegistry
+
+        plan = standard_fault_plans()["stale-decl-table"]
+        degraded = 0
+        stale_fired = 0
+        for corpus_file in corpus_files[:10]:
+            metrics = MetricsRegistry()
+            oracle = ChaosOracle(plan, metrics=metrics)
+            chaotic = explain(corpus_file.program, oracle=oracle)
+            plain = explain(corpus_file.program)
+            assert chaotic.ok == plain.ok
+            assert [render_suggestion(s) for s in chaotic.suggestions] == [
+                render_suggestion(s) for s in plain.suggestions
+            ]
+            assert chaotic.oracle_calls == plain.oracle_calls
+            # Staling a table is pure telemetry loss, not degradation in
+            # the search-outcome sense (no budget, crash, or deadline hit).
+            assert not chaotic.degraded
+            assert metrics.value("oracle.decl.replayed") == 0
+            degraded += metrics.value("oracle.decl.degraded")
+            stale_fired += oracle.injected["stale"]
+        assert stale_fired > 0
+        assert degraded > 0

@@ -103,6 +103,28 @@ class TestUnify:
         unify(outer, t_list(inner))
         assert inner.level == 1
 
+    def test_failed_occurs_commits_no_level_adjustments(self):
+        # Regression for the fused occurs+adjust traversal: the occurs
+        # failure surfaces in the *second* child here, after the walk has
+        # already seen the level-5 variable in the first.  An
+        # adjust-as-you-go fusion would lower it before failing; the
+        # collect-then-commit contract is that a failed unification leaves
+        # every level untouched (``unifiable`` callers continue the pass,
+        # and a half-lowered level changes later generalization).
+        var = TVar(1)
+        early = TVar(5)
+        cyclic = TArrow(t_list(early), t_list(var))
+        assert not unifiable(var, cyclic)
+        assert early.level == 5
+        assert var.link is None
+
+    def test_successful_unify_still_adjusts_all_levels(self):
+        var = TVar(1)
+        first, second = TVar(5), TVar(7)
+        unify(var, TArrow(t_list(first), second))
+        assert first.level == 1
+        assert second.level == 1
+
 
 class TestGeneralization:
     def test_generalize_quantifies_deeper_levels(self):

@@ -163,6 +163,11 @@ FAULT_PLAN_EXPECTATIONS = {
     "worker-hang": ("degraded", {"deadline_seconds": 1e-9}),
     "flaky-store": ("degraded", {"deadline_seconds": 1e-9}),
     "memory-hog": ("degraded", {"deadline_seconds": 1e-9}),
+    # Staling the decl outcome table is deliberately event-silent (the
+    # depprune on/off event logs must stay byte-identical); it surfaces
+    # through the oracle.decl.degraded counter instead, asserted by the
+    # chaos suite.  Here the tiny-deadline trick applies as above.
+    "stale-decl-table": ("degraded", {"deadline_seconds": 1e-9}),
 }
 
 
