@@ -1,0 +1,226 @@
+"""Per-check constant factor: trail speculation + hash-consed keys.
+
+This is the tentpole benchmark for the oracle's third reuse tier.  The
+workload is the *deep corpus*: long programs whose every fifth binding is
+a value-restriction weak reference cell (``let r = ref []``) — the shape
+that makes per-check state copying expensive, because every copying pass
+must re-substitute each weak scheme before it can check anything.  Two
+configurations are compared end to end:
+
+* **fast** — the defaults: trail-speculative inference (the snapshot
+  tier's live suffix checks *and* the decl table's live replay) plus
+  hash-consed :class:`~repro.tree.HCKey` candidate keys;
+* **both off** — ``speculate=False`` and the keyer monkeypatched back to
+  the legacy nested-tuple structural keys (no hash caching, no
+  interning), i.e. the copy-everything regime this PR replaces.
+
+Three claims are checked:
+
+* **Equivalence** — both configurations return byte-identical rendered
+  suggestions, verdicts, and oracle-call counts (the speculative tiers
+  are invisible except in ``oracle.trail.*`` telemetry);
+* **Speedup** — the ISSUE's acceptance gate: the fast configuration is
+  at least **1.8x** faster in wall clock on the deep corpus.  Timing
+  rounds are interleaved (off, fast, off, fast, ...) and best-of taken
+  per configuration, so shared-runner noise hits both sides alike.  The
+  gate asserts outside smoke mode only; counters assert always;
+* **Allocation** — the ``__slots__`` satellite: the hot type nodes
+  (``TVar``/``TCon``/``TArrow``/``TTuple``) and tree helpers carry no
+  per-instance ``__dict__``, and a million-allocation microbench records
+  their cost in the artifact.
+
+The artifact is written to the repo root as ``BENCH_checker_core.json``
+(``BENCH_checker_core_smoke.json`` under ``REPRO_BENCH_SMOKE=1``, so CI
+smoke runs never clobber the checked-in baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.core import explain
+from repro.core.messages import render_suggestion
+from repro.miniml import parse_program
+from repro.miniml.types import TArrow, TCon, TTuple, TVar
+from repro.obs import MetricsRegistry
+from repro.tree import DepthProbe, HCKey, Node, StructuralKeyer, _field_names
+
+#: CI smoke mode: smaller programs, one timing round, no wall-clock gate.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+_SIZES = (40,) if SMOKE else (80, 120)
+_ROUNDS = 1 if SMOKE else 5
+_ALLOC_N = 20_000 if SMOKE else 200_000
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def deep_program(n):
+    """A deep weak-variable program: every fifth binding is a ``ref []``
+    (weak, un-generalized), one structured ill-typed declaration near the
+    end drives candidate enumeration, and a tail of users keeps the
+    suffix non-trivial."""
+    lines = []
+    for i in range(n):
+        if i % 5 == 0:
+            lines.append(f"let r{i} = ref []")
+        else:
+            lines.append(f"let f{i} x = x + {i}")
+    lines.append("let bad = f1 (f2 (f3 (if f4 6 then 1 else 2) + f6 true))")
+    for i in range(n, n + 10):
+        lines.append(f"let g{i} x = f1 x * 2")
+    return parse_program("\n".join(lines) + "\n")
+
+
+@pytest.fixture(scope="module")
+def deep_programs():
+    return [deep_program(n) for n in _SIZES]
+
+
+def _legacy_key(self, root):
+    """The pre-hashcons structural keyer: plain nested tuples, re-hashed
+    from scratch by every dict operation (CPython does not cache tuple
+    hashes), no content interning."""
+    memo = self._memo
+    entry = memo.get(id(root))
+    if entry is not None:
+        return entry[1]
+    parts = [root.__class__.__name__]
+    append = parts.append
+    for name in _field_names(root.__class__):
+        value = getattr(root, name)
+        if isinstance(value, Node):
+            append(self._key(value))
+        elif isinstance(value, (list, tuple)):
+            append(
+                tuple(
+                    self._key(e) if isinstance(e, Node) else ("#", e) for e in value
+                )
+            )
+        else:
+            append(("#", value))
+    key = tuple(parts)
+    memo[id(root)] = (root, key)
+    return key
+
+
+def _run_all(programs, legacy_keys=False, **kwargs):
+    original = StructuralKeyer._key
+    if legacy_keys:
+        StructuralKeyer._key = _legacy_key
+    try:
+        return [explain(program, **kwargs) for program in programs]
+    finally:
+        StructuralKeyer._key = original
+
+
+def _time_all(programs, legacy_keys=False, **kwargs):
+    start = time.perf_counter()
+    _run_all(programs, legacy_keys=legacy_keys, **kwargs)
+    return time.perf_counter() - start
+
+
+def test_speculative_search_is_equivalent(deep_programs):
+    for program in deep_programs:
+        fast = explain(program)
+        slow = explain(program, speculate=False)
+        assert fast.ok == slow.ok
+        assert fast.oracle_calls == slow.oracle_calls
+        assert fast.bad_decl_index == slow.bad_decl_index
+        assert [render_suggestion(s) for s in fast.suggestions] == [
+            render_suggestion(s) for s in slow.suggestions
+        ]
+
+
+def test_type_nodes_are_slotted():
+    # The __slots__ satellite is a correctness-of-shape claim, not a
+    # timing claim, so it asserts in smoke mode too.
+    for instance in (
+        TVar(0),
+        TCon("int"),
+        TArrow(TCon("int"), TCon("int")),
+        TTuple([TCon("int"), TCon("bool")]),
+        HCKey(("probe",)),
+        StructuralKeyer(),
+        DepthProbe(),
+    ):
+        assert not hasattr(instance, "__dict__"), type(instance).__name__
+
+
+def _alloc_seconds(n):
+    unit = TCon("unit")
+    start = time.perf_counter()
+    for _ in range(n):
+        TArrow(TVar(0), TTuple([unit, TVar(1)]))
+    return time.perf_counter() - start
+
+
+def test_checker_core_artifact(deep_programs):
+    # Interleaved best-of rounds: noise on a shared runner hits both
+    # configurations symmetrically instead of biasing whichever ran last.
+    fast_times, off_times = [], []
+    _run_all(deep_programs)  # warm parse/import paths
+    for _ in range(_ROUNDS):
+        off_times.append(_time_all(deep_programs, legacy_keys=True, speculate=False))
+        fast_times.append(_time_all(deep_programs))
+    fast_s, off_s = min(fast_times), min(off_times)
+
+    metrics = MetricsRegistry()
+    fast_results = _run_all(deep_programs, metrics=metrics)
+    speculated = metrics.value("oracle.trail.speculated")
+    rolled_back = metrics.value("oracle.trail.rolled_back")
+    fallbacks = metrics.value("oracle.trail.fallbacks")
+    calls = sum(r.oracle_calls for r in fast_results)
+
+    alloc_s = _alloc_seconds(_ALLOC_N)
+    speedup = off_s / fast_s if fast_s else float("inf")
+
+    artifact = {
+        "benchmark": "checker core: trail speculation + hash-consed keys vs both off",
+        "smoke": SMOKE,
+        "workload": {
+            "kind": "deep weak-variable programs (ref [] every 5th decl)",
+            "sizes": list(_SIZES),
+            "decls": [len(p.decls) for p in deep_programs],
+        },
+        "rounds": _ROUNDS,
+        "oracle_calls": calls,
+        "trail": {
+            "speculated": speculated,
+            "rolled_back": rolled_back,
+            "fallbacks": fallbacks,
+        },
+        "fast_seconds": round(fast_s, 4),
+        "both_off_seconds": round(off_s, 4),
+        "speedup": round(speedup, 3),
+        "alloc": {
+            "allocations": _ALLOC_N * 4,  # nodes per loop iteration
+            "seconds": round(alloc_s, 4),
+            "ns_per_node": round(alloc_s / (_ALLOC_N * 4) * 1e9, 1),
+        },
+    }
+    name = "BENCH_checker_core_smoke.json" if SMOKE else "BENCH_checker_core.json"
+    path = REPO_ROOT / name
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(
+        f"\nwall: both-off={off_s:.3f}s fast={fast_s:.3f}s ({speedup:.2f}x); "
+        f"{speculated} checks speculated, {rolled_back} trail entries rolled "
+        f"back, {fallbacks} fallbacks; alloc {artifact['alloc']['ns_per_node']}"
+        f"ns/node\n[artifact written to {path}]"
+    )
+
+    # Deterministic gates (hold in smoke mode too): the speculative tiers
+    # must actually fire, and never degrade.
+    assert speculated > 0
+    assert fallbacks == 0
+    # The ISSUE's acceptance gate: >= 1.8x wall clock on the deep corpus.
+    if not SMOKE:
+        assert speedup >= 1.8, (
+            f"speculate+hashcons speedup {speedup:.2f}x < 1.8x "
+            f"(fast={fast_s:.3f}s, both_off={off_s:.3f}s)"
+        )

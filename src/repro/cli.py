@@ -24,6 +24,9 @@ The flight recorder adds ``--events out.jsonl`` (one schema-versioned JSON
 line per lifecycle event) and ``--report out.json`` (the RunReport summary
 document); ``python -m repro report FILE... [--diff BASELINE]`` reads
 either format back and prints aggregate tables / regression diffs.
+``--profile`` runs the search under cProfile and prints the top hotspots
+(recorded as a ``profile`` event in the event log when one is open, so
+``repro report`` folds them into its tables).
 
 Robustness (see :mod:`repro.core.resilience`): ``--deadline SECONDS`` puts
 a wall-clock budget on the search; budget/deadline exhaustion and oracle
@@ -175,6 +178,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable dependency-pruned re-checking (the "
                              "per-declaration outcome table); answers are "
                              "identical either way (benchmarking)")
+    parser.add_argument("--no-speculate", action="store_true",
+                        help="disable trail-based speculative inference "
+                             "(check candidates against per-check copies "
+                             "instead of the live armed state with undo); "
+                             "answers are identical either way "
+                             "(benchmarking)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the search under cProfile and print the "
+                             "top hotspots; with --events the profile "
+                             "table also lands in the event log (and in "
+                             "`repro report`)")
     parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
                         help="check candidates in N worker processes "
                              "('auto' = one per CPU); answers are "
@@ -225,6 +239,12 @@ def build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-depprune", action="store_true",
                         help="disable dependency-pruned re-checking (the "
                              "per-declaration outcome table)")
+    parser.add_argument("--no-speculate", action="store_true",
+                        help="disable trail-based speculative inference")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the whole batch under cProfile and print "
+                             "the top hotspots; with --events the profile "
+                             "table also lands in the event log")
     parser.add_argument("--max-calls", type=int, default=20000, metavar="N",
                         help="per-program oracle-call budget (default 20000)")
     parser.add_argument("--deadline", type=float, default=None,
@@ -311,6 +331,37 @@ def _close_events(args: argparse.Namespace, events, metrics) -> None:
     print(f"[event log written to {args.events}]", file=sys.stderr)
 
 
+def _start_profile(args: argparse.Namespace):
+    """Start a cProfile session when ``--profile`` asks for one (else None)."""
+    if not getattr(args, "profile", False):
+        return None
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    return profiler
+
+
+def _finish_profile(profiler, events=None):
+    """Stop the profiler, print the hotspot table to stderr, and (when a
+    live event log is passed) record the rows as a ``profile`` event so
+    ``repro report`` can aggregate them.  Returns the rows (or None)."""
+    if profiler is None:
+        return None
+    import pstats
+
+    from repro.obs import NULL_EVENTS
+    from repro.obs.report import profile_hotspots, render_profile_rows
+
+    profiler.disable()
+    rows = profile_hotspots(pstats.Stats(profiler))
+    print("profile hotspots (by tottime):", file=sys.stderr)
+    print("\n".join(render_profile_rows(rows)), file=sys.stderr)
+    if events is not None and events is not NULL_EVENTS:
+        events.emit("profile", hotspots=rows)
+    return rows
+
+
 def _write_run_report(
     args: argparse.Namespace, metrics, result, elapsed_seconds: float
 ) -> None:
@@ -379,6 +430,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
             cache=True,
             incremental=not args.no_incremental,
             depprune=not args.no_depprune,
+            speculate=not args.no_speculate,
             metrics=metrics if metrics is not NULL_METRICS else None,
         )
     telemetry_kwargs = dict(
@@ -387,15 +439,18 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
     )
 
     if args.fix:
+        profiler = _start_profile(args)
         result = fix_all(
             source,
             enable_triage=not args.no_triage,
             incremental=not args.no_incremental,
             depprune=not args.no_depprune,
+            speculate=not args.no_speculate,
             max_oracle_calls=args.max_calls,
             deadline_seconds=args.deadline,
             **telemetry_kwargs,
         )
+        _finish_profile(profiler, events)
         for step in result.applied:
             print(f"applied: {step}")
         print()
@@ -409,11 +464,13 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         print("-- could not fully repair the program", file=sys.stderr)
         return EXIT_SUGGESTIONS if result.applied else EXIT_NO_ANSWER
 
+    profiler = _start_profile(args)
     result = explain(
         source,
         enable_triage=not args.no_triage,
         incremental=not args.no_incremental,
         depprune=not args.no_depprune,
+        speculate=not args.no_speculate,
         max_oracle_calls=args.max_calls,
         deadline_seconds=args.deadline,
         jobs=args.jobs,
@@ -424,6 +481,7 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
         label=args.file,
         **telemetry_kwargs,
     )
+    _finish_profile(profiler, events)
     if result.ok:
         print("The program type-checks.")
         from repro.miniml import match_warnings_source
@@ -466,6 +524,12 @@ def _run_miniml(source: str, args: argparse.Namespace) -> int:
                     if args.no_depprune else "")
         print(f"oracle decl reuse: {replayed} replayed, {checked} checked, "
               f"{skipped} prefix-skipped{dep_note}", file=sys.stderr)
+        speculated = metrics.value("oracle.trail.speculated")
+        rolled = metrics.value("oracle.trail.rolled_back")
+        spec_note = (" (disabled with --no-speculate)"
+                     if args.no_speculate else "")
+        print(f"oracle trail speculation: {speculated} speculated, "
+              f"{rolled} entries rolled back{spec_note}", file=sys.stderr)
     _emit_telemetry(args, tracer, metrics)
     _write_run_report(args, metrics, result, time.perf_counter() - start)
     _close_events(args, events, metrics)
@@ -563,6 +627,7 @@ def _run_batch(argv: Sequence[str]) -> int:
             print(f"error: cannot read {path}: {err}", file=sys.stderr)
     readable = [i for i, s in enumerate(sources) if s is not None]
     collect_metrics = bool(args.metrics or args.events or args.stats)
+    profiler = _start_profile(args)
     explained = explain_many(
         [sources[i] for i in readable],
         [labels[i] for i in readable],
@@ -571,12 +636,14 @@ def _run_batch(argv: Sequence[str]) -> int:
         enable_triage=not args.no_triage,
         incremental=not args.no_incremental,
         depprune=not args.no_depprune,
+        speculate=not args.no_speculate,
         max_oracle_calls=args.max_calls,
         deadline_seconds=args.deadline,
         shed_fraction=args.shed_fraction,
         collect_metrics=collect_metrics,
         store=args.store,
     )
+    profile_rows = _finish_profile(profiler)
     entries = [
         BatchEntry(label=label, error="unreadable file", report="")
         for label in labels
@@ -626,6 +693,12 @@ def _run_batch(argv: Sequence[str]) -> int:
                         if args.no_depprune else "")
             print(f"oracle decl reuse: {replayed} replayed, {checked} checked, "
                   f"{skipped} prefix-skipped{dep_note}", file=sys.stderr)
+            speculated = merged.value("oracle.trail.speculated")
+            rolled = merged.value("oracle.trail.rolled_back")
+            spec_note = (" (disabled with --no-speculate)"
+                         if args.no_speculate else "")
+            print(f"oracle trail speculation: {speculated} speculated, "
+                  f"{rolled} entries rolled back{spec_note}", file=sys.stderr)
         if args.metrics:
             print(merged.render_table(title="batch telemetry"), file=sys.stderr)
         if args.events:
@@ -644,6 +717,8 @@ def _run_batch(argv: Sequence[str]) -> int:
                         error=e.error,
                     )
                 events.emit("metrics", counters=merged.counters())
+                if profile_rows:
+                    events.emit("profile", hotspots=profile_rows)
             print(f"[event log written to {args.events}]", file=sys.stderr)
     if args.verbose:
         for e in entries:

@@ -102,16 +102,53 @@ class DeclTable:
     #: Chaos hook (see repro.faults): a stale table must fail every
     #: replay-time fingerprint verification, degrading to real checks.
     stale: bool = False
+    #: Lazily cached :attr:`weak_value_names` — entries are frozen after
+    #: recording, and the replay planner asks once per oracle call.
+    _weak_cache: Optional[FrozenSet[str]] = None
+    #: Lazily cached :attr:`self_consistent` (same freezing argument).
+    _consistent_cache: Optional[bool] = None
 
     def __len__(self) -> int:
         return len(self.entries)
 
     @property
     def weak_value_names(self) -> FrozenSet[str]:
-        weak: Set[str] = set()
-        for entry in self.entries:
-            weak.update(entry.weak_names)
-        return frozenset(weak)
+        cached = self._weak_cache
+        if cached is None:
+            weak: Set[str] = set()
+            for entry in self.entries:
+                weak.update(entry.weak_names)
+            cached = frozenset(weak)
+            self._weak_cache = cached
+        return cached
+
+    @property
+    def self_consistent(self) -> bool:
+        """Whether every entry's recorded env slice matches the table.
+
+        Replay-time fingerprint verification, applied to an *unchanged*
+        program, compares each entry's ``env_fp`` against the
+        ``scheme_fp`` of whichever earlier entry (in shadowing order) last
+        defined the name — a computation over the table alone.  The
+        pure-prefix replay fast path verifies it here once per table
+        instead of once per check; a corrupted table fails and falls back
+        to the slow loop, which degrades the affected suffix to real
+        checks exactly as before.
+        """
+        cached = self._consistent_cache
+        if cached is None:
+            current: Dict[str, str] = {}
+            cached = True
+            for entry in self.entries:
+                for name, fp in entry.env_fp.items():
+                    if current.get(name) != fp:
+                        cached = False
+                        break
+                if not cached:
+                    break
+                current.update(entry.scheme_fp)
+            self._consistent_cache = cached
+        return cached
 
 
 class DeclDepGraph:

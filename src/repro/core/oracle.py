@@ -63,11 +63,15 @@ from typing import Callable, Dict, List, Optional, Protocol, Union
 from repro.miniml.errors import MiniMLTypeError
 from repro.miniml.infer import (
     CheckResult,
+    PrefixSnapshot,
+    SpeculativeState,
+    TrailIntegrityError,
     record_decl_table,
     replay_decl_table,
     snapshot_prefix,
     typecheck_program,
 )
+from repro.miniml.types import Trail, set_trail
 from repro.obs import NULL_EVENTS, NULL_METRICS
 from repro.store.fingerprint import NO_PREFIX_FP, prefix_fingerprint
 from repro.store.verdicts import STORABLE_KINDS
@@ -195,6 +199,20 @@ class Oracle:
         and a substrate with record/replay support (the MiniML default).
         Turning it off never changes answers, only ``oracle.decl.*``
         telemetry and wall time.
+    speculate:
+        Enable trail-based speculative checking (the third reuse tier, in
+        front of the copying prefix path).  When a snapshot is armed, a
+        :class:`~repro.miniml.infer.SpeculativeState` is built once —
+        paying the table/value copies a single time — and each matching
+        candidate's suffix is then checked against that *live* state, with
+        every destructive write recorded on an undo trail and rolled back
+        afterwards (``oracle.trail.speculated`` / ``.rolled_back``).  Any
+        exception on the speculative path — including a
+        :class:`~repro.miniml.infer.TrailIntegrityError` — degrades the
+        check to the copying path (``oracle.trail.fallbacks``) without
+        changing the answer.  On by default; requires ``incremental`` and
+        the MiniML substrate.  Turning it off never changes answers, only
+        the ``oracle.trail.*`` telemetry and wall time.
     """
 
     def __init__(
@@ -214,6 +232,7 @@ class Oracle:
         events=None,
         store=None,
         depprune: bool = True,
+        speculate: bool = True,
     ):
         self._typecheck = typecheck if typecheck is not None else typecheck_program
         self.max_calls = max_calls
@@ -271,6 +290,21 @@ class Oracle:
         )
         self._decl_table = None
         self._decl_pending = None
+        #: Trail-based speculation (the third reuse tier).  Only the
+        #: MiniML substrate knows how to build a live armed state from a
+        #: PrefixSnapshot; a custom checker opts out automatically.
+        self.speculate = speculate
+        self._spec_supported = typecheck is None
+        self._spec_state: Optional[SpeculativeState] = None
+        #: Shared undo trail for the speculative decl-table replay (the
+        #: same push/pop discipline the snapshot tier uses, applied to the
+        #: table's recorded weak schemes).
+        self._trail: Optional[Trail] = (
+            Trail() if (speculate and self._spec_supported) else None
+        )
+        self.trail_speculated = 0
+        self.trail_rolled_back = 0
+        self.trail_fallbacks = 0
         #: Bumped whenever the prefix state changes (armed / invalidated /
         #: healed / reset): part of the memo key, so cached verdicts are
         #: scoped to the snapshot regime they were computed under.
@@ -475,6 +509,21 @@ class Oracle:
                 # disable the disk tier for this regime rather than risk
                 # serving another regime's verdicts.
                 self._prefix_fp = None
+        if (
+            self.speculate
+            and self._spec_supported
+            and isinstance(snapshot, PrefixSnapshot)
+        ):
+            try:
+                self._spec_state = SpeculativeState(snapshot)
+            except Exception:
+                if self.strict:
+                    raise
+                # Arming the live state is an optimization; failing to
+                # build it degrades every check to the copying path.
+                self._spec_state = None
+                self.trail_fallbacks += 1
+                self.metrics.incr("oracle.trail.fallbacks")
         self.metrics.incr("oracle.prefix.armed")
         return True
 
@@ -482,6 +531,7 @@ class Oracle:
         if self._snapshot is not None:
             self._snapshot = None
             self._prefix_gen += 1
+        self._spec_state = None
         self._prefix_fp = NO_PREFIX_FP
 
     # ------------------------------------------------------------------
@@ -569,9 +619,24 @@ class Oracle:
                 # The recording pass inferred the baseline's declarations
                 # on behalf of this check; attribute that cost here.
                 extra_checked = base_result.decls_checked
-            result = self._decl_replay_fn(
-                program, self._decl_table, key_fn=self._decl_key_fn()
-            )
+            if self._trail is not None and self._decl_table.free_vars:
+                # Speculative replay: skip the per-pass weak-scheme
+                # substitution and undo any links the check applies.  Any
+                # failure inside degrades through the outer handler (the
+                # table may be stale either way); the trail fallback is
+                # counted so the degradation is visible.
+                try:
+                    result = self._spec_replay(program)
+                except Exception:
+                    if self.strict:
+                        raise
+                    self.trail_fallbacks += 1
+                    self.metrics.incr("oracle.trail.fallbacks")
+                    raise
+            else:
+                result = self._decl_replay_fn(
+                    program, self._decl_table, key_fn=self._decl_key_fn()
+                )
             if extra_checked:
                 result.decls_checked += extra_checked
             return result
@@ -581,6 +646,62 @@ class Oracle:
             self._drop_decl_table()
             self.metrics.incr("oracle.decl.fallbacks")
             return None
+
+    def _spec_replay(self, program) -> CheckResult:
+        """Replay the decl table against its *live* weak schemes.
+
+        The copying replay path pays one ``_substitute`` walk per recorded
+        scheme per check to keep the table's weak type variables pristine
+        (the ``instantiate_values`` discipline).  With a trail armed we can
+        skip the copy entirely: the check unifies against the recorded
+        variables in place, and ``undo`` restores their links and levels
+        before the next check observes them.  Sound for the same reason
+        the snapshot tier's speculation is — within one pass, a fresh copy
+        and a live-then-undone original are observationally identical, and
+        :func:`~repro.core.depgraph.plan_replay`'s value-restriction
+        clique escalation already forces a real re-check of every
+        declaration entangled with a weak scheme whenever one could be
+        constrained differently.
+
+        Errors that outlive the rollback (store persistence,
+        cross-checking) are frozen *before* undo un-unifies the types they
+        reference.  Any integrity violation raises — the caller counts the
+        trail fallback and lets :meth:`_decl_tier`'s outer handler drop
+        the (possibly corrupt) table and degrade to a plain full check.
+        """
+        trail = self._trail
+        mark = trail.mark()
+        previous = set_trail(trail)
+        try:
+            result = self._decl_replay_fn(
+                program,
+                self._decl_table,
+                key_fn=self._decl_key_fn(),
+                weak_copy=False,
+            )
+            if result.error is not None and (self._store_active or self.cross_check):
+                result.error.freeze()
+        except BaseException as unexpected:
+            set_trail(previous)
+            try:
+                trail.undo(mark)
+            except BaseException as undo_err:
+                raise TrailIntegrityError(
+                    "speculative replay rollback failed; armed table corrupt"
+                ) from undo_err
+            raise unexpected
+        set_trail(previous)
+        if trail.mark() < mark:
+            raise TrailIntegrityError(
+                "trail shrank below the pre-replay mark; armed table corrupt"
+            )
+        undone = trail.undo(mark)
+        self.trail_speculated += 1
+        self.trail_rolled_back += undone
+        self.metrics.incr("oracle.trail.speculated")
+        if undone:
+            self.metrics.incr("oracle.trail.rolled_back", undone)
+        return result
 
     def _account_decls(self, result) -> None:
         """Fold one check's per-declaration accounting into the counters."""
@@ -606,6 +727,42 @@ class Oracle:
         snapshot = self._snapshot
         if snapshot is not None:
             if snapshot.matches(program):
+                spec = self._spec_state
+                if spec is not None and spec.snapshot is snapshot:
+                    # Third tier: check the suffix against the live armed
+                    # state and roll the trail back.  Errors that outlive
+                    # the rollback (store persistence, cross-checking) are
+                    # rendered *before* undo un-unifies the types they
+                    # reference.
+                    rolled_before = spec.rolled_back
+                    try:
+                        result = spec.check(
+                            program,
+                            freeze_errors=self._store_active or self.cross_check,
+                        )
+                    except Exception:
+                        if self.strict:
+                            raise
+                        # Trail-integrity violation or an unexpected crash
+                        # on the speculative path: discard the live state
+                        # and degrade to the copying path — which answers
+                        # (or crashes into the prefix self-healing) exactly
+                        # as it would with speculation off.
+                        self._spec_state = None
+                        self.trail_fallbacks += 1
+                        self.metrics.incr("oracle.trail.fallbacks")
+                    else:
+                        rolled = spec.rolled_back - rolled_before
+                        self.trail_speculated += 1
+                        self.trail_rolled_back += rolled
+                        self.metrics.incr("oracle.trail.speculated")
+                        if rolled:
+                            self.metrics.incr("oracle.trail.rolled_back", rolled)
+                        self.prefix_reused += 1
+                        self.metrics.incr("oracle.prefix.reused")
+                        if self.cross_check:
+                            self._assert_equivalent(program, result)
+                        return result
                 try:
                     result = self._typecheck(program, prefix=snapshot)
                 except Exception as err:
@@ -857,6 +1014,21 @@ class Oracle:
         if store_fp is not None:
             self.store_misses += 1
             self.metrics.incr("oracle.store.misses")
+        # Replay the worker's trail telemetry for this applied verdict
+        # (legacy bool verdicts and non-speculating workers ship zeros),
+        # keeping oracle.trail.* byte-identical between jobs=1 and jobs=N.
+        tsp = getattr(verdict, "trail_speculated", 0)
+        trb = getattr(verdict, "trail_rolled_back", 0)
+        tfb = getattr(verdict, "trail_fallbacks", 0)
+        if tsp:
+            self.trail_speculated += tsp
+            self.metrics.incr("oracle.trail.speculated", tsp)
+        if trb:
+            self.trail_rolled_back += trb
+            self.metrics.incr("oracle.trail.rolled_back", trb)
+        if tfb:
+            self.trail_fallbacks += tfb
+            self.metrics.incr("oracle.trail.fallbacks", tfb)
         if kind == VERDICT_REUSED:
             self.prefix_reused += 1
             self.metrics.incr("oracle.prefix.reused")
@@ -935,6 +1107,12 @@ class Oracle:
         self.decls_degraded = 0
         self.crash_samples = []
         self._snapshot = None
+        self._spec_state = None
+        self.trail_speculated = 0
+        self.trail_rolled_back = 0
+        self.trail_fallbacks = 0
+        if self._trail is not None:
+            self._trail.clear()
         self._decl_table = None
         self._decl_pending = None
         self._prefix_gen = 0

@@ -128,9 +128,10 @@ class WorkerVerdict(NamedTuple):
     store writes, persists it when it applies the verdict.
 
     The trailing ``decls_*`` fields carry the check's per-declaration
-    accounting (dependency-pruned re-checking); the parent folds them into
-    its ``oracle.decl.*`` counters per applied verdict, keeping ``jobs=N``
-    identical to ``jobs=1``.
+    accounting (dependency-pruned re-checking) and the ``trail_*`` fields
+    the check's speculative-inference telemetry; the parent folds both
+    into its ``oracle.decl.*`` / ``oracle.trail.*`` counters per applied
+    verdict, keeping ``jobs=N`` identical to ``jobs=1``.
     """
 
     ok: bool
@@ -143,6 +144,9 @@ class WorkerVerdict(NamedTuple):
     decls_replayed: int = 0
     decls_skipped: int = 0
     decls_degraded: int = 0
+    trail_speculated: int = 0
+    trail_rolled_back: int = 0
+    trail_fallbacks: int = 0
 
 #: ``SearchConfig.jobs`` sentinel: use one worker per CPU.
 AUTO_JOBS = "auto"
@@ -239,6 +243,7 @@ def _seed_state(seed_token: int, seed_blob: bytes) -> Tuple:
         rss_limit_mb,
         depprune,
         table_decls,
+        speculate,
     ) = pickle.loads(seed_blob)
     if fault_plan is not None:
         from repro.faults import ChaosOracle
@@ -248,9 +253,15 @@ def _seed_state(seed_token: int, seed_blob: bytes) -> Tuple:
             incremental=incremental,
             max_depth=max_depth,
             depprune=depprune,
+            speculate=speculate,
         )
     else:
-        oracle = Oracle(incremental=incremental, max_depth=max_depth, depprune=depprune)
+        oracle = Oracle(
+            incremental=incremental,
+            max_depth=max_depth,
+            depprune=depprune,
+            speculate=speculate,
+        )
     if store_path:
         # Workers probe the store strictly read-only: the parent performs
         # every write when it applies verdicts, so speculative checks the
@@ -305,6 +316,9 @@ def _count_state(oracle) -> Tuple[int, ...]:
         oracle.decls_replayed,
         oracle.decls_skipped,
         oracle.decls_degraded,
+        oracle.trail_speculated,
+        oracle.trail_rolled_back,
+        oracle.trail_fallbacks,
     )
 
 
@@ -326,7 +340,9 @@ def _classify(
      d_crash, d_depth, d_samples,
      d_store_hit, d_store_miss,
      d_decl_checked, d_decl_replayed,
-     d_decl_skipped, d_decl_degraded) = tuple(a - b for a, b in zip(after, before))
+     d_decl_skipped, d_decl_degraded,
+     d_trail_spec, d_trail_rolled, d_trail_fb) = tuple(
+         a - b for a, b in zip(after, before))
     sample = oracle.crash_samples[-1] if d_samples else None
     store = "hit" if d_store_hit else ("miss" if d_store_miss else None)
     if d_depth:
@@ -346,6 +362,7 @@ def _classify(
     return WorkerVerdict(
         ok, kind, sample, store, err, err_kind,
         d_decl_checked, d_decl_replayed, d_decl_skipped, d_decl_degraded,
+        d_trail_spec, d_trail_rolled, d_trail_fb,
     )
 
 
@@ -573,6 +590,7 @@ class WorkerPool:
         store_path: Optional[str] = None,
         depprune: bool = True,
         table_decls: Optional[Sequence] = None,
+        speculate: bool = True,
     ) -> None:
         """Seed workers for one search: the passing prefix plus oracle knobs.
 
@@ -600,6 +618,7 @@ class WorkerPool:
                 self.rss_limit_mb,
                 depprune,
                 tuple(table_decls) if table_decls is not None else None,
+                speculate,
             )
         )
 

@@ -100,6 +100,13 @@ class SearchConfig:
     #: are fingerprint-verified and degrade to real checks); requires
     #: ``incremental``.
     depprune: bool = True
+    #: Trail-based speculative inference (the third reuse tier, in front
+    #: of the copying prefix path): candidates are checked against the
+    #: *live* armed environment and every destructive write is rolled
+    #: back via an undo trail, skipping the per-check table/value copies
+    #: entirely.  Answer-preserving (any trail-integrity violation
+    #: degrades to the copying path); requires ``incremental``.
+    speculate: bool = True
     triage_threshold: int = 5
     max_triage_depth: int = 3
     disabled_rules: Sequence[str] = ()
@@ -242,7 +249,9 @@ class Searcher:
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.events = events if events is not None else NULL_EVENTS
         self.oracle = oracle or Oracle(
-            max_calls=self.config.max_oracle_calls, metrics=self.metrics
+            max_calls=self.config.max_oracle_calls,
+            metrics=self.metrics,
+            speculate=self.config.speculate,
         )
         # Adopt a caller-supplied oracle into this search's registry unless
         # it was already wired to one of its own (same for the event log).
@@ -385,6 +394,7 @@ class Searcher:
                             table_decls=tuple(program.decls[: bad + 1])
                             if self.config.depprune and self.config.incremental
                             else None,
+                            speculate=getattr(self.oracle, "speculate", True),
                         )
                     # Search within the failing prefix: later declarations are
                     # ignored entirely, as in the paper ("It does not examine

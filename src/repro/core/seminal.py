@@ -95,6 +95,7 @@ def explain(
     enable_adaptation: bool = True,
     incremental: bool = True,
     depprune: bool = True,
+    speculate: bool = True,
     max_oracle_calls: Optional[int] = 20000,
     deadline_seconds: Optional[float] = None,
     triage_threshold: int = 5,
@@ -128,6 +129,11 @@ def explain(
     reuse tier: full-path checks replay recorded schemes for declarations a
     change cannot affect) — answers are identical either way; only the
     ``oracle.decl.*`` telemetry and wall time differ.
+    ``speculate=False`` disables trail-based speculative inference (the
+    third reuse tier: candidates checked against the live armed state with
+    undo-trail rollback instead of per-check environment copies) — again
+    answer-preserving; only ``oracle.trail.*`` telemetry and wall time
+    differ.
 
     The call is best-effort by contract (see :mod:`repro.core.resilience`):
     running out of the oracle budget or the optional wall-clock
@@ -210,6 +216,7 @@ def explain(
                 metrics=registry,
                 incremental=incremental,
                 depprune=depprune,
+                speculate=speculate,
                 store=store_obj,
             )
         else:
@@ -221,6 +228,7 @@ def explain(
         enable_adaptation=enable_adaptation,
         incremental=incremental,
         depprune=depprune,
+        speculate=speculate,
         triage_threshold=triage_threshold,
         disabled_rules=disabled_rules,
         triage_strategy=triage_strategy,

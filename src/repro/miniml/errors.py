@@ -6,8 +6,15 @@ but is here used with type Y", "Unbound value x", and friends.  Each error
 carries the offending AST node so the evaluation harness can judge message
 *location* quality against ground truth.
 
-Messages are rendered eagerly because semantic types are mutable union-find
-structures whose links may be garbage after the inference pass unwinds.
+The expensive messages (the ones that pretty-print semantic types and
+expressions) are rendered *lazily*: the searcher produces thousands of
+failing candidate checks whose text nobody ever reads, so formatting is
+deferred to the first ``message``/``str()``/``render()`` access and then
+cached.  Because semantic types are mutable union-find structures, any
+holder that needs the text to outlive the inference state that produced it
+(persistence, cross-process shipping, the speculative path's rollback)
+must call :meth:`MiniMLTypeError.freeze` first — pickling does this
+automatically.
 """
 
 from __future__ import annotations
@@ -28,6 +35,11 @@ def _rebuild_error(cls, args, state):
     return err
 
 
+#: Sentinel for the ``quoted`` parameter: pretty-print the error's own AST
+#: node into the message, lazily, at first render.
+QUOTE_NODE = "\x00quote-node\x00"
+
+
 class MiniMLTypeError(Exception):
     """Base class: any failure of the MiniML type-checker.
 
@@ -37,19 +49,50 @@ class MiniMLTypeError(Exception):
 
     kind = "type-error"
 
-    def __init__(self, message: str, node: Optional[Node] = None):
-        super().__init__(message)
-        self.message = message
+    #: Instance attributes holding raw semantic types (heavy, mutable,
+    #: meaningless once the producing pass is gone) — dropped at pickle
+    #: time after the text has been forced.
+    _heavy: tuple = ()
+
+    def __init__(self, message: Optional[str], node: Optional[Node] = None):
+        super().__init__()
+        self._message = message
         self.node = node
+
+    @property
+    def message(self) -> str:
+        """The message text (rendered on first access, then cached)."""
+        text = self._message
+        if text is None:
+            text = self._render_message()
+            self._message = text
+        return text
+
+    def _render_message(self) -> str:  # pragma: no cover - lazy subclasses
+        return ""
+
+    def __str__(self) -> str:
+        return self.message
+
+    def freeze(self) -> "MiniMLTypeError":
+        """Force the text while the producing type state is still live."""
+        _ = self.message
+        return self
 
     def __reduce__(self):
         # The default exception reduce re-invokes ``cls(*self.args)``,
         # which breaks for subclasses whose __init__ takes other
-        # parameters (e.g. TypeMismatchError's raw Type objects — already
-        # rendered to strings by construction time).  Rebuild from the
-        # final state instead, so errors survive pickling across the
+        # parameters (e.g. TypeMismatchError's raw Type objects).  Force
+        # the lazy text, drop the raw type references, and rebuild from
+        # the final state instead, so errors survive pickling across the
         # parallel layer's process boundary.
-        return (_rebuild_error, (type(self), self.args, self.__dict__))
+        self.freeze()
+        state = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in self._heavy
+        }
+        return (_rebuild_error, (type(self), self.args, state))
 
     @property
     def span(self) -> Optional[Span]:
@@ -63,33 +106,83 @@ class MiniMLTypeError(Exception):
         return location + self.message
 
 
+def _quoted_subject(error: MiniMLTypeError, quoted: Optional[str]) -> str:
+    if quoted == QUOTE_NODE:
+        from .pretty import pretty_expr
+
+        quoted = pretty_expr(error.node) if error.node is not None else ""
+    return f"The expression {quoted}" if quoted else "This expression"
+
+
 class TypeMismatchError(MiniMLTypeError):
     """``This expression has type X but is here used with type Y``."""
 
     kind = "mismatch"
+    _heavy = ("_actual", "_expected", "_quoted")
 
     def __init__(self, node: Node, actual: Type, expected: Type, quoted: str = ""):
-        self.actual_str, self.expected_str = types_to_strings([actual, expected])
-        subject = f"The expression {quoted}" if quoted else "This expression"
-        message = (
-            f"{subject} has type {self.actual_str} "
-            f"but is here used with type {self.expected_str}"
+        super().__init__(None, node)
+        self._actual = actual
+        self._expected = expected
+        self._quoted = quoted
+        self._actual_str: Optional[str] = None
+        self._expected_str: Optional[str] = None
+
+    def _render_message(self) -> str:
+        self._actual_str, self._expected_str = types_to_strings(
+            [self._actual, self._expected]
         )
-        super().__init__(message, node)
+        return (
+            f"{_quoted_subject(self, self._quoted)} has type {self._actual_str} "
+            f"but is here used with type {self._expected_str}"
+        )
+
+    @property
+    def actual_str(self) -> str:
+        if self._actual_str is None:
+            self.freeze()
+        return self._actual_str
+
+    @property
+    def expected_str(self) -> str:
+        if self._expected_str is None:
+            self.freeze()
+        return self._expected_str
 
 
 class PatternMismatchError(MiniMLTypeError):
     """``This pattern matches values of type X but ... type Y``."""
 
     kind = "pattern-mismatch"
+    _heavy = ("_actual", "_expected")
 
     def __init__(self, node: Node, actual: Type, expected: Type):
-        self.actual_str, self.expected_str = types_to_strings([actual, expected])
-        message = (
-            f"This pattern matches values of type {self.actual_str} "
-            f"but is here used to match values of type {self.expected_str}"
+        super().__init__(None, node)
+        self._actual = actual
+        self._expected = expected
+        self._actual_str: Optional[str] = None
+        self._expected_str: Optional[str] = None
+
+    def _render_message(self) -> str:
+        self._actual_str, self._expected_str = types_to_strings(
+            [self._actual, self._expected]
         )
-        super().__init__(message, node)
+        return (
+            f"This pattern matches values of type {self._actual_str} "
+            f"but is here used to match values of type {self._expected_str}"
+        )
+
+    @property
+    def actual_str(self) -> str:
+        if self._actual_str is None:
+            self.freeze()
+        return self._actual_str
+
+    @property
+    def expected_str(self) -> str:
+        if self._expected_str is None:
+            self.freeze()
+        return self._expected_str
 
 
 class UnboundVariableError(MiniMLTypeError):
@@ -140,15 +233,26 @@ class NotAFunctionError(MiniMLTypeError):
     over-application of a known function."""
 
     kind = "not-a-function"
+    _heavy = ("_actual", "_quoted")
 
     def __init__(self, node: Node, actual: Type, quoted: str = ""):
-        (self.actual_str,) = types_to_strings([actual])
-        subject = f"The expression {quoted}" if quoted else "This expression"
-        message = (
-            f"{subject} has type {self.actual_str}. "
+        super().__init__(None, node)
+        self._actual = actual
+        self._quoted = quoted
+        self._actual_str: Optional[str] = None
+
+    def _render_message(self) -> str:
+        (self._actual_str,) = types_to_strings([self._actual])
+        return (
+            f"{_quoted_subject(self, self._quoted)} has type {self._actual_str}. "
             "It is not a function; it cannot be applied"
         )
-        super().__init__(message, node)
+
+    @property
+    def actual_str(self) -> str:
+        if self._actual_str is None:
+            self.freeze()
+        return self._actual_str
 
 
 class ConstructorArityError(MiniMLTypeError):

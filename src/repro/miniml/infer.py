@@ -74,6 +74,7 @@ from .errors import (
     MiniMLTypeError,
     NestingTooDeepError,
     NotAFunctionError,
+    QUOTE_NODE,
     PatternMismatchError,
     RecordFieldError,
     RecursionError_,
@@ -83,7 +84,7 @@ from .errors import (
     UnboundVariableError,
     UnknownTypeError,
 )
-from .pretty import pretty_expr
+
 from .stdlib import CtorInfo, FieldInfo, TypeEnv, default_env, operator_scheme
 from .types import (
     BOOL,
@@ -97,6 +98,7 @@ from .types import (
     TCon,
     TTuple,
     TVar,
+    Trail,
     Type,
     _substitute,
     free_type_vars,
@@ -104,8 +106,10 @@ from .types import (
     instantiate,
     monotype,
     resolve,
+    set_trail,
     t_list,
     t_ref,
+    trail_map_set,
 )
 from .unify import UnifyError, unify
 
@@ -228,7 +232,9 @@ class Inferencer:
     def _declare_type(self, decl: DType) -> None:
         params = {name: TVar(level=1) for name in decl.params}
         # Register arity first so recursive types (Fig. 9's ``move``) work.
-        self.root_env.type_arities[decl.name] = len(decl.params)
+        # Table writes go through ``trail_map_set``: under the speculative
+        # fast path the tables are shared across checks and must be undone.
+        trail_map_set(self.root_env.type_arities, decl.name, len(decl.params))
         result = TCon(decl.name, [params[p] for p in decl.params])
         vars = list(params.values())
         if decl.record_fields:
@@ -237,17 +243,21 @@ class Inferencer:
                 raise RecordFieldError(decl, f"Two fields are named identically in type {decl.name}")
             for f in decl.record_fields:
                 ftype = self._eval_type_expr(f.type_expr, params)
-                self.root_env.fields[f.name] = FieldInfo(
-                    f.name, decl.name, vars, ftype, result, f.mutable, names
+                trail_map_set(
+                    self.root_env.fields,
+                    f.name,
+                    FieldInfo(f.name, decl.name, vars, ftype, result, f.mutable, names),
                 )
         else:
             for v in decl.variants:
                 arg = self._eval_type_expr(v.arg, params) if v.arg is not None else None
-                self.root_env.constructors[v.name] = CtorInfo(v.name, vars, arg, result)
+                trail_map_set(
+                    self.root_env.constructors, v.name, CtorInfo(v.name, vars, arg, result)
+                )
 
     def _declare_exception(self, decl: DException) -> None:
         arg = self._eval_type_expr(decl.arg, {}) if decl.arg is not None else None
-        self.root_env.constructors[decl.name] = CtorInfo(decl.name, [], arg, EXN)
+        trail_map_set(self.root_env.constructors, decl.name, CtorInfo(decl.name, [], arg, EXN))
 
     def _eval_type_expr(self, te: TypeExpr, params: Dict[str, TVar]) -> Type:
         if isinstance(te, TEVar):
@@ -581,7 +591,7 @@ class Inferencer:
             else:
                 # Over-application / applying a non-function.  OCaml reports
                 # this at the function expression with its full type.
-                raise NotAFunctionError(e.func, func_t, pretty_expr(e.func))
+                raise NotAFunctionError(e.func, func_t, QUOTE_NODE)
         return result
 
     def _infer_binop(self, env: TypeEnv, e: EBinop) -> Type:
@@ -756,10 +766,10 @@ class Inferencer:
         try:
             unify(actual, expected)
         except UnifyError as err:
-            raise TypeMismatchError(e, err.t1, err.t2, quoted=pretty_expr(e)) from err
+            raise TypeMismatchError(e, err.t1, err.t2, quoted=QUOTE_NODE) from err
 
     def _fail_mismatch(self, e: Expr, actual: Type, expected: Type) -> None:
-        raise TypeMismatchError(e, actual, expected, quoted=pretty_expr(e))
+        raise TypeMismatchError(e, actual, expected, quoted=QUOTE_NODE)
 
 
 class PrefixSnapshot:
@@ -932,6 +942,150 @@ def _typecheck_from_prefix(
         decls_checked=inferencer.decls_checked,
         decls_skipped=skipped,
     )
+
+
+class TrailIntegrityError(RuntimeError):
+    """The speculative undo could not restore the armed state exactly.
+
+    Raised when rolling the trail back fails (or the trail was tampered
+    with mid-check).  The armed :class:`SpeculativeState` must be
+    considered corrupt: the oracle discards both it and its snapshot and
+    degrades to the copying path.
+    """
+
+
+def _speculative_inferencer(root: TypeEnv) -> Inferencer:
+    """A per-check :class:`Inferencer` over an existing root environment.
+
+    Bypasses ``__init__`` so the armed tables are *not* re-copied — that
+    copy is exactly the constant factor the speculative path removes.
+    """
+    inferencer = Inferencer.__new__(Inferencer)
+    inferencer.root_env = root
+    inferencer.level = 0
+    inferencer.record_types = False
+    inferencer.node_types = {}
+    inferencer.decls_checked = 0
+    return inferencer
+
+
+class SpeculativeState:
+    """Live armed typing state for trail-based speculative suffix checks.
+
+    The copying fast path (:func:`_typecheck_from_prefix`) still pays a
+    per-check constant factor: three table ``dict()`` copies, a values
+    copy, and — whenever the value restriction left weak variables — a
+    full substitution walk over every prefix scheme.  This class pays all
+    of that **once**, at arm time, and then checks each candidate's suffix
+    directly against the live state: every destructive write during the
+    check is recorded on a :class:`~repro.miniml.types.Trail` and rolled
+    back afterwards, SMT push/pop style, leaving the armed state
+    bit-identical for the next candidate.
+
+    Weak (un-generalized) variables need no special casing here: a suffix
+    check may link them, and :meth:`check` undoes the link — the same
+    observable behaviour as the copying path's fresh-copy-per-check.
+    """
+
+    __slots__ = ("snapshot", "root", "values_env", "trail", "checks", "rolled_back")
+
+    def __init__(self, snapshot: PrefixSnapshot):
+        self.snapshot = snapshot
+        root = snapshot.base.fork()
+        # The snapshot owns its table dicts; copy once (not per check).
+        root.constructors = dict(snapshot.constructors)
+        root.fields = dict(snapshot.fields)
+        root.type_arities = dict(snapshot.type_arities)
+        self.root = root
+        # Prefix value bindings, bound once and *live* (no instantiation):
+        # suffix unifications against weak variables are undone by the trail.
+        values_env = TypeEnv(dict(snapshot.values), parent=root)
+        self.values_env = values_env
+        self.trail = Trail()
+        #: Telemetry mirrors of the oracle's ``oracle.trail.*`` counters.
+        self.checks = 0
+        self.rolled_back = 0
+
+    def check(self, program: Program, freeze_errors: bool = False) -> CheckResult:
+        """Check ``program``'s suffix against the live armed state.
+
+        The caller must have verified ``snapshot.matches(program)``.  When
+        ``freeze_errors`` is set, a failing result's message is rendered
+        *before* rollback (required whenever the error outlives this call —
+        persistence, cross-checking — because the types it would render
+        from are about to be un-unified).
+
+        Raises :class:`TrailIntegrityError` when the armed state could not
+        be restored; any other exception escapes *after* a successful
+        rollback, so the state stays reusable.
+        """
+        snapshot = self.snapshot
+        trail = self.trail
+        mark = trail.mark()
+        inferencer = _speculative_inferencer(self.root)
+        env = self.values_env.child()
+        top_level: Dict[str, Scheme] = dict(snapshot.top_level)
+        skipped = snapshot.n_decls
+        previous = set_trail(trail)
+        try:
+            try:
+                for decl in program.decls[skipped:]:
+                    inferencer.check_decl(env, decl, top_level)
+            except MiniMLTypeError as err:
+                if freeze_errors:
+                    err.freeze()
+                result = CheckResult(
+                    ok=False,
+                    error=err,
+                    decls_checked=inferencer.decls_checked,
+                    decls_skipped=skipped,
+                )
+            except RecursionError:
+                result = CheckResult(
+                    ok=False,
+                    error=NestingTooDeepError(),
+                    decls_checked=inferencer.decls_checked,
+                    decls_skipped=skipped,
+                )
+            else:
+                result = CheckResult(
+                    ok=True,
+                    top_level=top_level,
+                    decls_checked=inferencer.decls_checked,
+                    decls_skipped=skipped,
+                )
+        except BaseException as unexpected:
+            # Not a type error: chaos injection, a checker bug, a poisoned
+            # snapshot.  Restore the armed state before letting it escape;
+            # if even that fails the state is corrupt.
+            set_trail(previous)
+            try:
+                self.rolled_back += trail.undo(mark)
+            except BaseException as undo_err:
+                raise TrailIntegrityError(
+                    "speculative rollback failed; armed state corrupt"
+                ) from undo_err
+            raise unexpected
+        set_trail(previous)
+        if trail.mark() < mark:
+            raise TrailIntegrityError(
+                "trail shrank below the pre-check mark; armed state corrupt"
+            )
+        try:
+            self.rolled_back += trail.undo(mark)
+        except BaseException as undo_err:
+            raise TrailIntegrityError(
+                "speculative rollback failed; armed state corrupt"
+            ) from undo_err
+        self.checks += 1
+        return result
+
+
+def typecheck_speculative(
+    program: Program, state: SpeculativeState, freeze_errors: bool = False
+) -> CheckResult:
+    """Module-level convenience wrapper around :meth:`SpeculativeState.check`."""
+    return state.check(program, freeze_errors=freeze_errors)
 
 
 def typecheck_program(
@@ -1141,7 +1295,11 @@ def record_decl_table(program: Program, env: Optional[TypeEnv] = None, key_fn=No
 
 
 def replay_decl_table(
-    program: Program, table, env: Optional[TypeEnv] = None, key_fn=None
+    program: Program,
+    table,
+    env: Optional[TypeEnv] = None,
+    key_fn=None,
+    weak_copy: bool = True,
 ) -> CheckResult:
     """Check ``program`` against a recorded outcome table.
 
@@ -1153,6 +1311,13 @@ def replay_decl_table(
     slice no longer matches the recorded fingerprints — which a sound plan
     never produces, but a stale or corrupted table can — degrades itself
     and everything after it to real checks, so the answer is never wrong.
+
+    ``weak_copy=False`` skips the per-pass substitution of the table's
+    weak variables and binds the recorded schemes *live*.  Only sound when
+    the caller brackets the pass with an active :class:`~.types.Trail`
+    mark/undo (the oracle's speculative replay tier): any link a check
+    applies to a recorded weak variable is rolled back before the next
+    pass sees the table.
     """
     from repro.core.depgraph import PLAN_REPLAY, plan_replay
     from .deps import decl_use_def
@@ -1163,6 +1328,33 @@ def replay_decl_table(
     decls = program.decls
     entries = table.entries
     skeys = [key_fn(decl) for decl in decls]
+
+    if (
+        not table.stale
+        and len(decls) <= len(entries)
+        and not (weak_copy and table.free_vars)
+        and table.self_consistent
+        and all(skeys[i] == entries[i].skey for i in range(len(decls)))
+    ):
+        # Pure-prefix fast path: the candidate is an unchanged prefix of
+        # the recorded baseline (the localization scan's bread and
+        # butter), so the plan is trivially all-replay and the verdict is
+        # already in the table — no environment, no inferencer, and the
+        # per-entry fingerprint verification collapses to the table's
+        # (cached) internal consistency.  Skipped when the pass must copy
+        # weak schemes: the slow loop owns that substitution discipline.
+        fast_top: Dict[str, Scheme] = {}
+        fast_replayed = 0
+        for i in range(len(decls)):
+            entry = entries[i]
+            fast_replayed += 1
+            if entry.error is not None:
+                return CheckResult(
+                    ok=False, error=entry.error, decls_replayed=fast_replayed
+                )
+            fast_top.update(entry.bindings)
+        return CheckResult(ok=True, top_level=fast_top, decls_replayed=fast_replayed)
+
     use_defs = []
     for i, decl in enumerate(decls):
         if i < len(entries) and skeys[i] == entries[i].skey:
@@ -1177,7 +1369,9 @@ def replay_decl_table(
     child = inferencer.root_env.child()
     top_level: Dict[str, Scheme] = {}
     mapping: Optional[Dict[TVar, TVar]] = (
-        {v: TVar(v.level) for v in table.free_vars} if table.free_vars else None
+        {v: TVar(v.level) for v in table.free_vars}
+        if (weak_copy and table.free_vars)
+        else None
     )
     #: Canonical schemes of program-bound names as of the current position.
     current_fp: Dict[str, str] = {}

@@ -20,6 +20,12 @@ _var_counter = itertools.count()
 class Type:
     """Base class of semantic types."""
 
+    # Empty slots so the concrete nodes' own ``__slots__`` actually take
+    # effect: a slotted subclass of a dict-carrying base still allocates
+    # the per-instance ``__dict__``, and fresh TVar/TCon/TArrow/TTuple
+    # objects are the hottest allocations in the whole search.
+    __slots__ = ()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type_to_string(self)}>"
 
@@ -104,9 +110,103 @@ def resolve(t: Type) -> Type:
 def prune(t: Type) -> Type:
     """Like :func:`resolve` but with path compression."""
     if isinstance(t, TVar) and t.link is not None:
-        t.link = prune(t.link)
-        return t.link
+        compressed = prune(t.link)
+        if compressed is not t.link:
+            if _trail is not None:
+                _trail.record_var(t)
+            t.link = compressed
+        return compressed
     return t
+
+
+# ---------------------------------------------------------------------------
+# The undo trail (SMT-style push/pop for destructive type state)
+# ---------------------------------------------------------------------------
+
+
+class Trail:
+    """An undo log for every destructive write the checker performs.
+
+    The mutable union-find representation is what makes Hindley-Milner
+    inference fast, and what makes re-checking thousands of candidate
+    programs expensive: each check has historically needed its own copy of
+    the armed environment so its unifications cannot leak into the next.
+    The trail removes the copy: while a trail is installed
+    (:func:`set_trail`), every ``TVar`` link/level write and every trailed
+    table write records the previous state, and :meth:`undo` restores it
+    exactly — the same push/pop discipline incremental SMT solvers use to
+    make thousands of near-identical queries affordable.
+
+    Entries are ``(var, old_link, old_level)`` triples for variable writes
+    and ``(mapping, key, had_key, old_value)`` 4-tuples for dict writes;
+    :meth:`undo` replays them newest-first back to a :meth:`mark`.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: list = []
+
+    def mark(self) -> int:
+        """The current trail position (pass to :meth:`undo`)."""
+        return len(self.entries)
+
+    def record_var(self, var: "TVar") -> None:
+        """Record a variable's link+level before a destructive write."""
+        self.entries.append((var, var.link, var.level))
+
+    def record_map(self, mapping: dict, key: object) -> None:
+        """Record a dict slot before it is written (or first created)."""
+        if key in mapping:
+            self.entries.append((mapping, key, True, mapping[key]))
+        else:
+            self.entries.append((mapping, key, False, None))
+
+    def undo(self, mark: int) -> int:
+        """Restore every write since ``mark``; returns entries undone."""
+        entries = self.entries
+        undone = 0
+        while len(entries) > mark:
+            entry = entries.pop()
+            if len(entry) == 3:
+                var, old_link, old_level = entry
+                var.link = old_link
+                var.level = old_level
+            else:
+                mapping, key, had_key, old_value = entry
+                if had_key:
+                    mapping[key] = old_value
+                else:
+                    mapping.pop(key, None)
+            undone += 1
+        return undone
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+
+#: The currently installed trail (None = destructive writes are permanent,
+#: the classic behaviour).  Installed only around speculative checks.
+_trail: Optional[Trail] = None
+
+
+def set_trail(trail: Optional[Trail]) -> Optional[Trail]:
+    """Install ``trail`` as the active undo log; returns the previous one."""
+    global _trail
+    previous = _trail
+    _trail = trail
+    return previous
+
+
+def active_trail() -> Optional[Trail]:
+    return _trail
+
+
+def trail_map_set(mapping: dict, key: object, value: object) -> None:
+    """A dict write that participates in the active trail (if any)."""
+    if _trail is not None:
+        _trail.record_map(mapping, key)
+    mapping[key] = value
 
 
 class Scheme:

@@ -4,22 +4,54 @@ Standard destructive unification with occurs check and level adjustment.
 Because the SEMINAL searcher calls the type-checker thousands of times on
 slightly different programs, each check runs in a fresh inference pass over a
 shared immutable AST — so unification state never needs undoing across calls.
+Under the speculative fast path the state *is* shared across calls: every
+destructive write here is then recorded on the active
+:class:`~repro.miniml.types.Trail` so the oracle can roll it back.
 """
 
 from __future__ import annotations
 
+from . import types as _types
 from .types import TArrow, TCon, TTuple, TVar, Type, resolve, types_to_strings
 
 
 class UnifyError(Exception):
-    """Two types failed to unify; carries both for message rendering."""
+    """Two types failed to unify; carries both for message rendering.
+
+    Rendering is *lazy*: most unification failures happen on candidate
+    programs whose error text is never shown to anyone, so the expensive
+    ``types_to_strings`` call is deferred until someone actually asks
+    (``str()``, pickling).  Callers that keep the error past the end of
+    the inference pass that produced it must force the text first (the
+    mutable union-find links it renders from may be rolled back later).
+    """
 
     def __init__(self, t1: Type, t2: Type, reason: str = "incompatible"):
+        super().__init__()
         self.t1 = t1
         self.t2 = t2
         self.reason = reason
-        s1, s2 = types_to_strings([t1, t2])
-        super().__init__(f"cannot unify {s1} with {s2} ({reason})")
+        self._message: str = ""
+
+    def __str__(self) -> str:
+        if not self._message:
+            s1, s2 = types_to_strings([self.t1, self.t2])
+            self._message = f"cannot unify {s1} with {s2} ({self.reason})"
+        return self._message
+
+    def __reduce__(self):
+        # Force the text before crossing a process boundary: the linked
+        # type graphs are heavy and meaningless in another process.
+        return (_rebuild_unify_error, (str(self), self.reason))
+
+
+def _rebuild_unify_error(message: str, reason: str) -> "UnifyError":
+    err = UnifyError.__new__(UnifyError)
+    Exception.__init__(err)
+    err.t1 = err.t2 = None  # type: ignore[assignment]
+    err.reason = reason
+    err._message = message
+    return err
 
 
 def occurs_in(var: TVar, t: Type) -> bool:
@@ -41,6 +73,9 @@ def _adjust_levels(var: TVar, t: Type) -> None:
     t = resolve(t)
     if isinstance(t, TVar):
         if t.level > var.level:
+            trail = _types._trail
+            if trail is not None:
+                trail.record_var(t)
             t.level = var.level
     elif isinstance(t, TCon):
         for a in t.args:
@@ -88,6 +123,10 @@ def _occurs_check_and_adjust(var: TVar, t: Type) -> bool:
     if _occurs_collect(var, t, pending):
         return True
     level = var.level
+    trail = _types._trail
+    if trail is not None:
+        for tv in pending:
+            trail.record_var(tv)
     for tv in pending:
         tv.level = level
     return False
@@ -102,6 +141,9 @@ def unify(t1: Type, t2: Type) -> None:
     if isinstance(t1, TVar):
         if _occurs_check_and_adjust(t1, t2):
             raise UnifyError(t1, t2, "occurs check: the type would be cyclic")
+        trail = _types._trail
+        if trail is not None:
+            trail.record_var(t1)
         t1.link = t2
         return
     if isinstance(t2, TVar):

@@ -38,6 +38,7 @@ COST_COUNTER_PREFIXES: Tuple[str, ...] = (
     "oracle.depth_rejected",
     "oracle.prefix.fallbacks",
     "oracle.prefix.invalidated",
+    "oracle.trail.fallbacks",
     "oracle.budget_exceeded",
     "oracle.cache.misses",
     "oracle.decl.checked",
@@ -98,6 +99,9 @@ class RunAggregate:
     watchdog_events: int = 0
     degraded_runs: int = 0
     elapsed_seconds: float = 0.0
+    #: Function -> summed profile row (``--profile`` events), keyed by the
+    #: ``file:line(name)`` string so multi-run profiles fold together.
+    profile_rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # -- folding ---------------------------------------------------------
 
@@ -114,6 +118,18 @@ class RunAggregate:
         for row in rows:
             rank = int(row.get("rank", 0))
             self.rank_counts[rank] = self.rank_counts.get(rank, 0) + 1
+
+    def add_profile(self, rows: Sequence[Dict[str, Any]]) -> None:
+        for row in rows:
+            func = row.get("func")
+            if not func:
+                continue
+            slot = self.profile_rows.setdefault(
+                func, {"calls": 0, "tottime": 0.0, "cumtime": 0.0}
+            )
+            slot["calls"] += int(row.get("calls", 0) or 0)
+            slot["tottime"] += float(row.get("tottime", 0.0) or 0.0)
+            slot["cumtime"] += float(row.get("cumtime", 0.0) or 0.0)
 
     def add_degradation(self, deg: Dict[str, Any]) -> None:
         for phase, count in (deg.get("phases_shed") or {}).items():
@@ -175,6 +191,8 @@ class RunAggregate:
                 self.add_ranks(event.get("ranks") or [])
             elif kind == "degradation":
                 self.add_degradation(event)
+            elif kind == "profile":
+                self.add_profile(event.get("hotspots") or [])
             elif kind in ("worker_crash", "worker_hang"):
                 self.crash_events += 1
             elif kind == "worker_restart":
@@ -248,6 +266,8 @@ def aggregate_files(paths: Sequence[str]) -> RunAggregate:
         total.quarantine_events += part.quarantine_events
         total.watchdog_events += part.watchdog_events
         total.elapsed_seconds += part.elapsed_seconds
+        for func, row in part.profile_rows.items():
+            total.add_profile([dict(row, func=func)])
     return total
 
 
@@ -265,6 +285,57 @@ def _table(rows: List[Tuple[str, str]], indent: str = "  ") -> List[str]:
 
 def _pct(part: float, whole: float) -> str:
     return f"{100.0 * part / whole:5.1f}%" if whole else "    -"
+
+
+#: Hotspot rows kept when extracting / printing a profile (``--profile``).
+PROFILE_TOP_N = 15
+
+
+def profile_hotspots(stats: Any, top: int = PROFILE_TOP_N) -> List[Dict[str, Any]]:
+    """The top-``top`` hotspots of a ``pstats.Stats`` as plain dicts.
+
+    Rows are sorted by exclusive time (``tottime``) and keyed the way
+    cProfile prints them — ``file:line(name)`` — with the path trimmed to
+    its last two components so event logs stay readable and comparable
+    across machines.
+    """
+    rows: List[Dict[str, Any]] = []
+    for (filename, line, name), (_cc, nc, tt, ct, _callers) in stats.stats.items():
+        if filename == "~":
+            func = name  # builtins: pstats prints them as ~:0(<...>)
+        else:
+            parts = filename.replace("\\", "/").split("/")
+            func = f"{'/'.join(parts[-2:])}:{line}({name})"
+        rows.append(
+            {
+                "func": func,
+                "calls": int(nc),
+                "tottime": round(float(tt), 6),
+                "cumtime": round(float(ct), 6),
+            }
+        )
+    rows.sort(key=lambda r: (-r["tottime"], r["func"]))
+    return rows[:top]
+
+
+def render_profile_rows(
+    rows: Sequence[Dict[str, Any]], top: int = PROFILE_TOP_N
+) -> List[str]:
+    """Aligned ``func  calls  tottime  cumtime`` lines for hotspot rows."""
+    ordered = sorted(
+        rows,
+        key=lambda r: (-float(r.get("tottime", 0.0) or 0.0), str(r.get("func"))),
+    )[:top]
+    body = [
+        (
+            str(row.get("func", "?")),
+            f"{int(row.get('calls', 0) or 0):>9}  "
+            f"{float(row.get('tottime', 0.0) or 0.0):9.4f}s  "
+            f"{float(row.get('cumtime', 0.0) or 0.0):9.4f}s",
+        )
+        for row in ordered
+    ]
+    return _table([("function", "    calls    tottime    cumtime")] + body)
 
 
 def render_aggregate(agg: RunAggregate) -> str:
@@ -312,6 +383,15 @@ def render_aggregate(agg: RunAggregate) -> str:
         )
         if reuse is not None:
             rows.append(("prefix-reuse rate", f"{100.0 * reuse:.1f}%"))
+        t_spec = agg.value("oracle.trail.speculated")
+        t_fallbacks = agg.value("oracle.trail.fallbacks")
+        if t_spec or t_fallbacks:
+            rows.append(("trail speculated", str(t_spec)))
+            rows.append(
+                ("trail rolled back", str(agg.value("oracle.trail.rolled_back")))
+            )
+            if t_fallbacks:
+                rows.append(("trail fallbacks", str(t_fallbacks)))
         hits, misses = agg.value("oracle.cache.hits"), agg.value("oracle.cache.misses")
         if hits or misses:
             rows.append(("cache hits / misses", f"{hits} / {misses}"))
@@ -440,6 +520,15 @@ def render_aggregate(agg: RunAggregate) -> str:
                         agg.span_seconds.items(), key=lambda kv: -kv[1]
                     )[:12]
                 ]
+            )
+        )
+
+    if agg.profile_rows:
+        lines.append("")
+        lines.append("profile hotspots (by tottime):")
+        lines.extend(
+            render_profile_rows(
+                [dict(row, func=func) for func, row in agg.profile_rows.items()]
             )
         )
 

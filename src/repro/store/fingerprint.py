@@ -19,9 +19,11 @@ A stored verdict is only reusable when three things are unchanged:
   :func:`~repro.tree.structural_key` (spans and formatting never matter,
   exactly as for the in-memory memo).
 
-All digests are truncated SHA-256 over ``repr()`` of the key material;
-structural keys are nested tuples of class names and scalar leaves, whose
-``repr`` is deterministic across processes and platforms.
+All digests are truncated SHA-256.  Hash-consed structural keys
+(:class:`~repro.tree.HCKey`) contribute their cached Merkle ``digest`` —
+content-derived, so deterministic across processes and platforms, and
+O(1) amortized for shared subtrees; legacy tuple keys (and any other key
+material) are digested over their deterministic ``repr``.
 """
 
 from __future__ import annotations
@@ -87,7 +89,16 @@ def checker_fingerprint() -> str:
 
 
 def key_digest(structural_key: object) -> str:
-    """Digest of one program's structural key (the per-entry address)."""
+    """Digest of one program's structural key (the per-entry address).
+
+    Hash-consed keys (:class:`~repro.tree.HCKey`) carry a cached
+    content-based Merkle digest, making repeated digests of shared
+    subtrees O(1); anything else digests its deterministic ``repr``.
+    """
+    from repro.tree import HCKey
+
+    if isinstance(structural_key, HCKey):
+        return structural_key.digest
     return _digest(repr(structural_key).encode())
 
 
@@ -102,4 +113,8 @@ def prefix_fingerprint(prefix_keys: Optional[Iterable[object]]) -> str:
     keys = tuple(prefix_keys)
     if not keys:
         return NO_PREFIX_FP
-    return _digest(repr(keys).encode())
+    h = hashlib.sha256()
+    for key in keys:
+        h.update(key_digest(key).encode())
+        h.update(b";")
+    return h.hexdigest()[:32]

@@ -22,6 +22,7 @@ list field.  The empty tuple addresses the root.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass, fields
 from typing import Any, Iterator, Optional, Sequence, Tuple, Union
 
@@ -75,18 +76,32 @@ class Node:
 
     def child_items(self) -> Iterator[Tuple[PathStep, "Node"]]:
         """Yield ``(step, child)`` for every direct AST child, in field order."""
-        for f in fields(self):  # type: ignore[arg-type]
-            value = getattr(self, f.name)
+        for name in _field_names(self.__class__):
+            value = getattr(self, name)
             if isinstance(value, Node):
-                yield f.name, value
+                yield name, value
             elif isinstance(value, (list, tuple)):
                 for i, item in enumerate(value):
                     if isinstance(item, Node):
-                        yield (f.name, i), item
+                        yield (name, i), item
 
     def children(self) -> list["Node"]:
-        """All direct AST children, in field order."""
-        return [child for _, child in self.child_items()]
+        """All direct AST children, in field order.
+
+        Built directly from the cached per-class field layout: this runs
+        once per node inside the depth probe and the keyer, where the
+        generator round-trip through :meth:`child_items` is measurable.
+        """
+        out: list["Node"] = []
+        for name in _field_names(self.__class__):
+            value = getattr(self, name)
+            if isinstance(value, Node):
+                out.append(value)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        out.append(item)
+        return out
 
     def with_child(self, step: PathStep, new_child: "Node") -> "Node":
         """Return a shallow copy of this node with one child replaced."""
@@ -264,58 +279,120 @@ def structurally_equal(a: Node, b: Node) -> bool:
     return True
 
 
-def structural_key(root: Node) -> Tuple:
+class HCKey:
+    """A hash-consed structural key: one interned node per distinct subtree.
+
+    ``parts`` holds one level of the classic nested-tuple structural key —
+    the node's class name followed by one entry per dataclass field: a
+    child :class:`HCKey` for node fields, a tuple of element keys for list
+    fields, and a ``("#", value)`` pair for scalars.  Two properties make
+    this the cheap currency of the whole search pipeline:
+
+    * the hash is computed once at construction, so every later dict
+      operation (dedup memo, oracle cache, decl-table lookups) costs O(1)
+      instead of re-hashing the whole subtree — CPython does not cache
+      tuple hashes, so the old nested-tuple keys paid O(subtree) on every
+      lookup;
+    * keys from one interner (:class:`StructuralKeyer` or one
+      :func:`structural_key` call) are unique per content, so equality is
+      usually a pointer comparison; across interners (and across process
+      boundaries) it falls back to structural comparison, so a hash
+      collision can never alias two different candidates.
+
+    ``digest`` is a content-based Merkle digest: a shared subtree's digest
+    is computed once and reused, making persistent-store addressing
+    (:func:`repro.store.fingerprint.key_digest`) O(1) amortized per node.
+    """
+
+    __slots__ = ("parts", "_hash", "_digest")
+
+    def __init__(self, parts: Tuple) -> None:
+        self.parts = parts
+        self._hash = hash(parts)
+        self._digest: Optional[str] = None
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is HCKey:
+            return self._hash == other._hash and self.parts == other.parts
+        return NotImplemented
+
+    def __reduce__(self):
+        # Rebuild (rather than ship slot state) so the hash is recomputed
+        # in the receiving process — per-process hash randomization makes
+        # a shipped hash value meaningless there.
+        return (HCKey, (self.parts,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HCKey({self.parts[0]}, digest={self.digest[:12]})"
+
+    @property
+    def digest(self) -> str:
+        """Deterministic content digest (stable across processes/runs)."""
+        d = self._digest
+        if d is None:
+            h = hashlib.sha256()
+            for part in self.parts:
+                if type(part) is HCKey:
+                    h.update(b"K")
+                    h.update(part.digest.encode())
+                elif type(part) is tuple and not (
+                    len(part) == 2 and part[0] == "#"
+                ):
+                    h.update(b"L(")
+                    for element in part:
+                        if type(element) is HCKey:
+                            h.update(b"K")
+                            h.update(element.digest.encode())
+                        else:
+                            h.update(repr(element).encode())
+                        h.update(b",")
+                    h.update(b")")
+                else:
+                    h.update(repr(part).encode())
+                h.update(b";")
+            d = h.hexdigest()[:32]
+            self._digest = d
+        return d
+
+
+def structural_key(root: Node) -> HCKey:
     """A hashable key capturing the structure the type-checker sees.
 
     Two trees get equal keys iff they are :func:`structurally_equal`
     (spans and the ``synthetic`` flag are ignored — they are not dataclass
-    fields).  The key is a nested tuple mirroring the tree: class name
-    first, then one entry per dataclass field — a sub-key for node fields,
-    a tuple of element keys for list fields, and a ``("#", value)`` pair
-    for scalars (the tag keeps a scalar from imitating a node key).  Being
-    a real key (not a bare hash), dictionary lookups still compare
-    structurally on hash collision, so a collision can never return a
-    wrong cached answer.  For repeated keying of programs that share
-    subtrees, use :class:`StructuralKeyer`.
+    fields).  The key is a hash-consed :class:`HCKey` tree mirroring the
+    AST: class name first, then one entry per dataclass field — a sub-key
+    for node fields, a tuple of element keys for list fields, and a
+    ``("#", value)`` pair for scalars (the tag keeps a scalar from
+    imitating a node key).  Being a real key (not a bare hash), dictionary
+    lookups still compare structurally on hash collision, so a collision
+    can never return a wrong cached answer.  For repeated keying of
+    programs that share subtrees, use :class:`StructuralKeyer`.
 
     Trees too deep to key recursively raise :class:`TreeTooDeep` rather
     than leaking the interpreter's :class:`RecursionError`.
     """
-    try:
-        return _structural_key(root)
-    except RecursionError:
-        raise TreeTooDeep(
-            "tree is too deeply nested to compute a structural key"
-        ) from None
-
-
-def _structural_key(root: Node) -> Tuple:
-    parts: list = [root.__class__.__name__]
-    append = parts.append
-    for name in _field_names(root.__class__):
-        value = getattr(root, name)
-        if isinstance(value, Node):
-            append(_structural_key(value))
-        elif isinstance(value, (list, tuple)):
-            append(
-                tuple(
-                    _structural_key(element) if isinstance(element, Node) else ("#", element)
-                    for element in value
-                )
-            )
-        else:
-            append(("#", value))
-    return tuple(parts)
+    return StructuralKeyer()(root)
 
 
 class StructuralKeyer:
-    """:func:`structural_key` with an identity memo over subtrees.
+    """:func:`structural_key` with an identity memo and hash-cons interning.
 
     The searcher's candidates are built with :func:`replace_at`, which
     shares every unchanged subtree with the original program by object
     identity.  Memoizing subtree keys by ``id(node)`` therefore makes
     keying a candidate cost O(changed spine) instead of O(program) — the
     point of switching the oracle cache off pretty-printed-source keys.
+    On top of the identity memo, subtree keys are *interned by content*:
+    two structurally equal subtrees (however they were built) map to the
+    same :class:`HCKey` object, so the rebuilt spine nodes of every
+    candidate share all unchanged child keys and downstream consumers
+    compare keys by pointer.
 
     The memo pins each node (strong reference) so an ``id`` can never be
     recycled for a different object while cached.  Sound as long as nodes
@@ -325,20 +402,22 @@ class StructuralKeyer:
     release the pinned trees.
     """
 
-    __slots__ = ("_memo",)
+    __slots__ = ("_memo", "_intern")
 
     def __init__(self) -> None:
         self._memo: dict = {}
+        self._intern: dict = {}
 
     def clear(self) -> None:
         self._memo.clear()
+        self._intern.clear()
 
     @property
     def interned(self) -> int:
         """How many distinct subtrees this keyer has interned so far."""
         return len(self._memo)
 
-    def __call__(self, root: Node) -> Tuple:
+    def __call__(self, root: Node) -> HCKey:
         try:
             return self._key(root)
         except RecursionError:
@@ -346,7 +425,7 @@ class StructuralKeyer:
                 "tree is too deeply nested to compute a structural key"
             ) from None
 
-    def _key(self, root: Node) -> Tuple:
+    def _key(self, root: Node) -> HCKey:
         memo = self._memo
         entry = memo.get(id(root))
         if entry is not None:
@@ -366,7 +445,11 @@ class StructuralKeyer:
                 )
             else:
                 append(("#", value))
-        key = tuple(parts)
+        parts_t = tuple(parts)
+        key = self._intern.get(parts_t)
+        if key is None:
+            key = HCKey(parts_t)
+            self._intern[parts_t] = key
         memo[id(root)] = (root, key)
         return key
 

@@ -1,0 +1,61 @@
+"""Regression: error messages render lazily, not once per oracle call.
+
+A search raises (and discards) one checker error per failing candidate;
+rendering each error's message eagerly walks and prints semantic types
+thousands of times for text nobody reads.  The lazy contract is that
+``types_to_strings`` runs only for errors whose text is actually consumed
+— the handful that survive into suggestions/stats — plus the speculative
+tiers' explicit freezes, never once per check.
+"""
+
+import repro.miniml.errors as errors_mod
+from repro.core import explain
+from repro.miniml import parse_program
+
+BROKEN = """\
+let double x = x * 2
+let shout s = s ^ "!"
+let xs = [1; 2; 3]
+let bad = double (shout 7)
+let tail = double 4
+"""
+
+
+class RenderCounter:
+    def __init__(self, monkeypatch):
+        self.calls = 0
+        real = errors_mod.types_to_strings
+
+        def counting(types):
+            self.calls += 1
+            return real(types)
+
+        monkeypatch.setattr(errors_mod, "types_to_strings", counting)
+
+
+def test_search_renders_far_fewer_messages_than_checks(monkeypatch):
+    counter = RenderCounter(monkeypatch)
+    result = explain(parse_program(BROKEN))
+    assert result.oracle_calls > 20
+    assert result.suggestions
+    # Every failing check materializes an error object, but only the few
+    # whose text is consumed (original message, surviving suggestions,
+    # speculative freezes) may render.  The historical eager behaviour
+    # rendered once per failing check.
+    assert counter.calls < result.oracle_calls / 2, (
+        f"{counter.calls} renders for {result.oracle_calls} oracle calls — "
+        "error messages are being rendered eagerly"
+    )
+
+
+def test_discarded_error_never_renders(monkeypatch):
+    from repro.miniml import typecheck_source
+
+    counter = RenderCounter(monkeypatch)
+    result = typecheck_source("let bad = 1 + true\n")
+    assert not result.ok
+    assert counter.calls == 0, "typechecking alone must not render"
+    _ = result.error.message
+    assert counter.calls == 1, "first read renders exactly once"
+    _ = result.error.message
+    assert counter.calls == 1, "second read is served from the cache"

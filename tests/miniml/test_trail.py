@@ -1,0 +1,271 @@
+"""Property tests for the undo trail (the speculative checks' safety net).
+
+The oracle's speculative tiers run real unifications against *shared*
+mutable state — the armed snapshot's live environment, the decl table's
+recorded weak schemes — and rely on :class:`~repro.miniml.types.Trail` to
+restore every ``TVar`` link/level and every trailed table slot exactly.
+These tests drive randomized unification workloads against a shared
+variable pool and assert the restoration is perfect, entry for entry.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.miniml.types import (
+    BOOL,
+    INT,
+    STRING,
+    TArrow,
+    TTuple,
+    TVar,
+    Trail,
+    active_trail,
+    prune,
+    set_trail,
+    t_list,
+    t_ref,
+    trail_map_set,
+)
+from repro.miniml.unify import UnifyError, unify
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_trail():
+    """Every test must leave the module-global trail uninstalled."""
+    assert active_trail() is None
+    yield
+    set_trail(None)
+
+
+def snapshot_vars(pool):
+    """The observable state of every variable: (link identity, level)."""
+    return [(v.link, v.level) for v in pool]
+
+
+@st.composite
+def unify_scripts(draw):
+    """A shared variable pool plus a random sequence of unification goals.
+
+    Goals mix plain var-var links, var-structure bindings (which adjust
+    levels), deliberate failures (constructor clashes, occurs checks), and
+    nested composites over already-touched variables — the same shapes a
+    speculative suffix check produces against armed weak schemes.
+    """
+    pool = [TVar(draw(st.integers(0, 9))) for _ in range(draw(st.integers(4, 10)))]
+    goals = []
+    for _ in range(draw(st.integers(1, 12))):
+        kind = draw(st.integers(0, 5))
+        a = draw(st.sampled_from(pool))
+        b = draw(st.sampled_from(pool))
+        if kind == 0:
+            goals.append((a, b))
+        elif kind == 1:
+            goals.append((a, t_list(b)))
+        elif kind == 2:
+            goals.append((a, TArrow(b, draw(st.sampled_from([INT, BOOL, STRING])))))
+        elif kind == 3:
+            goals.append((a, draw(st.sampled_from([INT, BOOL, STRING]))))
+        elif kind == 4:
+            goals.append((t_ref(a), t_ref(t_list(a))))  # likely occurs failure
+        else:
+            goals.append((TTuple([a, b]), TTuple([INT, t_list(INT)])))
+    return pool, goals
+
+
+def run_goals(goals):
+    """Apply each unification goal, swallowing expected failures."""
+    outcomes = []
+    for t1, t2 in goals:
+        try:
+            unify(t1, t2)
+            outcomes.append(True)
+        except UnifyError:
+            outcomes.append(False)
+    return outcomes
+
+
+class TestTrailRestoration:
+    @given(unify_scripts())
+    @settings(max_examples=200)
+    def test_undo_restores_exact_variable_state(self, script):
+        pool, goals = script
+        before = snapshot_vars(pool)
+        trail = Trail()
+        previous = set_trail(trail)
+        try:
+            mark = trail.mark()
+            run_goals(goals)
+            trail.undo(mark)
+        finally:
+            set_trail(previous)
+        assert snapshot_vars(pool) == before
+
+    @given(unify_scripts())
+    @settings(max_examples=100)
+    def test_undo_is_idempotent_at_mark(self, script):
+        pool, goals = script
+        trail = Trail()
+        previous = set_trail(trail)
+        try:
+            mark = trail.mark()
+            run_goals(goals)
+            recorded = trail.mark() - mark
+            first = trail.undo(mark)
+            second = trail.undo(mark)
+        finally:
+            set_trail(previous)
+        assert first == recorded
+        assert second == 0
+        assert trail.mark() == mark
+
+    @given(unify_scripts(), unify_scripts())
+    @settings(max_examples=100)
+    def test_nested_marks_unwind_in_order(self, outer_script, inner_script):
+        outer_pool, outer_goals = outer_script
+        inner_pool, inner_goals = inner_script
+        outer_before = snapshot_vars(outer_pool)
+        trail = Trail()
+        previous = set_trail(trail)
+        try:
+            outer_mark = trail.mark()
+            run_goals(outer_goals)
+            mid = snapshot_vars(outer_pool)
+            inner_mark = trail.mark()
+            run_goals(inner_goals)
+            trail.undo(inner_mark)
+            # Inner rollback restores the mid-state of the *outer* pool
+            # (the inner goals may alias outer variables only via links,
+            # which the trail restores regardless of which pool they
+            # belong to).
+            assert snapshot_vars(outer_pool) == mid
+            trail.undo(outer_mark)
+        finally:
+            set_trail(previous)
+        assert snapshot_vars(outer_pool) == outer_before
+        # Inner pool variables touched during the outer bracket are
+        # restored to their pristine (fresh) state too.
+        assert all(v.link is None for v in inner_pool)
+
+    @given(unify_scripts())
+    @settings(max_examples=100)
+    def test_replay_after_undo_is_deterministic(self, script):
+        pool, goals = script
+        trail = Trail()
+        previous = set_trail(trail)
+        try:
+            mark = trail.mark()
+            first = run_goals(goals)
+            trail.undo(mark)
+            second = run_goals(goals)
+            trail.undo(mark)
+        finally:
+            set_trail(previous)
+        assert first == second
+
+    def test_undo_count_matches_entries(self):
+        trail = Trail()
+        previous = set_trail(trail)
+        try:
+            v1, v2 = TVar(0), TVar(0)
+            mark = trail.mark()
+            unify(v1, INT)
+            unify(v2, t_list(INT))
+            recorded = len(trail.entries) - mark
+            assert recorded >= 2
+            assert trail.undo(mark) == recorded
+        finally:
+            set_trail(previous)
+        assert v1.link is None and v2.link is None
+
+    def test_level_adjustments_are_trailed(self):
+        # unify(outer, list(inner)) lowers inner's level; undo restores it.
+        trail = Trail()
+        previous = set_trail(trail)
+        try:
+            outer, inner = TVar(1), TVar(5)
+            mark = trail.mark()
+            unify(outer, t_list(inner))
+            assert inner.level == 1
+            trail.undo(mark)
+        finally:
+            set_trail(previous)
+        assert inner.level == 5
+        assert outer.link is None
+
+    def test_prune_path_compression_is_trailed(self):
+        trail = Trail()
+        previous = set_trail(trail)
+        try:
+            a, b = TVar(0), TVar(0)
+            a.link = b
+            b.link = INT
+            mark = trail.mark()
+            assert prune(a) is INT
+            assert a.link is INT  # compressed
+            trail.undo(mark)
+        finally:
+            set_trail(previous)
+        assert a.link is b  # compression rolled back
+
+
+class TestTrailMapWrites:
+    def test_overwrite_and_insert_restored(self):
+        trail = Trail()
+        previous = set_trail(trail)
+        try:
+            table = {"x": 1}
+            mark = trail.mark()
+            trail_map_set(table, "x", 2)  # overwrite
+            trail_map_set(table, "y", 3)  # fresh insert
+            trail_map_set(table, "y", 4)  # overwrite the insert
+            assert table == {"x": 2, "y": 4}
+            trail.undo(mark)
+        finally:
+            set_trail(previous)
+        assert table == {"x": 1}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 100)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_random_map_writes_restored(self, writes):
+        base = {0: "a", 1: "b"}
+        table = dict(base)
+        trail = Trail()
+        previous = set_trail(trail)
+        try:
+            mark = trail.mark()
+            for key, value in writes:
+                trail_map_set(table, key, value)
+            trail.undo(mark)
+        finally:
+            set_trail(previous)
+        assert table == base
+
+    def test_without_trail_writes_are_permanent(self):
+        table = {}
+        trail_map_set(table, "k", 1)
+        assert table == {"k": 1}
+
+
+class TestTrailInstallation:
+    def test_set_trail_returns_previous(self):
+        t1, t2 = Trail(), Trail()
+        assert set_trail(t1) is None
+        assert set_trail(t2) is t1
+        assert set_trail(None) is t2
+        assert active_trail() is None
+
+    def test_clear_empties_entries(self):
+        trail = Trail()
+        previous = set_trail(trail)
+        try:
+            unify(TVar(0), INT)
+            assert trail.entries
+            trail.clear()
+        finally:
+            set_trail(previous)
+        assert trail.mark() == 0
